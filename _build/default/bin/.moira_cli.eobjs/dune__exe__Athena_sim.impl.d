@@ -1,0 +1,1 @@
+bin/athena_sim.ml: Arg Cmd Cmdliner Dcm List Moira Netsim Population Printf Relation Sim String Term Testbed Unix Workload

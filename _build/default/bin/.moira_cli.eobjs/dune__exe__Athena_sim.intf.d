@@ -1,0 +1,1 @@
+bin/athena_sim.mli:

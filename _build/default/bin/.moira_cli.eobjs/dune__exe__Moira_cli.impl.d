@@ -1,0 +1,1 @@
+bin/moira_cli.ml: Arg Array Cmd Cmdliner Comerr List Moira Population Printf String Term Testbed Workload

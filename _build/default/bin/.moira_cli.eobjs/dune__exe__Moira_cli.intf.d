@@ -1,0 +1,1 @@
+bin/moira_cli.mli:

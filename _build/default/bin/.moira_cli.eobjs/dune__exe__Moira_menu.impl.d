@@ -1,0 +1,1 @@
+bin/moira_menu.ml: Array Comerr Dcm List Moira Population Printf String Testbed Workload

@@ -1,0 +1,1 @@
+bin/mrbackup_cli.ml: Arg Cmd Cmdliner Filename List Moira Population Printf Relation String Sys Term Testbed Unix Workload

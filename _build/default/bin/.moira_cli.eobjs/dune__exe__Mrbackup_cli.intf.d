@@ -1,0 +1,1 @@
+bin/mrbackup_cli.mli:

@@ -1,0 +1,1 @@
+bin/userreg_cli.ml: Array Comerr Hesiod Population Printf String Testbed Userreg Workload

@@ -1,0 +1,1 @@
+bin/userreg_cli.mli:

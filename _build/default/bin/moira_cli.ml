@@ -1,0 +1,125 @@
+(* An mrtest-style admin client: boots a small simulated Athena, connects
+   and authenticates through the real application library, then executes
+   query handles typed on the command line or on stdin.
+
+     dune exec bin/moira_cli.exe -- query get_user_by_login 'a*'
+     dune exec bin/moira_cli.exe -- list_queries
+     dune exec bin/moira_cli.exe -- help gubl
+     echo 'get_machine *' | dune exec bin/moira_cli.exe -- shell        *)
+
+open Cmdliner
+open Workload
+
+let with_client ~users f =
+  let spec = { Population.small with Population.users } in
+  let tb = Testbed.create ~spec () in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let c = Testbed.admin_client tb ~src:ws in
+  f tb c
+
+let print_reply name code tuples =
+  if code <> 0 then begin
+    Printf.printf "%s: %s\n" name (Comerr.Com_err.error_message code);
+    1
+  end
+  else begin
+    List.iter
+      (fun tuple -> Printf.printf "%s\n" (String.concat ", " tuple))
+      tuples;
+    Printf.printf "(%d tuple%s)\n" (List.length tuples)
+      (if List.length tuples = 1 then "" else "s");
+    0
+  end
+
+let run_one c name args =
+  match Moira.Mr_client.mr_query_list c ~name args with
+  | Ok tuples -> print_reply name 0 tuples
+  | Error code -> print_reply name code []
+
+let users_arg =
+  let doc = "Size of the simulated user population." in
+  Arg.(value & opt int 60 & info [ "users" ] ~docv:"N" ~doc)
+
+let query_cmd =
+  let args =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY [ARG...]")
+  in
+  let run users = function
+    | name :: rest -> with_client ~users (fun _ c -> run_one c name rest)
+    | [] -> 1
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run one predefined query handle.")
+    Term.(const run $ users_arg $ args)
+
+let access_cmd =
+  let args =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY [ARG...]")
+  in
+  let run users = function
+    | name :: rest ->
+        with_client ~users (fun _ c ->
+            let code = Moira.Mr_client.mr_access c ~name rest in
+            Printf.printf "%s\n"
+              (if code = 0 then "allowed" else Comerr.Com_err.error_message code);
+            0)
+    | [] -> 1
+  in
+  Cmd.v
+    (Cmd.info "access" ~doc:"Check access to a query without running it.")
+    Term.(const run $ users_arg $ args)
+
+let list_queries_cmd =
+  let run users =
+    with_client ~users (fun _ c -> run_one c "_list_queries" [])
+  in
+  Cmd.v
+    (Cmd.info "list_queries" ~doc:"List every query handle.")
+    Term.(const run $ users_arg)
+
+let help_cmd =
+  let qname =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+  in
+  let run users qname =
+    with_client ~users (fun _ c -> run_one c "_help" [ qname ])
+  in
+  Cmd.v
+    (Cmd.info "help" ~doc:"Describe one query handle's signature.")
+    Term.(const run $ users_arg $ qname)
+
+let shell_cmd =
+  let run users =
+    with_client ~users (fun _ c ->
+        Printf.printf
+          "moira shell: '<query> [args...]' per line; EOF to quit\n%!";
+        (try
+           while true do
+             let fields =
+               String.split_on_char ' ' (String.trim (input_line stdin))
+               |> List.filter (fun s -> s <> "")
+             in
+             match fields with
+             | [] -> ()
+             | name :: args ->
+                 ignore (run_one c name args);
+                 print_newline ()
+           done
+         with End_of_file -> ());
+        0)
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Read query lines from stdin.")
+    Term.(const run $ users_arg)
+
+let () =
+  let info =
+    Cmd.info "moira_cli"
+      ~doc:
+        "An admin client for a simulated Athena: connects to the Moira \
+         server through the application library and runs query handles."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ query_cmd; access_cmd; list_queries_cmd; help_cmd; shell_cmd ]))

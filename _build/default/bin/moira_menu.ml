@@ -1,0 +1,103 @@
+(* The menu-driven admin client, in the style of Moira's interactive
+   programs (built on the section 5.6.3 menu package).  Boots a small
+   simulated Athena, authenticates as the admin, and offers hierarchical
+   menus over the query handles.
+
+     dune exec bin/moira_menu.exe
+     printf 'users\nshow a*\nup\nquit\n' | dune exec bin/moira_menu.exe *)
+
+open Workload
+
+let q c name args =
+  match Moira.Mr_client.mr_query_list c ~name args with
+  | Ok tuples -> List.map (String.concat ", ") tuples
+  | Error code -> [ Comerr.Com_err.error_message code ]
+
+let build_menus tb c =
+  let users =
+    Moira.Menu.create ~title:"users"
+    |> Moira.Menu.command ~key:"show" ~help:"show <login-pattern>"
+         (function
+           | [ pat ] -> q c "get_user_by_login" [ pat ]
+           | _ -> [ "usage: show <login-pattern>" ])
+    |> Moira.Menu.command ~key:"finger" ~help:"finger <login>"
+         (function
+           | [ login ] -> q c "get_finger_by_login" [ login ]
+           | _ -> [ "usage: finger <login>" ])
+    |> Moira.Menu.command ~key:"shell" ~help:"shell <login> <shell>"
+         (function
+           | [ login; shell ] -> q c "update_user_shell" [ login; shell ]
+           | _ -> [ "usage: shell <login> <shell>" ])
+    |> Moira.Menu.command ~key:"status" ~help:"status <login> <0-4>"
+         (function
+           | [ login; st ] -> q c "update_user_status" [ login; st ]
+           | _ -> [ "usage: status <login> <status>" ])
+    |> Moira.Menu.command ~key:"pobox" ~help:"pobox <login>"
+         (function
+           | [ login ] -> q c "get_pobox" [ login ]
+           | _ -> [ "usage: pobox <login>" ])
+  in
+  let lists =
+    Moira.Menu.create ~title:"lists"
+    |> Moira.Menu.command ~key:"show" ~help:"show <list-pattern>"
+         (function
+           | [ pat ] -> q c "get_list_info" [ pat ]
+           | _ -> [ "usage: show <list-pattern>" ])
+    |> Moira.Menu.command ~key:"members" ~help:"members <list>"
+         (function
+           | [ name ] -> q c "get_members_of_list" [ name ]
+           | _ -> [ "usage: members <list>" ])
+    |> Moira.Menu.command ~key:"add" ~help:"add <list> <type> <member>"
+         (function
+           | [ l; ty; m ] -> q c "add_member_to_list" [ l; ty; m ]
+           | _ -> [ "usage: add <list> <type> <member>" ])
+    |> Moira.Menu.command ~key:"remove" ~help:"remove <list> <type> <member>"
+         (function
+           | [ l; ty; m ] -> q c "delete_member_from_list" [ l; ty; m ]
+           | _ -> [ "usage: remove <list> <type> <member>" ])
+  in
+  let machines =
+    Moira.Menu.create ~title:"machines"
+    |> Moira.Menu.command ~key:"show" ~help:"show <host-pattern>"
+         (function
+           | [ pat ] -> q c "get_machine" [ pat ]
+           | _ -> [ "usage: show <host-pattern>" ])
+    |> Moira.Menu.command ~key:"clusters" ~help:"clusters <host-pattern>"
+         (function
+           | [ pat ] -> q c "get_machine_to_cluster_map" [ pat; "*" ]
+           | _ -> [ "usage: clusters <host-pattern>" ])
+  in
+  let dcm =
+    Moira.Menu.create ~title:"dcm"
+    |> Moira.Menu.command ~key:"services" ~help:"service table"
+         (fun _ -> q c "get_server_info" [ "*" ])
+    |> Moira.Menu.command ~key:"hosts" ~help:"hosts <service>"
+         (function
+           | [ svc ] -> q c "get_server_host_info" [ svc; "*" ]
+           | _ -> [ "usage: hosts <service>" ])
+    |> Moira.Menu.command ~key:"trigger" ~help:"run the DCM now"
+         (fun _ ->
+           match
+             Moira.Mr_client.mr_query c ~name:"trigger_dcm" []
+               ~callback:(fun _ -> ())
+           with
+           | 0 ->
+               let reports = Dcm.Manager.reports tb.Testbed.dcm in
+               [ Printf.sprintf "DCM run complete (%d runs so far)"
+                   (List.length reports) ]
+           | code -> [ Comerr.Com_err.error_message code ])
+  in
+  Moira.Menu.create ~title:"moira"
+  |> Moira.Menu.submenu ~key:"users" ~help:"accounts and poboxes" users
+  |> Moira.Menu.submenu ~key:"lists" ~help:"lists and memberships" lists
+  |> Moira.Menu.submenu ~key:"machines" ~help:"machines and clusters" machines
+  |> Moira.Menu.submenu ~key:"dcm" ~help:"service management" dcm
+  |> Moira.Menu.command ~key:"stats" ~help:"table statistics"
+       (fun _ -> q c "get_all_table_stats" [])
+
+let () =
+  let tb = Testbed.create () in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let c = Testbed.admin_client tb ~src:ws in
+  print_endline "connected to the simulated Moira server as admin; ? for help";
+  Moira.Menu.run_channels (build_menus tb c) stdin stdout

@@ -1,0 +1,102 @@
+(* mrbackup / mrrestore (section 5.2.2) against real files: dump a
+   simulated Athena's database into a directory of colon-separated ASCII
+   files, and restore such a directory into a fresh database.
+
+     dune exec bin/mrbackup_cli.exe -- dump --users 500 --out /tmp/backup_1
+     dune exec bin/mrbackup_cli.exe -- restore --from /tmp/backup_1     *)
+
+open Cmdliner
+open Workload
+
+let dump users out =
+  let spec = { Population.small with Population.users } in
+  let tb = Testbed.create ~spec () in
+  Testbed.run_hours tb 1;
+  Moira.Mdb.sync_tblstats tb.Testbed.mdb;
+  let files = Relation.Backup.dump (Moira.Mdb.db tb.Testbed.mdb) in
+  (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (name, contents) ->
+      let path = Filename.concat out name in
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "  %-14s %8d bytes\n" name (String.length contents))
+    files;
+  (* the journal rides along, for replay past the dump *)
+  let oc = open_out (Filename.concat out "journal") in
+  output_string oc
+    (Relation.Journal.to_lines (Moira.Mdb.journal tb.Testbed.mdb));
+  close_out oc;
+  Printf.printf "dumped %d relations (+journal) to %s\n" (List.length files)
+    out;
+  0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let restore from yes =
+  if not yes then begin
+    (* mrrestore's famous prompt *)
+    Printf.printf "Do you *REALLY* want to wipe the Moira database? (yes or no): %!";
+    match try input_line stdin with End_of_file -> "no" with
+    | "yes" -> ()
+    | _ ->
+        print_endline "aborted";
+        exit 1
+  end;
+  let mdb = Moira.Mdb.create ~clock:(fun () -> 0) in
+  let loaded = ref 0 in
+  List.iter
+    (fun name ->
+      let path = Filename.concat from name in
+      if Sys.file_exists path then begin
+        Printf.printf "Working on %s\n" path;
+        ignore
+          (Relation.Backup.restore_table (Moira.Mdb.table mdb name)
+             (read_file path));
+        incr loaded
+      end)
+    (Relation.Db.table_names (Moira.Mdb.db mdb));
+  Printf.printf "restored %d relations; %d users, %d lists, %d machines\n"
+    !loaded
+    (Relation.Table.cardinal (Moira.Mdb.table mdb "users"))
+    (Relation.Table.cardinal (Moira.Mdb.table mdb "list"))
+    (Relation.Table.cardinal (Moira.Mdb.table mdb "machine"));
+  0
+
+let users_arg =
+  Arg.(value & opt int 200 & info [ "users" ] ~docv:"N"
+         ~doc:"Simulated population size for the dump.")
+
+let dump_cmd =
+  let out =
+    Arg.(value & opt string "/tmp/moira_backup_1"
+           & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Dump every relation to ASCII files.")
+    Term.(const dump $ users_arg $ out)
+
+let restore_cmd =
+  let from =
+    Arg.(value & opt string "/tmp/moira_backup_1"
+           & info [ "from" ] ~docv:"DIR" ~doc:"Backup directory to load.")
+  in
+  let yes =
+    Arg.(value & flag & info [ "yes" ] ~doc:"Skip the confirmation prompt.")
+  in
+  Cmd.v
+    (Cmd.info "restore" ~doc:"Restore a dump into a fresh database.")
+    Term.(const restore $ from $ yes)
+
+let () =
+  let info =
+    Cmd.info "mrbackup_cli"
+      ~doc:"The mrbackup/mrrestore pair of paper section 5.2.2."
+  in
+  exit (Cmd.eval' (Cmd.group info [ dump_cmd; restore_cmd ]))

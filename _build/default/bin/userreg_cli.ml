@@ -1,0 +1,85 @@
+(* The userreg program (paper section 5.10): "a student walks up to a
+   workstation and logs in using the username of 'register', password
+   'athena'.  This pops up a forms-like interface which prompts him for
+   his first name, middle initial, last name, and student ID number",
+   then a login name and password.
+
+   Runs against a simulated Athena whose registrar tape is seeded from
+   the command line (so any identity you type can be "on the tape").
+
+     dune exec bin/userreg_cli.exe
+     printf 'Edsger\nW\nDijkstra\n930-11-0168\newd\nsecret\n' | \
+       dune exec bin/userreg_cli.exe                                    *)
+
+open Workload
+
+let prompt label =
+  Printf.printf "%s: %!" label;
+  try String.trim (input_line stdin) with End_of_file -> exit 1
+
+let () =
+  print_endline "Athena workstation login: register";
+  print_endline "Password: athena";
+  print_endline "";
+  print_endline "*** Welcome to Athena user registration ***";
+  let first = prompt "First name" in
+  let middle = prompt "Middle initial" in
+  let last = prompt "Last name" in
+  let id_number = prompt "Student ID number" in
+
+  (* boot the campus with this student on the registrar's tape *)
+  let tb = Testbed.create () in
+  (match
+     Userreg.load_registrar_tape tb.Testbed.glue
+       [ { Userreg.first; middle; last; id_number; class_year = "1992" } ]
+   with
+  | Ok _ -> ()
+  | Error c -> failwith (Comerr.Com_err.error_message c));
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let server = tb.Testbed.built.Population.moira_machine in
+
+  (match
+     Userreg.verify_user tb.Testbed.net ~src:ws ~server ~first ~last
+       ~id_number
+   with
+  | Ok Userreg.Reg_ok ->
+      Printf.printf "\nHello %s %s — you may register.\n" first last
+  | Ok Userreg.Already_registered ->
+      print_endline "You are already registered.";
+      exit 1
+  | Ok Userreg.Not_found ->
+      print_endline "Sorry, you are not in the registration database.";
+      exit 1
+  | Error e ->
+      print_endline ("Verification failed: " ^ Userreg.reg_error_to_string e);
+      exit 1);
+
+  let rec choose_login () =
+    let login = prompt "Desired login name" in
+    let password = prompt "Initial password" in
+    match
+      Userreg.register tb.Testbed.net ~src:ws ~server ~first ~middle ~last
+        ~id_number ~login ~password
+    with
+    | Ok () -> login
+    | Error Userreg.Login_taken ->
+        print_endline "That login name is already taken; try another.";
+        choose_login ()
+    | Error e ->
+        print_endline ("Registration failed: " ^ Userreg.reg_error_to_string e);
+        exit 1
+  in
+  let login = choose_login () in
+  Printf.printf
+    "\nAccount %s established.  Pending propagation of information to\n\
+     hesiod, the mail hub, and your home fileserver (at most six hours),\n\
+     your account will be usable everywhere.\n"
+    login;
+
+  (* show the propagation actually happening *)
+  Testbed.run_hours tb 13;
+  let _, hes = Testbed.first_hesiod tb in
+  (match Hesiod.Hes_server.resolve_local hes ~name:login ~ty:"pobox" with
+  | [ line ] -> Printf.printf "...13 hours later, hesiod says: %s\n" line
+  | _ -> print_endline "...propagation failed?!");
+  print_endline "Registration complete."

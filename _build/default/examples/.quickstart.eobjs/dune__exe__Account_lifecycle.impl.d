@@ -1,0 +1,1 @@
+examples/account_lifecycle.ml: Array Comerr Filename Hesiod List Moira Netsim Option Population Printf String Testbed Userreg Workload

@@ -1,0 +1,1 @@
+examples/disaster_recovery.ml: Array Comerr Dcm List Moira Netsim Population Printf Relation Sim String Testbed Workload

@@ -1,0 +1,1 @@
+examples/mailing_list.ml: Array Comerr List Moira Netsim Option Population Printf String Testbed Workload

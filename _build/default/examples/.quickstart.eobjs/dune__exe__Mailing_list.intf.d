@@ -1,0 +1,1 @@
+examples/mailing_list.mli:

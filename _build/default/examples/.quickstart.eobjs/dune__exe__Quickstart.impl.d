@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Comerr Hesiod List Moira Population Printf Testbed Workload

@@ -1,0 +1,1 @@
+examples/quota_admin.ml: Array Comerr List Moira Netsim Option Population Printf Testbed Workload

@@ -1,0 +1,1 @@
+examples/quota_admin.mli:

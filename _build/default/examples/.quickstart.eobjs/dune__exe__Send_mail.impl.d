@@ -1,0 +1,1 @@
+examples/send_mail.ml: Array List Moira Netsim Pop Population Printf Testbed Workload

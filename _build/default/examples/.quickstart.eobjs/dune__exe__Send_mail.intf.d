@@ -1,0 +1,1 @@
+examples/send_mail.mli:

@@ -1,0 +1,104 @@
+(* The paper's central story (section 5.10 + 5.8.2): a student walks up
+   to a workstation, registers with userreg, and — after the propagation
+   lag the paper describes ("the user will not benefit from this
+   allocation for a maximum of six hours") — exists everywhere: hesiod,
+   the mail hub, her home fileserver.
+
+     dune exec examples/account_lifecycle.exe                           *)
+
+open Workload
+
+let () =
+  let tb = Testbed.create () in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let moira = tb.Testbed.built.Population.moira_machine in
+
+  (* Athena receives the registrar's tape before the term. *)
+  let student =
+    {
+      Userreg.first = "Edsger";
+      middle = "W";
+      last = "Dijkstra";
+      id_number = "930-11-0168";
+      class_year = "G";
+    }
+  in
+  (match Userreg.load_registrar_tape tb.Testbed.glue [ student ] with
+  | Ok n -> Printf.printf "registrar tape loaded: %d new student(s)\n" n
+  | Error c -> failwith (Comerr.Com_err.error_message c));
+
+  (* The student sits down at a workstation and runs userreg. *)
+  (match
+     Userreg.verify_user tb.Testbed.net ~src:ws ~server:moira
+       ~first:student.Userreg.first ~last:student.Userreg.last
+       ~id_number:student.Userreg.id_number
+   with
+  | Ok Userreg.Reg_ok -> Printf.printf "verify_user: OK, registerable\n"
+  | Ok _ | Error _ -> failwith "verify failed");
+  (match
+     Userreg.register tb.Testbed.net ~src:ws ~server:moira
+       ~first:student.Userreg.first ~middle:student.Userreg.middle
+       ~last:student.Userreg.last ~id_number:student.Userreg.id_number
+       ~login:"ewd" ~password:"gotoharmful"
+   with
+  | Ok () -> Printf.printf "registered login 'ewd' (grab_login + set_password)\n"
+  | Error e -> failwith (Userreg.reg_error_to_string e));
+
+  (* She can authenticate to Moira right away... *)
+  let c = Moira.Mr_client.create tb.Testbed.net ~src:ws in
+  ignore (Moira.Mr_client.mr_connect c ~dst:moira);
+  (match
+     Moira.Mr_client.mr_auth c ~kdc:tb.Testbed.kdc ~principal:"ewd"
+       ~password:"gotoharmful" ~clientname:"lifecycle"
+   with
+  | 0 -> Printf.printf "kerberos authentication as ewd: OK\n"
+  | c -> failwith (Comerr.Com_err.error_message c));
+
+  (* ...but hesiod does not know her yet: the files have not been
+     regenerated.  This is the paper's intentional propagation lag. *)
+  let hes_machine, hes = Testbed.first_hesiod tb in
+  (match Hesiod.Hes_server.resolve_local hes ~name:"ewd" ~ty:"passwd" with
+  | [] -> Printf.printf "hesiod: not yet visible (expected; max 6h lag)\n"
+  | _ -> Printf.printf "hesiod: already visible?!\n");
+
+  (* Let half a day of simulated time pass: the DCM runs on schedule. *)
+  Testbed.run_hours tb 13;
+  Printf.printf "\n13 simulated hours later:\n";
+  (match
+     Hesiod.Hes_server.resolve tb.Testbed.net ~src:ws ~server:hes_machine
+       ~name:"ewd" ~ty:"passwd"
+   with
+  | Ok [ line ] -> Printf.printf "  hesiod passwd: %s\n" line
+  | _ -> failwith "hesiod lookup failed");
+  (match Hesiod.Hes_server.resolve_local hes ~name:"ewd" ~ty:"pobox" with
+  | [ line ] -> Printf.printf "  hesiod pobox:  %s\n" line
+  | _ -> failwith "no pobox");
+  (match Hesiod.Hes_server.resolve_local hes ~name:"ewd" ~ty:"filsys" with
+  | [ line ] -> Printf.printf "  hesiod filsys: %s\n" line
+  | _ -> failwith "no filsys");
+
+  (* Her home locker was created on the fileserver by the nfs.sh install
+     script reading the .dirs file. *)
+  Array.iter
+    (fun m ->
+      let fs = Netsim.Host.fs (Testbed.host tb m) in
+      List.iter
+        (fun path ->
+          if Filename.basename (Filename.dirname path) = "ewd" then
+            Printf.printf "  locker on %s: %s -> %s\n" m path
+              (Option.value (Netsim.Vfs.read fs ~path) ~default:""))
+        (Netsim.Vfs.list fs))
+    tb.Testbed.built.Population.nfs_machines;
+
+  (* And the mail hub forwards her mail to her post office. *)
+  let hub = Testbed.host tb tb.Testbed.built.Population.mail_hub in
+  (match
+     Netsim.Vfs.read (Netsim.Host.fs hub) ~path:"/usr/lib/aliases"
+   with
+  | Some aliases ->
+      String.split_on_char '\n' aliases
+      |> List.iter (fun l ->
+             if String.length l > 4 && String.sub l 0 4 = "ewd:" then
+               Printf.printf "  mail hub alias: %s\n" l)
+  | None -> failwith "no aliases on hub");
+  Printf.printf "\naccount lifecycle complete: ewd exists everywhere\n"

@@ -1,0 +1,84 @@
+(* Section 3's second example: "a user [runs] an application to add
+   themselves to a public mailing list.  Again, the user can run this
+   application on any workstation.  Sometime later, the mailing lists
+   file on the central mail hub will be updated to show this change."
+
+     dune exec examples/mailing_list.exe                                *)
+
+open Workload
+
+let check what = function
+  | 0 -> ()
+  | code -> failwith (what ^ ": " ^ Comerr.Com_err.error_message code)
+
+let aliases tb =
+  let hub = Testbed.host tb tb.Testbed.built.Population.mail_hub in
+  Option.value
+    (Netsim.Vfs.read (Netsim.Host.fs hub) ~path:"/usr/lib/aliases")
+    ~default:"(no aliases file yet)"
+
+let grep needle hay =
+  String.split_on_char '\n' hay
+  |> List.filter (fun l ->
+         String.length l >= String.length needle
+         && String.sub l 0 (String.length needle) = needle)
+
+let () =
+  let tb = Testbed.create () in
+  Testbed.run_hours tb 25; (* initial propagation of everything *)
+  let ws = tb.Testbed.built.Population.workstation_machines.(2) in
+
+  (* An administrator creates a public mailing list. *)
+  let admin = Testbed.admin_client tb ~src:ws in
+  check "add_list"
+    (Moira.Mr_client.mr_query admin ~name:"add_list"
+       [ "video-users"; "1"; "1"; "0"; "1"; "0"; "-1"; "USER";
+         tb.Testbed.built.Population.admin; "Video Users" ]
+       ~callback:(fun _ -> ()));
+  Printf.printf "created public mailing list 'video-users'\n";
+
+  (* An ordinary user adds herself from her own workstation.  The list
+     is public, so the ACL allows self-addition and nothing else. *)
+  let login = tb.Testbed.built.Population.logins.(9) in
+  let user = Testbed.user_client tb ~src:ws ~login in
+  check "self add"
+    (Moira.Mr_client.mr_query user ~name:"add_member_to_list"
+       [ "video-users"; "USER"; login ] ~callback:(fun _ -> ()));
+  Printf.printf "%s added herself to video-users\n" login;
+
+  (* She cannot add somebody else: *)
+  let other = tb.Testbed.built.Population.logins.(10) in
+  (match
+     Moira.Mr_client.mr_query user ~name:"add_member_to_list"
+       [ "video-users"; "USER"; other ] ~callback:(fun _ -> ())
+   with
+  | code when code = Moira.Mr_err.perm ->
+      Printf.printf "adding %s was refused: %s\n" other
+        (Comerr.Com_err.error_message code)
+  | _ -> failwith "ACL failed to protect the list");
+
+  (* The hub still has the old file... *)
+  Printf.printf "\nmail hub, immediately:      %s\n"
+    (match grep "video-users:" (aliases tb) with
+    | [] -> "(no video-users line yet)"
+    | l :: _ -> l);
+
+  (* ...until the MAIL propagation interval (24 h) elapses. *)
+  Testbed.run_hours tb 25;
+  Printf.printf "mail hub, a day later:      %s\n"
+    (match grep "video-users:" (aliases tb) with
+    | [] -> failwith "list never propagated"
+    | l :: _ -> l);
+
+  (* The membership is also queryable through Moira itself. *)
+  (match
+     Moira.Mr_client.mr_query_list user ~name:"get_members_of_list"
+       [ "video-users" ]
+   with
+  | Ok members ->
+      Printf.printf "\nlist members via get_members_of_list:\n";
+      List.iter
+        (fun m -> Printf.printf "  %s %s\n" (List.nth m 0) (List.nth m 1))
+        members
+  | Error code -> check "get_members_of_list" code);
+  Printf.printf "\nmailing list example complete\n"

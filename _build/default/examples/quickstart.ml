@@ -1,0 +1,72 @@
+(* Quickstart: boot a small simulated Athena, connect with the
+   application library, run a few queries, make a change, and watch the
+   DCM propagate it.
+
+     dune exec examples/quickstart.exe                                  *)
+
+open Workload
+
+let check what = function
+  | 0 -> ()
+  | code -> failwith (what ^ ": " ^ Comerr.Com_err.error_message code)
+
+let () =
+  (* A complete simulated campus: database machine with the Moira server
+     and DCM, one hesiod server, NFS servers, a mail hub, zephyr. *)
+  let tb = Testbed.create () in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let moira = tb.Testbed.built.Population.moira_machine in
+  Printf.printf "simulated Athena is up; talking to %s from %s\n\n" moira ws;
+
+  (* The application library: mr_connect, mr_auth, mr_query. *)
+  let c = Moira.Mr_client.create tb.Testbed.net ~src:ws in
+  check "mr_connect" (Moira.Mr_client.mr_connect c ~dst:moira);
+  check "mr_noop" (Moira.Mr_client.mr_noop c);
+
+  (* Unauthenticated reads that are open to everybody: *)
+  (match Moira.Mr_client.mr_query_list c ~name:"get_machine" [ "SUOMI*" ] with
+  | Ok rows ->
+      List.iter
+        (fun row -> Printf.printf "machine: %s (%s)\n" (List.nth row 0) (List.nth row 1))
+        rows
+  | Error code -> check "get_machine" code);
+
+  (* Authenticate with Kerberos to do more. *)
+  check "mr_auth"
+    (Moira.Mr_client.mr_auth c ~kdc:tb.Testbed.kdc
+       ~principal:tb.Testbed.built.Population.admin
+       ~password:tb.Testbed.built.Population.admin_password
+       ~clientname:"quickstart");
+
+  (* A query with a per-tuple callback, as in the C library. *)
+  Printf.printf "\nfirst few active accounts:\n";
+  let shown = ref 0 in
+  check "get_all_active_logins"
+    (Moira.Mr_client.mr_query c ~name:"get_all_active_logins" []
+       ~callback:(fun tuple ->
+         if !shown < 5 then begin
+           incr shown;
+           Printf.printf "  %-10s uid %s shell %s\n" (List.nth tuple 0)
+             (List.nth tuple 1) (List.nth tuple 2)
+         end));
+
+  (* Make an administrative change... *)
+  let login = tb.Testbed.built.Population.logins.(0) in
+  check "update_user_shell"
+    (Moira.Mr_client.mr_query c ~name:"update_user_shell"
+       [ login; "/bin/quickstart" ] ~callback:(fun _ -> ()));
+  Printf.printf "\nchanged %s's shell in the Moira database\n" login;
+
+  (* ...and let the simulated hours pass: the DCM regenerates hesiod's
+     files and pushes them; the hesiod server answers with new data. *)
+  Testbed.run_hours tb 7;
+  let hes_machine, _ = Testbed.first_hesiod tb in
+  (match
+     Hesiod.Hes_server.resolve tb.Testbed.net ~src:ws ~server:hes_machine
+       ~name:login ~ty:"passwd"
+   with
+  | Ok [ line ] -> Printf.printf "hesiod now says: %s\n" line
+  | _ -> failwith "hesiod lookup failed");
+
+  check "mr_disconnect" (Moira.Mr_client.mr_disconnect c);
+  Printf.printf "\nquickstart complete\n"

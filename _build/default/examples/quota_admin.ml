@@ -1,0 +1,75 @@
+(* Section 3's first example: "the user accounts administrator [runs] an
+   application on her workstation which will change the disk quota
+   assigned to a user.  She doesn't need to log in to any other machine
+   to do this, and the change will automatically take place on the
+   proper server a short time later."
+
+     dune exec examples/quota_admin.exe                                 *)
+
+open Workload
+
+let check what = function
+  | 0 -> ()
+  | code -> failwith (what ^ ": " ^ Comerr.Com_err.error_message code)
+
+let () =
+  let tb = Testbed.create () in
+  Testbed.run_hours tb 13; (* initial NFS propagation *)
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let login = tb.Testbed.built.Population.logins.(4) in
+
+  (* Where does this user live?  The admin asks Moira, not the servers. *)
+  let admin = Testbed.admin_client tb ~src:ws in
+  let uid, home =
+    match
+      ( Moira.Mr_client.mr_query_list admin ~name:"get_user_by_login" [ login ],
+        Moira.Mr_client.mr_query_list admin ~name:"get_filesys_by_label"
+          [ login ] )
+    with
+    | Ok [ urow ], Ok (fsrow :: _) -> (List.nth urow 1, List.nth fsrow 2)
+    | _ -> failwith "lookups failed"
+  in
+  Printf.printf "%s (uid %s) has her home filesystem on %s\n" login uid home;
+
+  let current =
+    match
+      Moira.Mr_client.mr_query_list admin ~name:"get_nfs_quota"
+        [ login; login ]
+    with
+    | Ok (row :: _) -> List.nth row 2
+    | _ -> failwith "no quota"
+  in
+  Printf.printf "current quota: %s units\n" current;
+
+  (* One RPC from her workstation; no rlogin to the fileserver. *)
+  check "update_nfs_quota"
+    (Moira.Mr_client.mr_query admin ~name:"update_nfs_quota"
+       [ login; login; "750" ] ~callback:(fun _ -> ()));
+  Printf.printf "quota set to 750 in the Moira database\n";
+
+  (* The fileserver still enforces the old value... *)
+  let server_quota () =
+    let fs = Netsim.Host.fs (Testbed.host tb home) in
+    Netsim.Vfs.read fs ~path:("/var/moira/quotas/" ^ uid)
+  in
+  Printf.printf "on %s right now: %s\n" home
+    (Option.value (server_quota ()) ~default:"(none)");
+
+  (* ...until the DCM's next NFS pass (12 hour interval). *)
+  Testbed.run_hours tb 13;
+  (match server_quota () with
+  | Some "750" -> Printf.printf "on %s 13 hours later: 750  -- applied!\n" home
+  | other ->
+      failwith
+        ("quota not applied: " ^ Option.value other ~default:"(none)"));
+
+  (* The serverhosts bookkeeping shows the successful update. *)
+  (match
+     Moira.Mr_client.mr_query_list admin ~name:"get_server_host_info"
+       [ "NFS"; home ]
+   with
+  | Ok [ row ] ->
+      Printf.printf "DCM record: success=%s lastsuccess=%s\n"
+        (List.nth row 4) (List.nth row 9)
+  | _ -> failwith "no serverhost row");
+  Printf.printf "\nquota administration example complete\n"

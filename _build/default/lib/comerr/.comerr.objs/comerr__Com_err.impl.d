@@ -1,0 +1,1 @@
+lib/comerr/com_err.ml: Array Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/comerr/com_err.mli:

@@ -1,0 +1,1 @@
+lib/dcm/checksum.mli:

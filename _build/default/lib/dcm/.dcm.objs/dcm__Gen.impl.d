@@ -1,0 +1,1 @@
+lib/dcm/gen.ml: List Moira Option Relation String Table Value

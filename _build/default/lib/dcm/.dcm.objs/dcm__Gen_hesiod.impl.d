@@ -1,0 +1,1 @@
+lib/dcm/gen_hesiod.ml: Array Gen Gen_util Hesiod List Moira Option Pred Printf Relation String Table Value

@@ -1,0 +1,1 @@
+lib/dcm/gen_hesiod.mli: Gen

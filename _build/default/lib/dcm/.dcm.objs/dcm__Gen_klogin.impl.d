@@ -1,0 +1,1 @@
+lib/dcm/gen_klogin.ml: Gen Gen_util List Moira Pred Relation Table Value

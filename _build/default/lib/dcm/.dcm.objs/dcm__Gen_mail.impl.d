@@ -1,0 +1,1 @@
+lib/dcm/gen_mail.ml: Array Buffer Gen Gen_util List Moira Pred Printf Relation String Table Value

@@ -1,0 +1,1 @@
+lib/dcm/gen_rvd.ml: Gen Hashtbl List Moira Option Pred Printf Relation String Table Value

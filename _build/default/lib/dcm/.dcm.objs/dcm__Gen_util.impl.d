@@ -1,0 +1,1 @@
+lib/dcm/gen_util.ml: Int List Moira Pred Relation String Table Value

@@ -1,0 +1,1 @@
+lib/dcm/gen_util.mli: Moira Relation

@@ -1,0 +1,1 @@
+lib/dcm/manager.ml: Gen Gen_hesiod Gen_mail Gen_nfs Gen_zephyr Hashtbl List Lock Moira Netsim Option Pop Pred Printexc Printf Relation Sim String Table Tarlike Update Value Zephyr

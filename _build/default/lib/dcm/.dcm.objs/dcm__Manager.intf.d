@@ -1,0 +1,1 @@
+lib/dcm/manager.mli: Gen Moira Netsim Sim

@@ -1,0 +1,1 @@
+lib/dcm/tarlike.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/dcm/update.ml: Checksum Comerr Gdb Hashtbl List Moira Netsim Option Tarlike

@@ -1,0 +1,13 @@
+let modulus = 65521
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod modulus;
+      b := (!b + !a) mod modulus)
+    s;
+  (!b lsl 16) lor !a
+
+let to_hex v = Printf.sprintf "%08x" v
+let verify ~data ~checksum = to_hex (adler32 data) = checksum

@@ -1,0 +1,11 @@
+(** File-transfer checksum (paper section 5.9, transfer phase: "the file
+    transfer includes a checksum to insure data integrity").  Adler-32. *)
+
+val adler32 : string -> int
+(** The Adler-32 checksum of a string. *)
+
+val to_hex : int -> string
+(** Render as 8 hex digits. *)
+
+val verify : data:string -> checksum:string -> bool
+(** Does [data] hash to the hex [checksum]? *)

@@ -1,0 +1,45 @@
+open Relation
+
+type watch = {
+  wtable : string;
+  wcolumns : string list;
+}
+
+type output = {
+  common : (string * string) list;
+  per_host : (string * (string * string) list) list;
+}
+
+type t = {
+  service : string;
+  watches : watch list;
+  generate : Moira.Glue.t -> output;
+}
+
+let watch ?(columns = [ "modtime" ]) wtable = { wtable; wcolumns = columns }
+
+let table_changed mdb w t0 =
+  let tbl = Moira.Mdb.table mdb w.wtable in
+  let stats = Table.stats tbl in
+  if stats.Table.del_time > t0 then true
+  else if w.wcolumns = [] then stats.Table.modtime > t0
+  else
+    Table.fold tbl ~init:false ~f:(fun acc _ row ->
+        acc
+        || List.exists
+             (fun col -> Value.int (Table.field tbl row col) > t0)
+             w.wcolumns)
+
+let changed_since mdb watches t0 =
+  List.exists (fun w -> table_changed mdb w t0) watches
+
+let files_for_host output ~machine =
+  output.common
+  @ Option.value (List.assoc_opt machine output.per_host) ~default:[]
+
+let total_bytes output =
+  let sum files =
+    List.fold_left (fun acc (_, c) -> acc + String.length c) 0 files
+  in
+  sum output.common
+  + List.fold_left (fun acc (_, files) -> acc + sum files) 0 output.per_host

@@ -1,0 +1,44 @@
+(** The generator framework.
+
+    A generator is the per-service sub-program the DCM runs to extract
+    Moira data into server-specific files (paper section 5.7.1).  Each
+    declares which relations it reads, so the DCM can implement the
+    "common error MR_NO_CHANGE": files are rebuilt only if the watched
+    data changed since the last generation. *)
+
+type watch = {
+  wtable : string;  (** Relation name. *)
+  wcolumns : string list;
+      (** Modtime-carrying columns to scan.  Empty means use the table's
+          stats modtime instead (safe only for relations the DCM itself
+          never touches). *)
+}
+
+type output = {
+  common : (string * string) list;
+      (** Files identical on every target host (e.g. hesiod's eleven). *)
+  per_host : (string * (string * string) list) list;
+      (** Machine name to its private files (e.g. NFS quota files). *)
+}
+
+type t = {
+  service : string;  (** Service name (upper case), e.g. "HESIOD". *)
+  watches : watch list;  (** Change-detection inputs. *)
+  generate : Moira.Glue.t -> output;  (** The extraction itself. *)
+}
+
+val watch : ?columns:string list -> string -> watch
+(** Convenience constructor; [columns] defaults to [["modtime"]]. *)
+
+val changed_since : Moira.Mdb.t -> watch list -> int -> bool
+(** Has any watched relation changed strictly after time [t0]?  A
+    relation counts as changed when some row's watched column exceeds
+    [t0], when its stats deletion time exceeds [t0], or — for empty
+    [wcolumns] — when its stats modtime exceeds [t0]. *)
+
+val files_for_host : output -> machine:string -> (string * string) list
+(** The file set one target host receives: the common files plus its
+    per-host files. *)
+
+val total_bytes : output -> int
+(** Sum of all generated file sizes (per-host files counted once). *)

@@ -1,0 +1,252 @@
+open Relation
+open Gen_util
+
+let u key data = Hesiod.Hes_db.format_unspeca ~key data [@@inline]
+let c key target = Hesiod.Hes_db.format_cname ~key target [@@inline]
+
+(* passwd.db, uid.db *)
+let passwd_files mdb =
+  let passwd = ref [] and uid = ref [] in
+  active_users mdb (fun row ->
+      let login = Value.str (ufield mdb row "login") in
+      let uidv = Value.int (ufield mdb row "uid") in
+      let line =
+        Printf.sprintf "%s:*:%d:101:%s,,,,:/mit/%s:%s" login uidv
+          (Value.str (ufield mdb row "fullname"))
+          login
+          (Value.str (ufield mdb row "shell"))
+      in
+      passwd := u (login ^ ".passwd") line :: !passwd;
+      uid :=
+        c (string_of_int uidv ^ ".uid") (login ^ ".passwd") :: !uid);
+  ( ("passwd.db", sorted_lines !passwd),
+    ("uid.db", sorted_lines !uid) )
+
+(* pobox.db: active users with POP boxes *)
+let pobox_file mdb =
+  let lines = ref [] in
+  active_users mdb (fun row ->
+      if Value.str (ufield mdb row "potype") = "POP" then begin
+        let login = Value.str (ufield mdb row "login") in
+        match
+          Moira.Lookup.machine_name mdb (Value.int (ufield mdb row "pop_id"))
+        with
+        | Some machine ->
+            lines :=
+              u (login ^ ".pobox")
+                (Printf.sprintf "POP %s %s" machine login)
+              :: !lines
+        | None -> ()
+      end);
+  ("pobox.db", sorted_lines !lines)
+
+(* group.db, gid.db: active unix groups *)
+let group_files mdb =
+  let tbl = Moira.Mdb.table mdb "list" in
+  let group = ref [] and gid = ref [] in
+  List.iter
+    (fun (_, row) ->
+      let name = Value.str (Table.field tbl row "name") in
+      let g = Value.int (Table.field tbl row "gid") in
+      group :=
+        u (name ^ ".group") (Printf.sprintf "%s:*:%d:" name g) :: !group;
+      gid := c (string_of_int g ^ ".gid") (name ^ ".group") :: !gid)
+    (Table.select tbl
+       (Pred.conj
+          [ Pred.eq_bool "grouplist" true; Pred.eq_bool "active" true ]));
+  ( ("group.db", sorted_lines !group),
+    ("gid.db", sorted_lines !gid) )
+
+(* grplist.db: colon-separated (group, gid) pairs per active user *)
+let grplist_file mdb =
+  let lines = ref [] in
+  active_users mdb (fun row ->
+      let login = Value.str (ufield mdb row "login") in
+      let users_id = Value.int (ufield mdb row "users_id") in
+      let pairs = group_pairs mdb ~users_id ~login in
+      if pairs <> [] then begin
+        let rendered =
+          String.concat ":"
+            (List.map (fun (n, g) -> Printf.sprintf "%s:%d" n g) pairs)
+        in
+        lines := u (login ^ ".grplist") rendered :: !lines
+      end);
+  ("grplist.db", sorted_lines !lines)
+
+(* cluster.db: per-cluster service data plus machine CNAMEs; machines in
+   several clusters get a pseudo-cluster holding the union of the data. *)
+let cluster_file mdb =
+  let svc = Moira.Mdb.table mdb "svc" in
+  let mcmap = Moira.Mdb.table mdb "mcmap" in
+  let cluster_data clu_id =
+    Table.select svc (Pred.eq_int "clu_id" clu_id)
+    |> List.map (fun (_, row) ->
+           Printf.sprintf "%s %s" (Value.str row.(1)) (Value.str row.(2)))
+  in
+  let lines = ref [] in
+  (* per-cluster UNSPECA lines *)
+  let clusters = Moira.Mdb.table mdb "cluster" in
+  List.iter
+    (fun (_, row) ->
+      let name = Value.str (Table.field clusters row "name") in
+      let clu_id = Value.int (Table.field clusters row "clu_id") in
+      List.iter
+        (fun data -> lines := u (name ^ ".cluster") data :: !lines)
+        (cluster_data clu_id))
+    (Table.select clusters Pred.True);
+  (* machine CNAMEs *)
+  let machines = Moira.Mdb.table mdb "machine" in
+  List.iter
+    (fun (_, row) ->
+      let mname = Value.str (Table.field machines row "name") in
+      let mach_id = Value.int (Table.field machines row "mach_id") in
+      let clus =
+        Table.select mcmap (Pred.eq_int "mach_id" mach_id)
+        |> List.filter_map (fun (_, m) ->
+               Moira.Lookup.cluster_name mdb (Value.int m.(1)))
+        |> List.sort String.compare
+      in
+      match clus with
+      | [] -> ()
+      | [ cname ] ->
+          lines := c (mname ^ ".cluster") (cname ^ ".cluster") :: !lines
+      | several ->
+          (* pseudo-cluster: union of all the member clusters' data *)
+          let pseudo = String.lowercase_ascii mname ^ "-pseudo" in
+          List.iter
+            (fun cname ->
+              match Moira.Lookup.cluster_id mdb cname with
+              | Some clu_id ->
+                  List.iter
+                    (fun data ->
+                      lines := u (pseudo ^ ".cluster") data :: !lines)
+                    (cluster_data clu_id)
+              | None -> ())
+            several;
+          lines := c (mname ^ ".cluster") (pseudo ^ ".cluster") :: !lines)
+    (Table.select machines Pred.True);
+  ("cluster.db", sorted_lines !lines)
+
+(* filsys.db *)
+let filsys_file mdb =
+  let tbl = Moira.Mdb.table mdb "filesys" in
+  let lines = ref [] in
+  List.iter
+    (fun (_, row) ->
+      let label = Value.str (Table.field tbl row "label") in
+      let machine =
+        Option.value
+          (Moira.Lookup.machine_name mdb
+             (Value.int (Table.field tbl row "mach_id")))
+          ~default:"?"
+      in
+      let data =
+        Printf.sprintf "%s %s %s %s %s"
+          (Value.str (Table.field tbl row "type"))
+          (Value.str (Table.field tbl row "name"))
+          (short_host machine)
+          (Value.str (Table.field tbl row "access"))
+          (Value.str (Table.field tbl row "mount"))
+      in
+      lines := u (label ^ ".filsys") data :: !lines)
+    (Table.select tbl Pred.True);
+  ("filsys.db", sorted_lines !lines)
+
+(* printcap.db *)
+let printcap_file mdb =
+  let tbl = Moira.Mdb.table mdb "printcap" in
+  let lines = ref [] in
+  List.iter
+    (fun (_, row) ->
+      let name = Value.str (Table.field tbl row "name") in
+      let machine =
+        Option.value
+          (Moira.Lookup.machine_name mdb
+             (Value.int (Table.field tbl row "mach_id")))
+          ~default:"?"
+      in
+      let data =
+        Printf.sprintf "%s:rp=%s:rm=%s:sd=%s" name
+          (Value.str (Table.field tbl row "rp"))
+          machine
+          (Value.str (Table.field tbl row "dir"))
+      in
+      lines := u (name ^ ".pcap") data :: !lines)
+    (Table.select tbl Pred.True);
+  ("printcap.db", sorted_lines !lines)
+
+(* service.db: the services relation plus SERVICE aliases *)
+let service_file mdb =
+  let tbl = Moira.Mdb.table mdb "services" in
+  let lines = ref [] in
+  List.iter
+    (fun (_, row) ->
+      let name = Value.str (Table.field tbl row "name") in
+      let data =
+        Printf.sprintf "%s %s %d" name
+          (String.lowercase_ascii (Value.str (Table.field tbl row "protocol")))
+          (Value.int (Table.field tbl row "port"))
+      in
+      lines := u (name ^ ".service") data :: !lines)
+    (Table.select tbl Pred.True);
+  let aliases = Moira.Mdb.table mdb "alias" in
+  List.iter
+    (fun (_, row) ->
+      lines :=
+        c (Value.str row.(0) ^ ".service") (Value.str row.(2) ^ ".service")
+        :: !lines)
+    (Table.select aliases (Pred.eq_str "type" "SERVICE"));
+  ("service.db", sorted_lines !lines)
+
+(* sloc.db: enabled server/host tuples *)
+let sloc_file mdb =
+  let tbl = Moira.Mdb.table mdb "serverhosts" in
+  let lines = ref [] in
+  List.iter
+    (fun (_, row) ->
+      match
+        Moira.Lookup.machine_name mdb
+          (Value.int (Table.field tbl row "mach_id"))
+      with
+      | Some machine ->
+          (* the paper's sloc example carries the hostname unquoted *)
+          lines :=
+            Printf.sprintf "%s.sloc HS UNSPECA %s"
+              (Value.str (Table.field tbl row "service"))
+              machine
+            :: !lines
+      | None -> ())
+    (Table.select tbl (Pred.eq_bool "enable" true));
+  ("sloc.db", sorted_lines !lines)
+
+let generate glue =
+  let mdb = Moira.Glue.mdb glue in
+  let passwd, uid = passwd_files mdb in
+  let group, gid = group_files mdb in
+  {
+    Gen.common =
+      [
+        cluster_file mdb; filsys_file mdb; gid; group; grplist_file mdb;
+        passwd; pobox_file mdb; printcap_file mdb; service_file mdb;
+        sloc_file mdb; uid;
+      ];
+    per_host = [];
+  }
+
+let generator =
+  {
+    Gen.service = "HESIOD";
+    watches =
+      [
+        Gen.watch ~columns:[ "modtime"; "fmodtime"; "pmodtime" ] "users";
+        Gen.watch "machine";
+        Gen.watch "cluster";
+        Gen.watch "list";
+        Gen.watch "filesys";
+        Gen.watch "printcap";
+        Gen.watch "services";
+        Gen.watch ~columns:[ "modtime" ] "serverhosts";
+        Gen.watch ~columns:[] "alias";
+      ];
+    generate;
+  }

@@ -1,0 +1,7 @@
+(** The Hesiod generator: builds the eleven BIND-format [*.db] files of
+    paper section 5.8.2 from the Moira database.  All hesiod target
+    machines receive identical files, so everything is in the generator
+    output's [common] set. *)
+
+val generator : Gen.t
+(** service "HESIOD". *)

@@ -1,0 +1,12 @@
+(** The host-access generator (an extension the paper's data model
+    provides for: section 6's HOSTACCESS relation "contains the necessary
+    information for Moira to be generating the [.klogin] files" — the
+    per-machine lists of Kerberos principals allowed root access).
+
+    Produces a per-host [.klogin] file for every machine with a
+    hostaccess row, one principal per line, list ACEs expanded
+    recursively.  Not part of the paper's 1988 deployment table, so the
+    testbed does not enable it by default. *)
+
+val generator : Gen.t
+(** service "KLOGIN". *)

@@ -1,0 +1,96 @@
+open Relation
+open Gen_util
+
+let render_member mdb mtype mid =
+  match mtype with
+  | "USER" -> Moira.Lookup.user_login mdb mid
+  | "LIST" -> Moira.Lookup.list_name mdb mid
+  | _ -> Moira.Mdb.string_of_id mdb mid
+
+(* aliases: for each active maillist an owner- line (when the ACE is a
+   user or list) and the membership line; then pobox forwarding for every
+   active user. *)
+let aliases_file mdb =
+  let lists = Moira.Mdb.table mdb "list" in
+  let members = Moira.Mdb.table mdb "members" in
+  let buf = Buffer.create 65536 in
+  let maillists =
+    Table.select lists
+      (Pred.conj [ Pred.eq_bool "maillist" true; Pred.eq_bool "active" true ])
+    |> List.sort (fun (_, a) (_, b) ->
+           String.compare
+             (Value.str (Table.field lists a "name"))
+             (Value.str (Table.field lists b "name")))
+  in
+  List.iter
+    (fun (_, row) ->
+      let name = Value.str (Table.field lists row "name") in
+      let list_id = Value.int (Table.field lists row "list_id") in
+      (match Value.str (Table.field lists row "acl_type") with
+      | "USER" | "LIST" -> (
+          let ace_id = Value.int (Table.field lists row "acl_id") in
+          match
+            render_member mdb
+              (Value.str (Table.field lists row "acl_type"))
+              ace_id
+          with
+          | Some owner ->
+              Buffer.add_string buf
+                (Printf.sprintf "owner-%s: %s\n" name owner)
+          | None -> ())
+      | _ -> ());
+      let ms =
+        Table.select members (Pred.eq_int "list_id" list_id)
+        |> List.filter_map (fun (_, m) ->
+               render_member mdb (Value.str m.(1)) (Value.int m.(2)))
+        |> List.sort String.compare
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %s\n" name (String.concat ", " ms)))
+    maillists;
+  let pobox_lines = ref [] in
+  active_users mdb (fun row ->
+      if Value.str (ufield mdb row "potype") = "POP" then begin
+        let login = Value.str (ufield mdb row "login") in
+        match
+          Moira.Lookup.machine_name mdb (Value.int (ufield mdb row "pop_id"))
+        with
+        | Some machine ->
+            pobox_lines :=
+              Printf.sprintf "%s: %s@%s.LOCAL" login login
+                (String.uppercase_ascii (short_host machine))
+              :: !pobox_lines
+        | None -> ()
+      end);
+  Buffer.add_string buf (sorted_lines !pobox_lines);
+  ("aliases", Buffer.contents buf)
+
+let passwd_file mdb =
+  let lines = ref [] in
+  active_users mdb (fun row ->
+      let login = Value.str (ufield mdb row "login") in
+      lines :=
+        Printf.sprintf "%s:*:%d:101:%s,,,:/mit/%s:%s" login
+          (Value.int (ufield mdb row "uid"))
+          (Value.str (ufield mdb row "fullname"))
+          login
+          (Value.str (ufield mdb row "shell"))
+        :: !lines);
+  ("passwd", sorted_lines !lines)
+
+let generate glue =
+  let mdb = Moira.Glue.mdb glue in
+  { Gen.common = [ aliases_file mdb; passwd_file mdb ]; per_host = [] }
+
+let generator =
+  {
+    Gen.service = "MAIL";
+    watches =
+      [
+        Gen.watch ~columns:[ "modtime"; "pmodtime" ] "users";
+        Gen.watch "list";
+        Gen.watch "machine";
+        Gen.watch ~columns:[] "strings";
+      ];
+    generate;
+  }

@@ -1,0 +1,6 @@
+(** The Mail generator (paper section 5.8.2): the sendmail aliases file
+    (mailing lists plus per-user pobox forwarding) and a complete
+    /etc/passwd for the mail hub's finger server. *)
+
+val generator : Gen.t
+(** service "MAIL". *)

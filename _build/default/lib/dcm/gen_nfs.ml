@@ -1,0 +1,134 @@
+open Relation
+open Gen_util
+
+let partition_base dir =
+  let trimmed =
+    if String.length dir > 0 && dir.[0] = '/' then
+      String.sub dir 1 (String.length dir - 1)
+    else dir
+  in
+  String.map (fun c -> if c = '/' then '_' else c) trimmed
+
+let credential_line mdb row =
+  let login = Value.str (ufield mdb row "login") in
+  let uid = Value.int (ufield mdb row "uid") in
+  let users_id = Value.int (ufield mdb row "users_id") in
+  let gids =
+    List.map (fun (_, g) -> string_of_int g)
+      (group_pairs mdb ~users_id ~login)
+  in
+  String.concat ":" ((login :: [ string_of_int uid ]) @ gids)
+
+(* credentials for one host: all active users, or just the members of the
+   list named in value3. *)
+let credentials_file mdb ~value3 =
+  let lines = ref [] in
+  let include_user =
+    if value3 = "" then fun _ -> true
+    else
+      match Moira.Lookup.list_id mdb value3 with
+      | Some list_id ->
+          let members = Moira.Acl.expand_users mdb ~list_id in
+          fun login -> List.mem login members
+      | None -> fun _ -> false
+  in
+  active_users mdb (fun row ->
+      let login = Value.str (ufield mdb row "login") in
+      if include_user login then
+        lines := credential_line mdb row :: !lines);
+  ("credentials", sorted_lines !lines)
+
+let quotas_and_dirs mdb ~nfsphys_id ~dir =
+  let base = partition_base dir in
+  let filesys = Moira.Mdb.table mdb "filesys" in
+  let nfsquota = Moira.Mdb.table mdb "nfsquota" in
+  let fss = Table.select filesys (Pred.eq_int "phys_id" nfsphys_id) in
+  let quota_lines = ref [] and dir_lines = ref [] in
+  List.iter
+    (fun (_, fs) ->
+      let filsys_id = Value.int (Table.field filesys fs "filsys_id") in
+      List.iter
+        (fun (_, q) ->
+          match
+            Moira.Lookup.user_row mdb
+              (Value.int (Table.field nfsquota q "users_id"))
+          with
+          | Some urow ->
+              quota_lines :=
+                Printf.sprintf "%d %d"
+                  (Value.int (ufield mdb urow "uid"))
+                  (Value.int (Table.field nfsquota q "quota"))
+                :: !quota_lines
+          | None -> ())
+        (Table.select nfsquota (Pred.eq_int "filsys_id" filsys_id));
+      if Value.bool (Table.field filesys fs "createflg") then begin
+        let owner_uid =
+          match
+            Moira.Lookup.user_row mdb
+              (Value.int (Table.field filesys fs "owner"))
+          with
+          | Some urow -> Value.int (ufield mdb urow "uid")
+          | None -> 0
+        in
+        let group_gid =
+          match
+            Moira.Lookup.list_row mdb
+              (Value.int (Table.field filesys fs "owners"))
+          with
+          | Some lrow ->
+              Value.int (Table.field (Moira.Mdb.table mdb "list") lrow "gid")
+          | None -> 0
+        in
+        dir_lines :=
+          Printf.sprintf "%s %d %d %s"
+            (Value.str (Table.field filesys fs "name"))
+            owner_uid group_gid
+            (Value.str (Table.field filesys fs "lockertype"))
+          :: !dir_lines
+      end)
+    fss;
+  [
+    (base ^ ".quotas", sorted_lines !quota_lines);
+    (base ^ ".dirs", sorted_lines !dir_lines);
+  ]
+
+let generate glue =
+  let mdb = Moira.Glue.mdb glue in
+  let shosts = Moira.Mdb.table mdb "serverhosts" in
+  let nfsphys = Moira.Mdb.table mdb "nfsphys" in
+  let per_host =
+    Table.select shosts
+      (Pred.conj [ Pred.eq_str "service" "NFS"; Pred.eq_bool "enable" true ])
+    |> List.filter_map (fun (_, sh) ->
+           let mach_id = Value.int (Table.field shosts sh "mach_id") in
+           match Moira.Lookup.machine_name mdb mach_id with
+           | None -> None
+           | Some machine ->
+               let value3 = Value.str (Table.field shosts sh "value3") in
+               let creds = credentials_file mdb ~value3 in
+               let partition_files =
+                 Table.select nfsphys (Pred.eq_int "mach_id" mach_id)
+                 |> List.concat_map (fun (_, p) ->
+                        quotas_and_dirs mdb
+                          ~nfsphys_id:
+                            (Value.int (Table.field nfsphys p "nfsphys_id"))
+                          ~dir:(Value.str (Table.field nfsphys p "dir")))
+               in
+               Some (machine, creds :: partition_files))
+  in
+  { Gen.common = []; per_host }
+
+let generator =
+  {
+    Gen.service = "NFS";
+    watches =
+      [
+        Gen.watch ~columns:[ "modtime" ] "users";
+        Gen.watch "filesys";
+        Gen.watch "nfsphys";
+        Gen.watch "nfsquota";
+        Gen.watch "list";
+        Gen.watch ~columns:[ "modtime" ] "serverhosts";
+      ];
+    generate;
+  }

@@ -1,0 +1,35 @@
+open Relation
+
+let generate glue =
+  let mdb = Moira.Glue.mdb glue in
+  let filesys = Moira.Mdb.table mdb "filesys" in
+  let by_machine = Hashtbl.create 7 in
+  List.iter
+    (fun (_, row) ->
+      let mach_id = Value.int (Table.field filesys row "mach_id") in
+      match Moira.Lookup.machine_name mdb mach_id with
+      | None -> ()
+      | Some machine ->
+          let pack = Value.str (Table.field filesys row "name") in
+          let access = Value.str (Table.field filesys row "access") in
+          let line = Printf.sprintf "%s %s\n" pack access in
+          let existing =
+            Option.value (Hashtbl.find_opt by_machine machine) ~default:[]
+          in
+          Hashtbl.replace by_machine machine (line :: existing))
+    (Table.select filesys (Pred.eq_str "type" "RVD"));
+  let per_host =
+    Hashtbl.fold
+      (fun machine lines acc ->
+        (machine, [ ("rvddb", String.concat "" (List.sort compare lines)) ])
+        :: acc)
+      by_machine []
+  in
+  { Gen.common = []; per_host }
+
+let generator =
+  {
+    Gen.service = "RVD";
+    watches = [ Gen.watch "filesys"; Gen.watch "machine" ];
+    generate;
+  }

@@ -1,0 +1,8 @@
+(** The RVD generator (optional service, like KLOGIN): builds each RVD
+    server's pack database ([/etc/rvddb], one ["pack mode"] line per
+    exported pack) from the filesys relation's RVD rows.  Installing it
+    and rebooting — or signalling — the server is exactly the §5.9
+    "RVD database is sent to the server upon booting" pattern. *)
+
+val generator : Gen.t
+(** service "RVD". *)

@@ -1,0 +1,40 @@
+open Relation
+
+let short_host name =
+  let name = String.lowercase_ascii name in
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let active_users mdb f =
+  let tbl = Moira.Mdb.table mdb "users" in
+  List.iter
+    (fun (_, row) -> f row)
+    (Table.select tbl (Pred.eq_int "status" 1))
+
+let ufield mdb row col =
+  Table.field (Moira.Mdb.table mdb "users") row col
+
+let group_pairs mdb ~users_id ~login =
+  let lists_tbl = Moira.Mdb.table mdb "list" in
+  let group_info list_id =
+    match Moira.Lookup.list_row mdb list_id with
+    | Some row
+      when Value.bool (Table.field lists_tbl row "grouplist")
+           && Value.bool (Table.field lists_tbl row "active") ->
+        Some
+          ( Value.str (Table.field lists_tbl row "name"),
+            Value.int (Table.field lists_tbl row "gid") )
+    | _ -> None
+  in
+  let all =
+    Moira.Acl.containing_lists mdb ~mtype:"USER" ~mid:users_id
+    |> List.filter_map group_info
+  in
+  let own, rest = List.partition (fun (name, _) -> name = login) all in
+  own @ List.sort (fun (_, a) (_, b) -> Int.compare a b) rest
+
+let sorted_lines lines =
+  match List.sort String.compare lines with
+  | [] -> ""
+  | sorted -> String.concat "\n" sorted ^ "\n"

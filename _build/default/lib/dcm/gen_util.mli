@@ -1,0 +1,23 @@
+(** Extraction helpers shared by the file generators. *)
+
+val short_host : string -> string
+(** Lower-case hostname up to the first dot ("CHARON.MIT.EDU" ->
+    "charon"). *)
+
+val active_users :
+  Moira.Mdb.t -> (Relation.Value.t array -> unit) -> unit
+(** Iterate the users relation rows whose status is active. *)
+
+val ufield : Moira.Mdb.t -> Relation.Value.t array -> string -> Relation.Value.t
+(** Field projection on a users row. *)
+
+val group_pairs : Moira.Mdb.t -> users_id:int -> login:string ->
+  (string * int) list
+(** The (group name, gid) pairs for a user's grplist/credentials entry:
+    the user's own group (the active group list named after the login)
+    first, then every other active unix group reachable from the user's
+    memberships, sorted by gid. *)
+
+val sorted_lines : string list -> string
+(** Join sorted lines with newlines, adding a trailing newline (empty
+    input yields the empty string). *)

@@ -1,0 +1,6 @@
+(** The Zephyr generator (paper section 5.8.2): one [<class>.acl] file
+    per controlled class, holding the transmit ACL membership with
+    recursive lists expanded; [*.*@*] for unrestricted (NONE) ACEs. *)
+
+val generator : Gen.t
+(** service "ZEPHYR". *)

@@ -1,0 +1,380 @@
+open Relation
+
+type gen_result =
+  | Generated of int
+  | No_change
+  | Not_due
+  | Gen_failed of string
+  | Locked
+
+type host_result =
+  | Updated of int
+  | Up_to_date
+  | Soft_failed of string
+  | Hard_failed of string
+
+type service_report = {
+  service : string;
+  gen : gen_result;
+  hosts : (string * host_result) list;
+}
+
+type report = {
+  at : int;
+  disabled : bool;
+  services : service_report list;
+}
+
+let propagations r =
+  List.fold_left
+    (fun acc s ->
+      acc
+      + List.length
+          (List.filter
+             (fun (_, h) -> match h with Updated _ -> true | _ -> false)
+             s.hosts))
+    0 r.services
+
+let files_sent r =
+  List.fold_left
+    (fun acc s ->
+      acc
+      + List.fold_left
+          (fun acc (_, h) ->
+            match h with Updated n -> acc + n | _ -> acc)
+          0 s.hosts)
+    0 r.services
+
+type t = {
+  net : Netsim.Net.t;
+  moira_host : string;
+  glue : Moira.Glue.t;
+  token : string;
+  zephyr_to : string option;
+  mail_via : (string * string) option;
+  generators : Gen.t list;
+  outputs : (string, Gen.output) Hashtbl.t;
+  mutable history : report list;
+}
+
+let standard_generators =
+  [ Gen_hesiod.generator; Gen_nfs.generator; Gen_mail.generator;
+    Gen_zephyr.generator ]
+
+let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
+    ?(generators = standard_generators) () =
+  {
+    net;
+    moira_host;
+    glue;
+    token;
+    zephyr_to;
+    mail_via;
+    generators;
+    outputs = Hashtbl.create 7;
+    history = [];
+  }
+
+let reports t = List.rev t.history
+
+let mdb t = Moira.Glue.mdb t.glue
+
+(* The generated data files live on the Moira host's disk (the real
+   DCM's /u1/sms/ spool), serialized as one archive per service with
+   member names "common/<file>" and "host/<machine>/<file>".  A
+   restarted DCM recovers them from there. *)
+let spool_path service = "/u1/sms/dcm/" ^ service ^ ".data"
+
+let encode_output (out : Gen.output) =
+  Tarlike.pack
+    (List.map (fun (n, c) -> ("common/" ^ n, c)) out.Gen.common
+    @ List.concat_map
+        (fun (m, files) ->
+          List.map (fun (n, c) -> ("host/" ^ m ^ "/" ^ n, c)) files)
+        out.Gen.per_host)
+
+let decode_output archive =
+  match Tarlike.unpack archive with
+  | Error _ -> None
+  | Ok members ->
+      let common = ref [] and per_host = Hashtbl.create 7 in
+      List.iter
+        (fun (path, contents) ->
+          match String.split_on_char '/' path with
+          | "common" :: rest ->
+              common := (String.concat "/" rest, contents) :: !common
+          | "host" :: machine :: rest ->
+              let files =
+                Option.value (Hashtbl.find_opt per_host machine) ~default:[]
+              in
+              Hashtbl.replace per_host machine
+                ((String.concat "/" rest, contents) :: files)
+          | _ -> ())
+        members;
+      Some
+        {
+          Gen.common = List.rev !common;
+          per_host =
+            Hashtbl.fold
+              (fun m files acc -> (m, List.rev files) :: acc)
+              per_host [];
+        }
+
+let moira_fs t = Netsim.Host.fs (Netsim.Net.host t.net t.moira_host)
+
+let store_output t ~service output =
+  Hashtbl.replace t.outputs service output;
+  let fs = moira_fs t in
+  Netsim.Vfs.write fs ~path:(spool_path service) (encode_output output);
+  Netsim.Vfs.flush fs
+
+let last_output t ~service =
+  match Hashtbl.find_opt t.outputs service with
+  | Some out -> Some out
+  | None -> (
+      match Netsim.Vfs.read (moira_fs t) ~path:(spool_path service) with
+      | Some archive -> (
+          match decode_output archive with
+          | Some out ->
+              Hashtbl.replace t.outputs service out;
+              Some out
+          | None -> None)
+      | None -> None)
+let now_sec t = Moira.Mdb.now (mdb t)
+
+(* Hard failures notify the maintainers by zephyrgram and by mail
+   (section 5.7.1). *)
+let notify t msg =
+  (match t.zephyr_to with
+  | None -> ()
+  | Some server ->
+      ignore
+        (Zephyr.send t.net ~src:t.moira_host ~server ~sender:"moira"
+           ~cls:"MOIRA" ~instance:"DCM" msg));
+  match t.mail_via with
+  | None -> ()
+  | Some (hub, rcpt) ->
+      ignore
+        (Pop.Mailhub.send t.net ~src:t.moira_host ~hub ~sender:"moira" ~rcpt
+           ~body:msg)
+
+(* Set the service's internal flags through the query layer, as the real
+   DCM does. *)
+let ssif t ~service ~dfgen ~dfcheck ~inprogress ~harderr ~errmsg =
+  ignore
+    (Moira.Glue.query t.glue ~name:"set_server_internal_flags"
+       [
+         service; string_of_int dfgen; string_of_int dfcheck;
+         (if inprogress then "1" else "0"); string_of_int harderr; errmsg;
+       ])
+
+let sshi t ~service ~machine ~override ~success ~inprogress ~hosterror
+    ~errmsg ~ltt ~lts =
+  ignore
+    (Moira.Glue.query t.glue ~name:"set_server_host_internal"
+       [
+         service; machine;
+         (if override then "1" else "0");
+         (if success then "1" else "0");
+         (if inprogress then "1" else "0");
+         string_of_int hosterror; errmsg; string_of_int ltt;
+         string_of_int lts;
+       ])
+
+let service_row t name =
+  let tbl = Moira.Mdb.table (mdb t) "servers" in
+  Option.map snd (Table.select_one tbl (Pred.eq_str "name" name))
+
+let sfield t row col =
+  Table.field (Moira.Mdb.table (mdb t) "servers") row col
+
+(* Phase 1 of a run for one service: decide whether to regenerate and do
+   it, per the first half of section 5.7.1. *)
+let generate_phase t gen =
+  let service = gen.Gen.service in
+  match service_row t service with
+  | None -> Not_due
+  | Some row ->
+      let enabled = Value.bool (sfield t row "enable") in
+      let harderror = Value.int (sfield t row "harderror") in
+      let interval = Value.int (sfield t row "update_int") in
+      let dfgen = Value.int (sfield t row "dfgen") in
+      let dfcheck = Value.int (sfield t row "dfcheck") in
+      if (not enabled) || harderror <> 0 || interval <= 0 then Not_due
+      else if now_sec t < dfcheck + (interval * 60) then Not_due
+      else begin
+        let locks = Moira.Mdb.locks (mdb t) in
+        let key = "service:" ^ service in
+        if not (Lock.acquire locks ~key ~owner:"dcm" Lock.Exclusive) then
+          Locked
+        else begin
+          ssif t ~service ~dfgen ~dfcheck ~inprogress:true ~harderr:0
+            ~errmsg:"";
+          let result =
+            if not (Gen.changed_since (mdb t) gen.Gen.watches dfgen) then begin
+              (* MR_NO_CHANGE: only dfcheck moves forward. *)
+              ssif t ~service ~dfgen ~dfcheck:(now_sec t) ~inprogress:false
+                ~harderr:0 ~errmsg:"";
+              No_change
+            end
+            else begin
+              match gen.Gen.generate t.glue with
+              | output ->
+                  store_output t ~service output;
+                  let now = now_sec t in
+                  ssif t ~service ~dfgen:now ~dfcheck:now ~inprogress:false
+                    ~harderr:0 ~errmsg:"";
+                  Generated (Gen.total_bytes output)
+              | exception exn ->
+                  let msg = Printexc.to_string exn in
+                  ssif t ~service ~dfgen ~dfcheck ~inprogress:false
+                    ~harderr:Moira.Mr_err.ingres_err ~errmsg:msg;
+                  notify t
+                    (Printf.sprintf "DCM: generator for %s failed: %s"
+                       service msg);
+                  Gen_failed msg
+            end
+          in
+          Lock.release locks ~key ~owner:"dcm";
+          result
+        end
+      end
+
+(* Phase 2: walk the server/host tuples of one service and update stale
+   hosts. *)
+let host_phase t gen =
+  let service = gen.Gen.service in
+  match service_row t service with
+  | None -> []
+  | Some row ->
+      let enabled = Value.bool (sfield t row "enable") in
+      let harderror = Value.int (sfield t row "harderror") in
+      let interval = Value.int (sfield t row "update_int") in
+      let dfgen = Value.int (sfield t row "dfgen") in
+      let target = Value.str (sfield t row "target_file") in
+      let script = Value.str (sfield t row "script") in
+      let replicated = Value.str (sfield t row "type") = "REPLICAT" in
+      if (not enabled) || harderror <> 0 || interval <= 0 then []
+      else begin
+        match last_output t ~service with
+        | None -> [] (* no data files on disk yet *)
+        | Some output ->
+            let locks = Moira.Mdb.locks (mdb t) in
+            let skey = "service:" ^ service in
+            let smode = if replicated then Lock.Exclusive else Lock.Shared in
+            if not (Lock.acquire locks ~key:skey ~owner:"dcm" smode) then []
+            else begin
+              let shosts = Moira.Mdb.table (mdb t) "serverhosts" in
+              let hosts =
+                Table.select shosts
+                  (Pred.conj
+                     [ Pred.eq_str "service" service;
+                       Pred.eq_bool "enable" true;
+                       Pred.eq_int "hosterror" 0 ])
+              in
+              let results = ref [] in
+              let hard_stop = ref false in
+              List.iter
+                (fun (_, sh) ->
+                  if not !hard_stop then begin
+                    let machine =
+                      Option.value
+                        (Moira.Lookup.machine_name (mdb t)
+                           (Value.int (Table.field shosts sh "mach_id")))
+                        ~default:"?"
+                    in
+                    let lts = Value.int (Table.field shosts sh "lts") in
+                    let override =
+                      Value.bool (Table.field shosts sh "override")
+                    in
+                    if lts >= dfgen && not override then
+                      results := (machine, Up_to_date) :: !results
+                    else begin
+                      let hkey =
+                        Printf.sprintf "host:%s/%s" service machine
+                      in
+                      if
+                        not
+                          (Lock.acquire locks ~key:hkey ~owner:"dcm"
+                             Lock.Exclusive)
+                      then
+                        results :=
+                          (machine, Soft_failed "host locked") :: !results
+                      else begin
+                        sshi t ~service ~machine ~override ~success:false
+                          ~inprogress:true ~hosterror:0 ~errmsg:""
+                          ~ltt:(Value.int (Table.field shosts sh "ltt"))
+                          ~lts;
+                        let files = Gen.files_for_host output ~machine in
+                        let now = now_sec t in
+                        (match
+                           Update.push t.net ~src:t.moira_host ~dst:machine
+                             ~token:t.token ~target ~files ~script ()
+                         with
+                        | Ok () ->
+                            sshi t ~service ~machine ~override:false
+                              ~success:true ~inprogress:false ~hosterror:0
+                              ~errmsg:"" ~ltt:now ~lts:now;
+                            results :=
+                              (machine, Updated (List.length files))
+                              :: !results
+                        | Error (Update.Soft (_, msg)) ->
+                            sshi t ~service ~machine ~override
+                              ~success:false ~inprogress:false ~hosterror:0
+                              ~errmsg:msg ~ltt:now ~lts;
+                            results :=
+                              (machine, Soft_failed msg) :: !results
+                        | Error (Update.Hard (code, msg)) ->
+                            sshi t ~service ~machine ~override
+                              ~success:false ~inprogress:false
+                              ~hosterror:code ~errmsg:msg ~ltt:now ~lts;
+                            notify t
+                              (Printf.sprintf
+                                 "DCM: hard failure updating %s on %s: %s"
+                                 service machine msg);
+                            if replicated then begin
+                              ssif t ~service ~dfgen
+                                ~dfcheck:
+                                  (Value.int (sfield t row "dfcheck"))
+                                ~inprogress:false ~harderr:code ~errmsg:msg;
+                              hard_stop := true
+                            end;
+                            results :=
+                              (machine, Hard_failed msg) :: !results);
+                        Lock.release locks ~key:hkey ~owner:"dcm"
+                      end
+                    end
+                  end)
+                hosts;
+              Lock.release locks ~key:skey ~owner:"dcm";
+              List.rev !results
+            end
+      end
+
+let run t =
+  let at = now_sec t in
+  let host = Netsim.Net.host t.net t.moira_host in
+  let fs = Netsim.Host.fs host in
+  (* the DCM is a process on the Moira machine: no machine, no run *)
+  let disabled =
+    (not (Netsim.Host.is_up host))
+    || Netsim.Vfs.exists fs ~path:"/etc/nodcm"
+    || Moira.Mdb.get_value (mdb t) "dcm_enable" = Some 0
+  in
+  let services =
+    if disabled then []
+    else
+      List.map
+        (fun gen ->
+          let g = generate_phase t gen in
+          let hosts = host_phase t gen in
+          { service = gen.Gen.service; gen = g; hosts })
+        t.generators
+  in
+  let report = { at; disabled; services } in
+  t.history <- report :: t.history;
+  report
+
+let schedule t engine ~every_min =
+  Sim.Engine.every engine ~interval:(every_min * 60 * 1000) "dcm"
+    (fun () -> ignore (run t))

@@ -1,0 +1,84 @@
+(** The Data Control Manager (paper section 5.7): invoked by cron at the
+    minimum update interval, it scans the services table, regenerates
+    data files for services whose interval has elapsed (only if the data
+    actually changed), then scans the server/host tuples and pushes
+    stale hosts with the update protocol — with the locking,
+    inprogress-marking, soft/hard error recording and zephyr
+    notification the paper specifies. *)
+
+type gen_result =
+  | Generated of int  (** Data files rebuilt; total bytes. *)
+  | No_change  (** MR_NO_CHANGE: nothing relevant changed. *)
+  | Not_due  (** Interval has not elapsed. *)
+  | Gen_failed of string  (** Generator hard error. *)
+  | Locked  (** Could not lock the service. *)
+
+type host_result =
+  | Updated of int  (** Files installed and confirmed; member count. *)
+  | Up_to_date  (** Host already had the current files. *)
+  | Soft_failed of string  (** Will be retried next invocation. *)
+  | Hard_failed of string  (** hosterror set; operator notified. *)
+
+type service_report = {
+  service : string;
+  gen : gen_result;
+  hosts : (string * host_result) list;  (** machine name, outcome. *)
+}
+
+type report = {
+  at : int;  (** Engine seconds at the start of the run. *)
+  disabled : bool;  (** True when /etc/nodcm or dcm_enable stopped it. *)
+  services : service_report list;
+}
+
+val propagations : report -> int
+(** Number of successful host updates in a report. *)
+
+val files_sent : report -> int
+(** Number of individual files delivered (archive members summed over
+    successful host updates). *)
+
+type t
+
+val standard_generators : Gen.t list
+(** The four 1988-deployment generators: HESIOD, NFS, MAIL, ZEPHYR.
+    Extend this list to add a managed service (see HACKING.md). *)
+
+val create :
+  net:Netsim.Net.t ->
+  moira_host:string ->
+  glue:Moira.Glue.t ->
+  ?token:string ->
+  ?zephyr_to:string ->
+  ?mail_via:string * string ->
+  ?generators:Gen.t list ->
+  unit ->
+  t
+(** A DCM bound to the Moira host.  [zephyr_to] names the host running a
+    zephyr server for failure notification (class MOIRA instance DCM);
+    [mail_via] is [(hub_machine, recipient)] for the mail copy — the
+    paper's hard failures send "a zephyrgram and mail".
+    [generators] defaults to the four standard ones (HESIOD, NFS, MAIL,
+    ZEPHYR).
+
+    Generated data files are kept on the Moira host's filesystem under
+    [/u1/sms/dcm/<SERVICE>/], so a *new* DCM created over the same host
+    (a restarted daemon after a Moira crash, section 5.9 case C) finds
+    the files of previous generations and can resume pushing stale
+    hosts without regenerating — "crashes of the Moira machine will
+    result in (at worst) delays in updates". *)
+
+val run : t -> report
+(** One DCM invocation. *)
+
+val reports : t -> report list
+(** Every report so far, oldest first. *)
+
+val last_output : t -> service:string -> Gen.output option
+(** The most recently generated files for a service (kept, like the real
+    DCM's on-disk data files, until regenerated). *)
+
+val schedule : t -> Sim.Engine.t -> every_min:int -> Sim.Engine.event_id
+(** Arrange cron-style invocation every [every_min] simulated minutes
+    ("invoked regularly by cron at intervals which become the minimum
+    update time for any service"). *)

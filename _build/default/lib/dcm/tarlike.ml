@@ -1,0 +1,39 @@
+let pack members =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, contents) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d\n%s%s" (String.length name)
+           (String.length contents) name contents))
+    members;
+  Buffer.contents buf
+
+let unpack archive =
+  let n = String.length archive in
+  let rec go pos acc =
+    if pos >= n then Ok (List.rev acc)
+    else
+      match String.index_from_opt archive pos '\n' with
+      | None -> Error "tar: truncated header"
+      | Some nl -> (
+          let header = String.sub archive pos (nl - pos) in
+          match String.split_on_char ' ' header with
+          | [ nlen; clen ] -> (
+              match (int_of_string_opt nlen, int_of_string_opt clen) with
+              | Some nlen, Some clen ->
+                  if nlen < 0 || clen < 0 || nl + 1 + nlen + clen > n then
+                    Error "tar: member overruns archive"
+                  else begin
+                    let name = String.sub archive (nl + 1) nlen in
+                    let contents = String.sub archive (nl + 1 + nlen) clen in
+                    go (nl + 1 + nlen + clen) ((name, contents) :: acc)
+                  end
+              | _ -> Error "tar: bad header numbers")
+          | _ -> Error "tar: bad header")
+  in
+  go 0 []
+
+let member archive name =
+  match unpack archive with
+  | Ok members -> List.assoc_opt name members
+  | Error _ -> None

@@ -1,0 +1,15 @@
+(** The archive format used for multi-file transfers: "only one file is
+    transferred, although it may be a tar file containing many more"
+    (paper section 5.9).  A simple counted-entry archive: each member is
+    a name and contents. *)
+
+val pack : (string * string) list -> string
+(** Archive a list of (name, contents) members. *)
+
+val unpack : string -> ((string * string) list, string) result
+(** Recover the members; [Error] describes the corruption. *)
+
+val member : string -> string -> string option
+(** [member archive name] extracts one member without unpacking the rest
+    — the staged extraction of the execution phase ("only the ones that
+    are needed are extracted one at a time"). *)

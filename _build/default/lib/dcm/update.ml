@@ -1,0 +1,184 @@
+(* Ops ride on the GDB wire framing with conn 0; each request's first
+   argument is the auth token. *)
+let op_xfer = 32
+let op_script = 33
+let op_flush = 34
+let op_exec = 35
+
+let service_name = "moira_update"
+let staged_suffix = ".moira_update"
+let script_staging = "/tmp/moira_inst"
+
+type script = staged:string -> (unit, string) result
+
+type server = {
+  host : Netsim.Host.t;
+  token : string;
+  scripts : (string, script) Hashtbl.t;
+}
+
+let reply code tuples =
+  Gdb.Wire.encode_reply
+    { Gdb.Wire.rversion = Gdb.Wire.protocol_version; code; tuples }
+
+let handle t payload =
+  match Gdb.Wire.decode_request payload with
+  | Error _ -> reply Gdb.Gdb_err.bad_frame []
+  | Ok req -> (
+      match req.Gdb.Wire.args with
+      | token :: args when token = t.token ->
+          let fs = Netsim.Host.fs t.host in
+          if req.op = op_xfer then begin
+            match args with
+            | [ target; data; cksum ] ->
+                if not (Checksum.verify ~data ~checksum:cksum) then
+                  reply Moira.Mr_err.update_checksum []
+                else begin
+                  Netsim.Vfs.write fs ~path:(target ^ staged_suffix) data;
+                  Netsim.Host.maybe_crash t.host ~point:"xfer";
+                  reply 0 []
+                end
+            | _ -> reply Moira.Mr_err.args []
+          end
+          else if req.op = op_script then begin
+            match args with
+            | [ name ] ->
+                Netsim.Vfs.write fs ~path:script_staging name;
+                reply 0 []
+            | _ -> reply Moira.Mr_err.args []
+          end
+          else if req.op = op_flush then begin
+            Netsim.Vfs.flush fs;
+            reply 0 []
+          end
+          else if req.op = op_exec then begin
+            match args with
+            | [ target ] -> (
+                Netsim.Host.maybe_crash t.host ~point:"before_exec";
+                let script_name =
+                  Option.value
+                    (Netsim.Vfs.read fs ~path:script_staging)
+                    ~default:""
+                in
+                match Hashtbl.find_opt t.scripts script_name with
+                | None ->
+                    reply Moira.Mr_err.update_script
+                      [ [ "unknown script " ^ script_name ] ]
+                | Some script -> (
+                    match script ~staged:(target ^ staged_suffix) with
+                    | Ok () ->
+                        Netsim.Host.maybe_crash t.host ~point:"after_exec";
+                        reply 0 []
+                    | Error msg ->
+                        reply Moira.Mr_err.update_script [ [ msg ] ]))
+            | _ -> reply Moira.Mr_err.args []
+          end
+          else reply Moira.Mr_err.no_handle []
+      | _ :: _ -> reply Moira.Mr_err.perm []
+      | [] -> reply Moira.Mr_err.args [])
+
+let serve ?(token = "krb") host =
+  let t = { host; token; scripts = Hashtbl.create 7 } in
+  Netsim.Host.register host ~service:service_name (fun ~src:_ payload ->
+      handle t payload);
+  t
+
+let register_script t ~name script = Hashtbl.replace t.scripts name script
+
+let install_files host ~dir ?(after = fun () -> ()) () ~staged =
+  let fs = Netsim.Host.fs host in
+  match Netsim.Vfs.read fs ~path:staged with
+  | None -> Error ("no staged archive at " ^ staged)
+  | Some archive -> (
+      match Tarlike.unpack archive with
+      | Error e -> Error e
+      | Ok members ->
+          (* Extract and swap one member at a time; renames are atomic
+             and same-partition, per the execution-phase rules. *)
+          List.iter
+            (fun (name, contents) ->
+              let live = dir ^ "/" ^ name in
+              (* keep the previous version for the revert instruction *)
+              (match Netsim.Vfs.read fs ~path:live with
+              | Some old ->
+                  Netsim.Vfs.write fs ~path:(live ^ ".moira_old") old
+              | None -> ());
+              let tmp = live ^ staged_suffix in
+              Netsim.Vfs.write fs ~path:tmp contents;
+              Netsim.Vfs.flush fs;
+              ignore (Netsim.Vfs.rename fs ~src:tmp ~dst:live);
+              Netsim.Host.maybe_crash host ~point:"mid_install")
+            members;
+          Netsim.Vfs.remove fs ~path:staged;
+          Netsim.Vfs.flush fs;
+          Netsim.Host.maybe_crash host ~point:"before_restart";
+          after ();
+          Ok ())
+
+let revert_files host ~dir ?(after = fun () -> ()) () ~staged =
+  let fs = Netsim.Host.fs host in
+  match Netsim.Vfs.read fs ~path:staged with
+  | None -> Error ("no staged archive at " ^ staged)
+  | Some archive -> (
+      match Tarlike.unpack archive with
+      | Error e -> Error e
+      | Ok members ->
+          List.iter
+            (fun (name, _) ->
+              let live = dir ^ "/" ^ name in
+              ignore
+                (Netsim.Vfs.rename fs ~src:(live ^ ".moira_old") ~dst:live))
+            members;
+          Netsim.Vfs.flush fs;
+          after ();
+          Ok ())
+
+type failure =
+  | Soft of int * string
+  | Hard of int * string
+
+let push net ~src ~dst ?(token = "krb") ~target ~files ~script () =
+  let call op args =
+    let payload =
+      Gdb.Wire.encode_request
+        {
+          Gdb.Wire.version = Gdb.Wire.protocol_version;
+          conn = 0;
+          op;
+          args = token :: args;
+        }
+    in
+    match Netsim.Net.call net ~src ~dst ~service:service_name payload with
+    | Error f ->
+        Error
+          (Soft
+             ( (match f with
+               | Netsim.Net.Host_down | Netsim.Net.No_host ->
+                   Moira.Mr_err.host_unreachable
+               | _ -> Moira.Mr_err.update_timeout),
+               Netsim.Net.failure_to_string f ))
+    | Ok raw -> (
+        match Gdb.Wire.decode_reply raw with
+        | Error e -> Error (Soft (Moira.Mr_err.aborted, e))
+        | Ok reply ->
+            if reply.Gdb.Wire.code = 0 then Ok reply.Gdb.Wire.tuples
+            else if reply.Gdb.Wire.code = Moira.Mr_err.update_checksum then
+              Error (Soft (reply.Gdb.Wire.code, "checksum mismatch"))
+            else if reply.Gdb.Wire.code = Moira.Mr_err.perm then
+              Error (Hard (reply.Gdb.Wire.code, "authentication rejected"))
+            else
+              let detail =
+                match reply.Gdb.Wire.tuples with
+                | [ [ msg ] ] -> msg
+                | _ -> Comerr.Com_err.error_message reply.Gdb.Wire.code
+              in
+              Error (Hard (reply.Gdb.Wire.code, detail)))
+  in
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let archive = Tarlike.pack files in
+  let cksum = Checksum.to_hex (Checksum.adler32 archive) in
+  let* _ = call op_xfer [ target; archive; cksum ] in
+  let* _ = call op_script [ script ] in
+  let* _ = call op_flush [] in
+  let* _ = call op_exec [ target ] in
+  Ok ()

@@ -1,0 +1,65 @@
+(** The Moira-to-server update protocol (paper section 5.9).
+
+    All updates are initiated by the DCM and built from atomic
+    operations so that a reboot leaves a consistent server:
+
+    - {b Transfer phase}: authenticate; send the (tar) data file to the
+      recorded target path suffixed [.moira_update], with a checksum;
+      send the installation instruction sequence; flush to disk.
+    - {b Execution phase}: on a single command, the server runs the
+      staged script — extracting members as needed and swapping files
+      into place with atomic renames.
+    - {b Confirm}: the exit status returns to the DCM, which records it.
+
+    Crash points are exposed at each window the paper analyses
+    ([xfer], [before_exec], [mid_install], [after_exec]) via
+    {!Netsim.Host.arm_crash}. *)
+
+(** {1 Server side} *)
+
+type server
+
+type script = staged:string -> (unit, string) result
+(** An installation instruction sequence: receives the staged archive
+    path on the local filesystem; performs the installs. *)
+
+val serve : ?token:string -> Netsim.Host.t -> server
+(** Install the update service on a host.  [token] (default ["krb"])
+    stands in for the Kerberos mutual authentication of section 5.9.2;
+    requests bearing a different token are rejected. *)
+
+val register_script : server -> name:string -> script -> unit
+(** Make a named script available for execution on this host. *)
+
+val install_files :
+  Netsim.Host.t -> dir:string -> ?after:(unit -> unit) -> unit -> script
+(** The standard install script: unpack the staged archive, save each
+    existing member aside as [dir/<name>.moira_old], write the new
+    contents to [dir/<name>.moira_update], flush, atomically rename over
+    [dir/<name>], remove the staged file, then run [after] (e.g. restart
+    the server to reload its files).  Calls the [mid_install] crash
+    point between member installs and [before_restart] before [after]. *)
+
+val revert_files :
+  Netsim.Host.t -> dir:string -> ?after:(unit -> unit) -> unit -> script
+(** Execution-phase instruction 3 of section 5.9: "revert the file —
+    identical to swapping in the new data file, but instead puts the old
+    file back".  For every member named in the staged archive whose
+    [.moira_old] copy exists, atomically rename it back over the live
+    file.  "May be useful in the case of an erroneous installation." *)
+
+(** {1 Client side (the DCM)} *)
+
+type failure =
+  | Soft of int * string
+      (** Expected, retryable: host down, timeout, checksum mismatch. *)
+  | Hard of int * string
+      (** Script failure or authentication refusal: operator attention. *)
+
+val push :
+  Netsim.Net.t -> src:string -> dst:string -> ?token:string ->
+  target:string -> files:(string * string) list -> script:string ->
+  unit -> (unit, failure) result
+(** Run the full protocol against host [dst]: transfer [files] (packed
+    as one archive) to [target^".moira_update"], stage [script], flush,
+    execute, confirm. *)

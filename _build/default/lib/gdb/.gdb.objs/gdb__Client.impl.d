@@ -1,0 +1,1 @@
+lib/gdb/client.ml: Comerr Gdb_err Netsim Printf Wire

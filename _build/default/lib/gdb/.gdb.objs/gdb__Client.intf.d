@@ -1,0 +1,1 @@
+lib/gdb/client.mli: Netsim

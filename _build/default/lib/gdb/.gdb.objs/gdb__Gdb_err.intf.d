@@ -1,0 +1,1 @@
+lib/gdb/gdb_err.mli: Comerr

@@ -1,0 +1,1 @@
+lib/gdb/server.ml: Gdb_err Hashtbl Int List Netsim Sim Wire

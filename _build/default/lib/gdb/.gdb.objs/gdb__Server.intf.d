@@ -1,0 +1,1 @@
+lib/gdb/server.mli: Netsim Wire

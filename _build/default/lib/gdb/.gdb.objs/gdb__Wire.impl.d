@@ -1,0 +1,1 @@
+lib/gdb/wire.ml: Buffer List String

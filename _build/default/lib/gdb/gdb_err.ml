@@ -1,0 +1,14 @@
+let table =
+  Comerr.Com_err.create_table ~name:"gdb"
+    [|
+      "Malformed RPC frame";
+      "Protocol version skew";
+      "Unknown connection id";
+      "Server connection limit reached";
+    |]
+
+let code = Comerr.Com_err.code table
+let bad_frame = code 0
+let version_skew = code 1
+let no_connection = code 2
+let too_many_connections = code 3

@@ -1,0 +1,120 @@
+let protocol_version = 2
+
+type request = {
+  version : int;
+  conn : int;
+  op : int;
+  args : string list;
+}
+
+type reply = {
+  rversion : int;
+  code : int;
+  tuples : string list list;
+}
+
+let op_open = 0
+let op_close = 1
+let op_app_base = 16
+
+(* Counted-string framing: every item is "<decimal length>\n<bytes>".
+   Integers ride as their decimal text. *)
+
+let add_counted buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf s
+
+let add_int buf i = add_counted buf (string_of_int i)
+
+type cursor = { data : string; mutable pos : int }
+
+let take_counted cur =
+  let n = String.length cur.data in
+  match String.index_from_opt cur.data cur.pos '\n' with
+  | None -> Error "truncated length prefix"
+  | Some nl -> (
+      match int_of_string_opt (String.sub cur.data cur.pos (nl - cur.pos)) with
+      | None -> Error "bad length prefix"
+      | Some len ->
+          if len < 0 || nl + 1 + len > n then Error "counted string overruns"
+          else begin
+            let s = String.sub cur.data (nl + 1) len in
+            cur.pos <- nl + 1 + len;
+            Ok s
+          end)
+
+let take_int cur =
+  match take_counted cur with
+  | Error _ as e -> e
+  | Ok s -> (
+      match int_of_string_opt s with
+      | Some i -> Ok i
+      | None -> Error "expected integer")
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let encode_request r =
+  let buf = Buffer.create 128 in
+  add_int buf r.version;
+  add_int buf r.conn;
+  add_int buf r.op;
+  add_int buf (List.length r.args);
+  List.iter (add_counted buf) r.args;
+  Buffer.contents buf
+
+let decode_request s =
+  let cur = { data = s; pos = 0 } in
+  let* version = take_int cur in
+  let* conn = take_int cur in
+  let* op = take_int cur in
+  let* argc = take_int cur in
+  if argc < 0 || argc > 1_000_000 then Error "absurd argument count"
+  else begin
+    let rec args n acc =
+      if n = 0 then Ok (List.rev acc)
+      else
+        let* a = take_counted cur in
+        args (n - 1) (a :: acc)
+    in
+    let* args = args argc [] in
+    Ok { version; conn; op; args }
+  end
+
+let encode_reply r =
+  let buf = Buffer.create 256 in
+  add_int buf r.rversion;
+  add_int buf r.code;
+  add_int buf (List.length r.tuples);
+  List.iter
+    (fun tuple ->
+      add_int buf (List.length tuple);
+      List.iter (add_counted buf) tuple)
+    r.tuples;
+  Buffer.contents buf
+
+let decode_reply s =
+  let cur = { data = s; pos = 0 } in
+  let* rversion = take_int cur in
+  let* code = take_int cur in
+  let* ntuples = take_int cur in
+  if ntuples < 0 || ntuples > 10_000_000 then Error "absurd tuple count"
+  else begin
+    let rec tuple n acc =
+      if n = 0 then Ok (List.rev acc)
+      else
+        let* s = take_counted cur in
+        tuple (n - 1) (s :: acc)
+    in
+    let rec tuples n acc =
+      if n = 0 then Ok (List.rev acc)
+      else
+        let* width = take_int cur in
+        if width < 0 || width > 1_000_000 then Error "absurd tuple width"
+        else
+          let* t = tuple width [] in
+          tuples (n - 1) (t :: acc)
+    in
+    let* tuples = tuples ntuples [] in
+    Ok { rversion; code; tuples }
+  end

@@ -1,0 +1,46 @@
+(** The Moira RPC wire format (paper section 5.3), layered on GDB streams.
+
+    Each request is a version number, a connection id, a major request
+    number, and several counted strings of bytes.  Each reply is a version
+    number, a single error code, and zero or more tuples, each of which is
+    several counted strings. *)
+
+val protocol_version : int
+(** The protocol version this implementation speaks. *)
+
+type request = {
+  version : int;  (** Protocol version of the sender. *)
+  conn : int;  (** Connection id (0 before a connection is open). *)
+  op : int;  (** Major request number. *)
+  args : string list;  (** Counted-string arguments. *)
+}
+
+type reply = {
+  rversion : int;  (** Protocol version of the responder. *)
+  code : int;  (** com_err error code; 0 is success. *)
+  tuples : string list list;  (** Retrieved tuples, in order. *)
+}
+
+val encode_request : request -> string
+(** Serialize a request. *)
+
+val decode_request : string -> (request, string) result
+(** Parse a request; [Error] describes the framing fault. *)
+
+val encode_reply : reply -> string
+(** Serialize a reply. *)
+
+val decode_reply : string -> (reply, string) result
+(** Parse a reply. *)
+
+(** {1 GDB framing ops} — connection management lives below the
+    application's major request numbers. *)
+
+val op_open : int
+(** Open a connection: server allocates an id, returned as a 1-tuple. *)
+
+val op_close : int
+(** Close the connection named by [conn]. *)
+
+val op_app_base : int
+(** First op number available to applications. *)

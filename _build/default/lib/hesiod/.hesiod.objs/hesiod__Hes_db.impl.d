@@ -1,0 +1,1 @@
+lib/hesiod/hes_db.ml: List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/hesiod/hes_db.mli:

@@ -1,0 +1,1 @@
+lib/hesiod/hes_server.ml: Hes_db List Netsim String

@@ -1,0 +1,51 @@
+let db_files =
+  [
+    "cluster.db"; "filsys.db"; "gid.db"; "group.db"; "grplist.db";
+    "passwd.db"; "pobox.db"; "printcap.db"; "service.db"; "sloc.db";
+    "uid.db";
+  ]
+
+type t = {
+  host : Netsim.Host.t;
+  dir : string;
+  mutable db : Hes_db.t;
+  mutable generation : int;
+}
+
+let load t =
+  let fs = Netsim.Host.fs t.host in
+  let contents =
+    List.filter_map
+      (fun f -> Netsim.Vfs.read fs ~path:(t.dir ^ "/" ^ f))
+      db_files
+  in
+  t.db <- Hes_db.load_files contents;
+  t.generation <- t.generation + 1
+
+let restart t = load t
+let resolve_local t ~name ~ty = Hes_db.resolve t.db ~name ~ty
+let loaded_keys t = Hes_db.size t.db
+let generation t = t.generation
+
+let start ~dir host =
+  let t = { host; dir; db = Hes_db.empty; generation = 0 } in
+  load t;
+  Netsim.Host.register host ~service:"hesiod" (fun ~src:_ payload ->
+      match String.index_opt payload ' ' with
+      | None -> ""
+      | Some i ->
+          let name = String.sub payload 0 i in
+          let ty =
+            String.sub payload (i + 1) (String.length payload - i - 1)
+          in
+          String.concat "\n" (resolve_local t ~name ~ty));
+  Netsim.Host.on_boot host (fun _ -> load t);
+  t
+
+let resolve net ~src ~server ~name ~ty =
+  match
+    Netsim.Net.call net ~src ~dst:server ~service:"hesiod" (name ^ " " ^ ty)
+  with
+  | Ok "" -> Ok []
+  | Ok reply -> Ok (String.split_on_char '\n' reply)
+  | Error f -> Error f

@@ -1,0 +1,1 @@
+lib/krb/kdc.ml: Hashtbl Kcrypt Krb_err List Option Printf String Toycipher

@@ -1,0 +1,1 @@
+lib/krb/krb_err.ml: Comerr

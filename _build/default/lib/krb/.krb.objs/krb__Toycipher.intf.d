@@ -1,0 +1,1 @@
+lib/krb/toycipher.mli:

@@ -1,0 +1,46 @@
+let alphabet =
+  "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+let pad_salt salt =
+  match String.length salt with
+  | 0 -> ".."
+  | 1 -> salt ^ "."
+  | _ -> String.sub salt 0 2
+
+(* 25 chained FNV rounds over salt+input, like crypt's 25 DES iterations. *)
+let crypt ~salt s =
+  let salt = pad_salt salt in
+  let round h input =
+    let h = ref h in
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x100000001b3 land max_int)
+      input;
+    !h
+  in
+  let h = ref (round 0x3bf29ce484222325 salt) in
+  for _ = 1 to 25 do
+    h := round !h s;
+    h := round !h salt
+  done;
+  let buf = Buffer.create 13 in
+  Buffer.add_string buf salt;
+  let v = ref !h in
+  for _ = 1 to 11 do
+    Buffer.add_char buf alphabet.[!v land 63];
+    v := !v lsr 5
+  done;
+  Buffer.contents buf
+
+let strip_hyphens s =
+  String.concat "" (String.split_on_char '-' s)
+
+let crypt_mit_id ~first ~last id =
+  let id = strip_hyphens id in
+  let tail =
+    let n = String.length id in
+    if n <= 7 then id else String.sub id (n - 7) 7
+  in
+  let initial s = if s = "" then "." else String.sub s 0 1 in
+  crypt ~salt:(initial first ^ initial last) tail

@@ -1,0 +1,17 @@
+(** A crypt(3)-style one-way hash.
+
+    The registration database stores MIT ID numbers "encrypted using the
+    UNIX C library crypt() function ... the last seven characters of the
+    ID number are encrypted using the first letter of the first name and
+    the first letter of the last name as the salt" (section 5.10).  We
+    reproduce the interface and output shape (2-char salt prefix + 11
+    hash characters over the crypt alphabet), not the DES internals. *)
+
+val crypt : salt:string -> string -> string
+(** [crypt ~salt s] is a 13-character one-way hash whose first two
+    characters are the (first two characters of the) salt. *)
+
+val crypt_mit_id : first:string -> last:string -> string -> string
+(** The paper's exact recipe for hashing an MIT ID: hash the last seven
+    characters of the ID (hyphens removed) with the salt built from the
+    initials of the first and last names. *)

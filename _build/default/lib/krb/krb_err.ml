@@ -1,0 +1,24 @@
+let table =
+  Comerr.Com_err.create_table ~name:"krb"
+    [|
+      "Principal unknown to the Kerberos database";
+      "Incorrect password";
+      "Principal already exists";
+      "Ticket expired";
+      "Authenticator replayed";
+      "Clock skew too great";
+      "Service unknown (no srvtab entry)";
+      "Can't decode authenticator";
+      "Can't find ticket";
+    |]
+
+let code = Comerr.Com_err.code table
+let princ_unknown = code 0
+let bad_password = code 1
+let princ_exists = code 2
+let ticket_expired = code 3
+let replay = code 4
+let skew = code 5
+let service_unknown = code 6
+let bad_authenticator = code 7
+let no_ticket = code 8

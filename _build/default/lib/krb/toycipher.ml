@@ -1,0 +1,45 @@
+(* Keystream chaining: each output byte mixes the key schedule with the
+   previous *ciphertext* byte, so damage propagates to the end of the
+   message, like DES CBC with ciphertext feedback.  A magic header makes
+   wrong-key decryption detectable. *)
+
+let magic = "KRB4"
+
+let key_schedule key =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3 land max_int)
+    key;
+  !h
+
+let mix state byte =
+  let s = (state lxor byte) * 0x9E3779B1 land max_int in
+  (s lsr 13) lxor s
+
+let transform ~key ~decrypting s =
+  let k = key_schedule key in
+  let n = String.length s in
+  let out = Bytes.create n in
+  let state = ref k in
+  for i = 0 to n - 1 do
+    let p = Char.code s.[i] in
+    let ks = !state land 0xff in
+    let c = p lxor ks in
+    Bytes.set out i (Char.chr c);
+    (* chain on the ciphertext byte, whichever side produced it *)
+    let cipher_byte = if decrypting then p else c in
+    state := mix !state cipher_byte
+  done;
+  Bytes.to_string out
+
+let encrypt ~key plain =
+  transform ~key ~decrypting:false (magic ^ plain)
+
+let decrypt ~key cipher =
+  let plain = transform ~key ~decrypting:true cipher in
+  let mlen = String.length magic in
+  if String.length plain >= mlen && String.sub plain 0 mlen = magic then
+    Ok (String.sub plain mlen (String.length plain - mlen))
+  else Error `Bad_key

@@ -1,0 +1,15 @@
+(** A toy error-propagating chained block cipher.
+
+    Stands in for the DES CBC ("error propagating cypher-block-chaining
+    mode", paper section 5.10) used by Kerberos tickets and the
+    registration protocol.  It is NOT cryptographically secure — by
+    design: only the protocol behaviour matters here, i.e. (a) encryption
+    round-trips under the right key, (b) decryption under a wrong key is
+    detected, and (c) any corruption garbles everything after it. *)
+
+val encrypt : key:string -> string -> string
+(** Encrypt a plaintext.  The result embeds an integrity header so that
+    {!decrypt} can detect a wrong key or corruption. *)
+
+val decrypt : key:string -> string -> (string, [ `Bad_key ]) result
+(** Decrypt, returning [Error `Bad_key] on wrong key or corrupt input. *)

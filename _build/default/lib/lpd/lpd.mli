@@ -1,0 +1,49 @@
+(** The line-printer substrate — the consumer of printcap.db (paper
+    section 5.8.2 names its clients: lpr, lpq, lprm).
+
+    A spool host runs an lpd accepting jobs into the printer's spool
+    directory; workstations find the spool host and directory by
+    resolving [<printer>.pcap] through hesiod and parsing the printcap
+    entry ["name:rp=<rp>:rm=<host>:sd=<dir>"]. *)
+
+type entry = {
+  name : string;  (** Printer name. *)
+  rp : string;  (** Remote printer name. *)
+  rm : string;  (** Spool host. *)
+  sd : string;  (** Spool directory. *)
+}
+
+val parse_printcap : string -> entry option
+(** Parse one printcap.db data string. *)
+
+type t
+
+val start : Netsim.Host.t -> t
+(** Run an lpd on a spool host: service ["lpd"] accepting
+    ["PRINT <rp> <user> <body>"] (spools into [<sd>/<seq>.<user>] under
+    the directory announced in the request via [rp -> sd] mapping given
+    at submission), and ["QUEUE <rp>"] listing the queue. *)
+
+val jobs : t -> rp:string -> (string * string) list
+(** Queued [(user, body)] jobs for a printer, oldest first. *)
+
+(** {1 Clients} *)
+
+type error =
+  | No_such_printer  (** Hesiod has no pcap entry. *)
+  | Bad_entry of string  (** Unparseable printcap data. *)
+  | Spooler_unreachable of Netsim.Net.failure
+
+val error_to_string : error -> string
+(** Render for diagnostics. *)
+
+val lpr :
+  Netsim.Net.t -> hesiod:string -> src:string -> printer:string ->
+  user:string -> body:string -> (entry, error) result
+(** Submit a job: resolve the printer through hesiod on host [hesiod],
+    send it to the spool host.  Returns the printcap entry used. *)
+
+val lpq :
+  Netsim.Net.t -> hesiod:string -> src:string -> printer:string ->
+  (string list, error) result
+(** List the queue (["user: first line"] per job). *)

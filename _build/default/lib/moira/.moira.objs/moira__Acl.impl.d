@@ -1,0 +1,1 @@
+lib/moira/acl.ml: Array Hashtbl Int List Lookup Mdb Mr_err Option Pred Printf Relation String Table Value

@@ -1,0 +1,1 @@
+lib/moira/catalog.ml: List Mr_err Printf Q_cluster Q_filesys Q_list Q_misc Q_server Q_users Q_zephyr Query String

@@ -1,0 +1,1 @@
+lib/moira/catalog.mli: Mdb Query

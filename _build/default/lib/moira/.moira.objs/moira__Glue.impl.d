@@ -1,0 +1,1 @@
+lib/moira/glue.ml: List Mdb Query

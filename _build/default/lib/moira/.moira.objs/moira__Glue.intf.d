@@ -1,0 +1,1 @@
+lib/moira/glue.mli: Mdb Query

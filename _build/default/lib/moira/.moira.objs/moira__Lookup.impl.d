@@ -1,0 +1,1 @@
+lib/moira/lookup.ml: Int List Mdb Option Pred Relation String Table Value

@@ -1,0 +1,1 @@
+lib/moira/lookup.mli: Mdb Relation

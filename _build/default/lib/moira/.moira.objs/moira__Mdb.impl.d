@@ -1,0 +1,1 @@
+lib/moira/mdb.ml: Array Db Journal List Lock Pred Relation Schema_def Table Value

@@ -1,0 +1,1 @@
+lib/moira/mdb.mli: Relation

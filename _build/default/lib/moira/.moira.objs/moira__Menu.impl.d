@@ -1,0 +1,1 @@
+lib/moira/menu.ml: List Mr_util Printf

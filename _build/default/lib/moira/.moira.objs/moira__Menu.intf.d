@@ -1,0 +1,1 @@
+lib/moira/menu.mli:

@@ -1,0 +1,1 @@
+lib/moira/mr_client.ml: Gdb Krb List Mr_err Netsim Protocol

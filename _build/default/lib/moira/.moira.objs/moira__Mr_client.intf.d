@@ -1,0 +1,1 @@
+lib/moira/mr_client.mli: Krb Netsim

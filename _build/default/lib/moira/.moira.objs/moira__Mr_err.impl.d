@@ -1,0 +1,1 @@
+lib/moira/mr_err.ml: Comerr

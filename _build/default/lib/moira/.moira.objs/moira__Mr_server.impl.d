@@ -1,0 +1,1 @@
+lib/moira/mr_server.ml: Catalog Gdb Hashtbl Krb List Mdb Mr_err Protocol Query String

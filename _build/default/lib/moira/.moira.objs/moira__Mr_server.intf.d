@@ -1,0 +1,1 @@
+lib/moira/mr_server.mli: Gdb Krb Mdb Netsim Query

@@ -1,0 +1,1 @@
+lib/moira/mr_util.ml: Hashtbl List Lookup Mrconst Option Printf String

@@ -1,0 +1,1 @@
+lib/moira/mrconst.ml:

@@ -1,0 +1,1 @@
+lib/moira/q_cluster.ml: Array Glob List Lookup Mdb Mr_err Pred Qlib Query Relation Table Value

@@ -1,0 +1,1 @@
+lib/moira/q_list.ml: Acl Array Glob Int List Lookup Mdb Mr_err Mrconst Option Pred Printf Qlib Query Relation String Table Value

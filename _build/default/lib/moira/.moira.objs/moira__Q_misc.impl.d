@@ -1,0 +1,1 @@
+lib/moira/q_misc.ml: Acl Glob List Lookup Mdb Mr_err Option Pred Qlib Query Relation String Table Value

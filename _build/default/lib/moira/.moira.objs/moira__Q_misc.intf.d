@@ -1,0 +1,1 @@
+lib/moira/q_misc.mli: Query

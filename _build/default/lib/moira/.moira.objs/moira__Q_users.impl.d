@@ -1,0 +1,1 @@
+lib/moira/q_users.ml: Acl Array Int List Lookup Mdb Mr_err Mrconst Option Pred Printf Qlib Query Relation String Table Value

@@ -1,0 +1,1 @@
+lib/moira/q_zephyr.ml: Acl List Mdb Mr_err Pred Qlib Query Relation Table Value

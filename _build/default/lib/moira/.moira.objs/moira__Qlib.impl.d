@@ -1,0 +1,1 @@
+lib/moira/qlib.ml: Glob List Lookup Mdb Mr_err Query Relation String Table Value

@@ -1,0 +1,1 @@
+lib/moira/qlib.mli: Query Relation

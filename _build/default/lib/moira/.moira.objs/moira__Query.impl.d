@@ -1,0 +1,1 @@
+lib/moira/query.ml: Acl Hashtbl List Mdb Mr_err Mrconst Printf Relation String

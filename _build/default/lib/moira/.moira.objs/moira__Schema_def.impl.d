@@ -1,0 +1,1 @@
+lib/moira/schema_def.ml: Db List Relation Schema Table Value

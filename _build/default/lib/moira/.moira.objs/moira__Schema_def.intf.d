@@ -1,0 +1,1 @@
+lib/moira/schema_def.mli: Relation

@@ -1,0 +1,100 @@
+let standard () =
+  Q_users.queries @ Q_cluster.queries @ Q_list.queries @ Q_server.queries
+  @ Q_filesys.queries @ Q_zephyr.queries @ Q_misc.queries
+
+let bind_database mdb qs =
+  List.map
+    (fun q ->
+      {
+        q with
+        Query.check_access =
+          (fun ctx args ->
+            q.Query.check_access { ctx with Query.mdb } args);
+        handler =
+          (fun ctx args -> q.Query.handler { ctx with Query.mdb } args);
+      })
+    qs
+
+let rename ~name ~short q = { q with Query.name; short }
+
+let make ?(list_users = fun () -> []) ?(trigger_dcm = fun () -> ())
+    ?(extra = []) () =
+  let registry = ref None in
+  let get_registry () =
+    match !registry with Some r -> r | None -> assert false
+  in
+  let q_help =
+    {
+      Query.name = "_help";
+      short = "_hlp";
+      kind = Retrieve;
+      inputs = [ "query" ];
+      outputs = [ "help_message" ];
+      check_access = Query.access_anyone;
+      handler =
+        (fun _ctx args ->
+          match args with
+          | [ name ] -> (
+              match Query.find (get_registry ()) name with
+              | None -> Error Mr_err.no_handle
+              | Some q ->
+                  let msg =
+                    Printf.sprintf "%s, %s: (%s) => (%s)" q.Query.name
+                      q.Query.short
+                      (String.concat ", " q.Query.inputs)
+                      (String.concat ", " q.Query.outputs)
+                  in
+                  Ok [ [ msg ] ])
+          | _ -> Error Mr_err.args);
+    }
+  in
+  let q_list_queries =
+    {
+      Query.name = "_list_queries";
+      short = "_lqu";
+      kind = Retrieve;
+      inputs = [];
+      outputs = [ "long_query_name"; "short_query_name" ];
+      check_access = Query.access_anyone;
+      handler =
+        (fun _ctx _ ->
+          Ok
+            (List.map
+               (fun q -> [ q.Query.name; q.Query.short ])
+               (Query.all (get_registry ()))));
+    }
+  in
+  let q_list_users =
+    {
+      Query.name = "_list_users";
+      short = "_lus";
+      kind = Retrieve;
+      inputs = [];
+      outputs =
+        [ "kerberos_principal"; "host_address"; "port_number";
+          "connect_time"; "client_number" ];
+      check_access = Query.access_anyone;
+      handler = (fun _ctx _ -> Ok (list_users ()));
+    }
+  in
+  let q_trigger_dcm =
+    {
+      Query.name = "trigger_dcm";
+      short = "tdcm";
+      kind = Update;
+      inputs = [];
+      outputs = [];
+      check_access = Query.access_acl "trigger_dcm";
+      handler =
+        (fun _ctx _ ->
+          trigger_dcm ();
+          Ok []);
+    }
+  in
+  let r =
+    Query.make_registry
+      (standard () @ extra
+      @ [ q_help; q_list_queries; q_list_users; q_trigger_dcm ])
+  in
+  registry := Some r;
+  r

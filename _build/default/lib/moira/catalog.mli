@@ -1,0 +1,34 @@
+(** The full predefined-query catalogue: every handle of paper section 7
+    plus the built-in specials of section 7.0.8 ([_help], [_list_queries],
+    [_list_users]) and the [trigger_dcm] pseudo-query used for access
+    checks on the Trigger_DCM protocol request. *)
+
+val standard : unit -> Query.t list
+(** The ordinary handles (sections 7.0.1–7.0.7). *)
+
+val make :
+  ?list_users:(unit -> string list list) ->
+  ?trigger_dcm:(unit -> unit) ->
+  ?extra:Query.t list ->
+  unit ->
+  Query.registry
+(** Build the registry.  [list_users] supplies the server's live
+    connection tuples for [_list_users] (defaults to empty).
+    [trigger_dcm] runs when the [trigger_dcm] handle executes (defaults
+    to a no-op); its capacls entry (tag ["tdcm"]) governs who may fire
+    the DCM out of schedule.  [extra] adds further handles — e.g. ones
+    produced by {!bind_database} and {!rename} for a secondary
+    database. *)
+
+val bind_database : Mdb.t -> Query.t list -> Query.t list
+(** The multiple-database mechanism of paper section 5.1.D ("the
+    ultimate capability of Moira supporting multiple databases through
+    the same query mechanism ... the application merely passes a query
+    handle to a function, which then resolves the database and query"):
+    rebind each handle so that its access rule and handler run against
+    the given database context, whatever the server's primary database
+    is.  Combine with {!rename} to give the bound handles their own
+    names. *)
+
+val rename : name:string -> short:string -> Query.t -> Query.t
+(** A copy of the handle under a new long/short name pair. *)

@@ -1,0 +1,96 @@
+open Relation
+
+type t = {
+  db : Db.t;
+  journal : Journal.t;
+  locks : Lock.t;
+}
+
+let create ~clock =
+  {
+    db = Schema_def.create_db ~clock;
+    journal = Journal.create ();
+    locks = Lock.create ();
+  }
+
+let db t = t.db
+let journal t = t.journal
+let locks t = t.locks
+let now t = Db.now t.db
+let table t name = Db.table t.db name
+
+let get_value t name =
+  match Table.select_one (table t "values") (Pred.eq_str "name" name) with
+  | Some (_, row) -> Some (Value.int row.(1))
+  | None -> None
+
+let set_value t name v =
+  let tbl = table t "values" in
+  let n =
+    Table.set_fields tbl (Pred.eq_str "name" name) [ ("value", Value.Int v) ]
+  in
+  if n = 0 then
+    ignore (Table.insert tbl [| Value.Str name; Value.Int v |])
+
+let alloc_id t hint =
+  match get_value t hint with
+  | Some v ->
+      set_value t hint (v + 1);
+      v
+  | None ->
+      (* Unknown hint: start a fresh counter high enough to be unique. *)
+      set_value t hint 100_001;
+      100_000
+
+let find_string t s =
+  match Table.select_one (table t "strings") (Pred.eq_str "string" s) with
+  | Some (_, row) -> Some (Value.int row.(0))
+  | None -> None
+
+let intern_string t s =
+  match find_string t s with
+  | Some id -> id
+  | None ->
+      let id = alloc_id t "string_id" in
+      ignore (Table.insert (table t "strings") [| Value.Int id; Value.Str s |]);
+      id
+
+let string_of_id t id =
+  match Table.select_one (table t "strings") (Pred.eq_int "string_id" id) with
+  | Some (_, row) -> Some (Value.str row.(1))
+  | None -> None
+
+let valid_type t ~field v =
+  Table.exists (table t "alias")
+    (Pred.conj
+       [ Pred.eq_str "name" field; Pred.eq_str "type" "TYPE";
+         Pred.eq_str "trans" v ])
+
+let type_values t ~field =
+  Table.select (table t "alias")
+    (Pred.conj [ Pred.eq_str "name" field; Pred.eq_str "type" "TYPE" ])
+  |> List.map (fun (_, row) -> Value.str row.(2))
+
+let stamp t ~who ~client ~prefix =
+  [
+    (prefix ^ "modtime", Value.Int (now t));
+    (prefix ^ "modby", Value.Str who);
+    (prefix ^ "modwith", Value.Str client);
+  ]
+
+let sync_tblstats t =
+  let stats_tbl = table t "tblstats" in
+  List.iter
+    (fun (name, tbl) ->
+      if name <> "tblstats" then begin
+        let s = Table.stats tbl in
+        ignore
+          (Table.set_fields stats_tbl (Pred.eq_str "table" name)
+             [
+               ("appends", Value.Int s.Table.appends);
+               ("updates", Value.Int s.Table.updates);
+               ("deletes", Value.Int s.Table.deletes);
+               ("modtime", Value.Int s.Table.modtime);
+             ])
+      end)
+    (Db.tables t.db)

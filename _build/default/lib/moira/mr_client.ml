@@ -1,0 +1,90 @@
+type t = {
+  net : Netsim.Net.t;
+  src : string;
+  mutable conn : Gdb.Client.t option;
+}
+
+let create net ~src = { net; src; conn = None }
+
+let code_of_gdb_error = function
+  | Gdb.Client.Net Netsim.Net.No_host -> Mr_err.cant_connect
+  | Gdb.Client.Net Netsim.Net.No_service -> Mr_err.cant_connect
+  | Gdb.Client.Net _ -> Mr_err.aborted
+  | Gdb.Client.Protocol _ -> Mr_err.aborted
+  | Gdb.Client.Rpc code ->
+      if code = Gdb.Gdb_err.version_skew then Mr_err.version_skew
+      else Mr_err.aborted
+
+let mr_connect t ~dst =
+  match t.conn with
+  | Some c when Gdb.Client.is_connected c -> Mr_err.already_connected
+  | _ -> (
+      match
+        Gdb.Client.connect t.net ~src:t.src ~dst
+          ~service:Protocol.moira_service
+      with
+      | Ok c ->
+          t.conn <- Some c;
+          0
+      | Error e -> code_of_gdb_error e)
+
+let with_conn t f =
+  match t.conn with
+  | Some c when Gdb.Client.is_connected c -> f c
+  | _ -> Mr_err.not_connected
+
+let mr_disconnect t =
+  match t.conn with
+  | Some c when Gdb.Client.is_connected c ->
+      ignore (Gdb.Client.disconnect c);
+      t.conn <- None;
+      0
+  | _ -> Mr_err.not_connected
+
+let mr_noop t =
+  with_conn t (fun c ->
+      match Gdb.Client.call c ~op:Protocol.op_noop [] with
+      | Ok (code, _) -> code
+      | Error e -> code_of_gdb_error e)
+
+let mr_auth_creds t ~kdc ~creds ~clientname =
+  with_conn t (fun c ->
+      let authenticator = Krb.Kdc.mk_req kdc creds in
+      match
+        Gdb.Client.call c ~op:Protocol.op_auth [ authenticator; clientname ]
+      with
+      | Ok (code, _) -> code
+      | Error e -> code_of_gdb_error e)
+
+let mr_auth t ~kdc ~principal ~password ~clientname =
+  with_conn t (fun _ ->
+      match
+        Krb.Kdc.get_ticket kdc ~principal ~password
+          ~service:Protocol.moira_service
+      with
+      | Error code -> code
+      | Ok creds -> mr_auth_creds t ~kdc ~creds ~clientname)
+
+let mr_access t ~name args =
+  with_conn t (fun c ->
+      match Gdb.Client.call c ~op:Protocol.op_access (name :: args) with
+      | Ok (code, _) -> code
+      | Error e -> code_of_gdb_error e)
+
+let mr_query t ~name args ~callback =
+  with_conn t (fun c ->
+      match Gdb.Client.call c ~op:Protocol.op_query (name :: args) with
+      | Ok (0, tuples) ->
+          List.iter callback tuples;
+          0
+      | Ok (code, _) -> code
+      | Error e -> code_of_gdb_error e)
+
+let mr_query_list t ~name args =
+  let acc = ref [] in
+  match mr_query t ~name args ~callback:(fun tu -> acc := tu :: !acc) with
+  | 0 -> Ok (List.rev !acc)
+  | code -> Error code
+
+let is_connected t =
+  match t.conn with Some c -> Gdb.Client.is_connected c | None -> false

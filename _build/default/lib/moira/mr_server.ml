@@ -1,0 +1,156 @@
+type conn_state = {
+  mutable principal : string;
+  mutable client_name : string;
+}
+
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  mdb : Mdb.t;
+  registry : Query.registry;
+  gdb : conn_state Gdb.Server.t;
+  mutable queries_served : int;
+  (* The access cache the paper anticipates in section 5.5: verdicts of
+     Access requests keyed by (principal, query, args), flushed whenever
+     any side-effecting query commits (ACLs live in the database, so any
+     write may change them; flushing on every write is conservative but
+     always correct). *)
+  access_cache : (string, int) Hashtbl.t option;
+  cache_stats : cache_stats;
+}
+
+let registry t = t.registry
+let mdb t = t.mdb
+let queries_served t = t.queries_served
+let connection_count t = Gdb.Server.connection_count t.gdb
+let access_cache_stats t = t.cache_stats
+
+let cache_key principal name args =
+  String.concat "\000" (principal :: name :: args)
+
+let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
+    ?extra_queries ~net ~host ~mdb ~kdc ?(trigger_dcm = fun () -> ()) () =
+  ignore (Krb.Kdc.register_service kdc Protocol.moira_service);
+  let krb_ctx =
+    match Krb.Kdc.server_ctx kdc ~service:Protocol.moira_service with
+    | Ok ctx -> ctx
+    | Error _ -> assert false (* we just registered the service *)
+  in
+  let t_ref = ref None in
+  let list_users () =
+    match !t_ref with
+    | None -> []
+    | Some t ->
+        List.map
+          (fun (info : conn_state Gdb.Server.conn_info) ->
+            [
+              info.Gdb.Server.state.principal;
+              info.peer;
+              (* ephemeral client port, synthesized from the conn id *)
+              string_of_int (1024 + info.conn_id);
+              string_of_int (info.connect_time / 1000);
+              string_of_int info.conn_id;
+            ])
+          (Gdb.Server.connections t.gdb)
+  in
+  let registry =
+    Catalog.make ~list_users ~trigger_dcm ?extra:extra_queries ()
+  in
+  let ctx_of (info : conn_state Gdb.Server.conn_info) =
+    {
+      Query.mdb;
+      caller = info.state.principal;
+      client = info.state.client_name;
+      privileged = false;
+    }
+  in
+  let do_access t info name args =
+    let check () =
+      match Query.check registry (ctx_of info) ~name args with
+      | Ok () -> 0
+      | Error code -> code
+    in
+    match t.access_cache with
+    | None -> check ()
+    | Some cache -> (
+        let key = cache_key info.Gdb.Server.state.principal name args in
+        match Hashtbl.find_opt cache key with
+        | Some verdict ->
+            t.cache_stats.hits <- t.cache_stats.hits + 1;
+            verdict
+        | None ->
+            t.cache_stats.misses <- t.cache_stats.misses + 1;
+            let verdict = check () in
+            Hashtbl.replace cache key verdict;
+            verdict)
+  in
+  let invalidate t =
+    match t.access_cache with
+    | Some cache when Hashtbl.length cache > 0 ->
+        t.cache_stats.invalidations <- t.cache_stats.invalidations + 1;
+        Hashtbl.reset cache
+    | _ -> ()
+  in
+  let handler info (req : Gdb.Wire.request) =
+    let t = match !t_ref with Some t -> t | None -> assert false in
+    if req.op = Protocol.op_noop then (0, [])
+    else if req.op = Protocol.op_auth then begin
+      match req.args with
+      | [ authenticator; client_name ] -> (
+          match Krb.Kdc.rd_req krb_ctx authenticator with
+          | Ok principal ->
+              info.Gdb.Server.state.principal <- principal;
+              info.state.client_name <- client_name;
+              (0, [])
+          | Error code -> (code, []))
+      | _ -> (Mr_err.args, [])
+    end
+    else if req.op = Protocol.op_query then begin
+      t.queries_served <- t.queries_served + 1;
+      match req.args with
+      | name :: args -> (
+          match Query.execute registry (ctx_of info) ~name args with
+          | Ok tuples ->
+              (match Query.find registry name with
+              | Some q when q.Query.kind <> Query.Retrieve -> invalidate t
+              | _ -> ());
+              (0, tuples)
+          | Error code -> (code, []))
+      | [] -> (Mr_err.args, [])
+    end
+    else if req.op = Protocol.op_access then begin
+      match req.args with
+      | name :: args -> (do_access t info name args, [])
+      | [] -> (Mr_err.args, [])
+    end
+    else if req.op = Protocol.op_trigger_dcm then begin
+      match
+        Query.execute registry (ctx_of info) ~name:"trigger_dcm" []
+      with
+      | Ok _ -> (0, [])
+      | Error code -> (code, [])
+    end
+    else (Mr_err.no_handle, [])
+  in
+  let gdb =
+    Gdb.Server.create ~backend ~net ~host ~service:Protocol.moira_service
+      ~init:(fun ~peer:_ -> { principal = ""; client_name = "" })
+      ~handler ()
+  in
+  let t =
+    {
+      mdb;
+      registry;
+      gdb;
+      queries_served = 0;
+      access_cache =
+        (if access_cache then Some (Hashtbl.create 256) else None);
+      cache_stats = { hits = 0; misses = 0; invalidations = 0 };
+    }
+  in
+  t_ref := Some t;
+  t

@@ -1,0 +1,50 @@
+(** The Moira server (paper section 5.4): a single process on the
+    database machine servicing every client connection through the GDB
+    RPC layer.  The database backend is started once, at daemon startup —
+    the design point benchmarked against the per-connection spawning of
+    Moira's predecessor Athenareg (experiment E3). *)
+
+type t
+
+type cache_stats = {
+  mutable hits : int;  (** Access verdicts served from the cache. *)
+  mutable misses : int;  (** Access verdicts computed. *)
+  mutable invalidations : int;  (** Cache flushes (on any write). *)
+}
+
+val create :
+  ?backend:Gdb.Server.backend_cost ->
+  ?access_cache:bool ->
+  ?extra_queries:Query.t list ->
+  net:Netsim.Net.t ->
+  host:Netsim.Host.t ->
+  mdb:Mdb.t ->
+  kdc:Krb.Kdc.t ->
+  ?trigger_dcm:(unit -> unit) ->
+  unit ->
+  t
+(** Start the server on [host]: registers the [moira] Kerberos service
+    (reading its srvtab), builds the query catalogue, and begins
+    accepting connections.  [backend] models the database backend
+    startup cost (default: [Per_server 1500] ms, the one-time INGRES
+    spawn).  [access_cache] (default off) enables the server-side
+    caching of Access verdicts the paper anticipates in section 5.5;
+    the cache is flushed whenever a side-effecting query commits.
+    [extra_queries] adds handles beyond the standard catalogue (e.g.
+    ones bound to a secondary database with [Catalog.bind_database]).
+    [trigger_dcm] is invoked by the Trigger_DCM request. *)
+
+val access_cache_stats : t -> cache_stats
+(** Live counters of the access cache (zeros when disabled). *)
+
+val registry : t -> Query.registry
+(** The server's query catalogue (shared with glue-library users). *)
+
+val mdb : t -> Mdb.t
+(** The database context the server fronts. *)
+
+val queries_served : t -> int
+(** Number of Query requests processed. *)
+
+val connection_count : t -> int
+(** Live client connections. *)

@@ -1,0 +1,43 @@
+(** Constants from <moira.h>. *)
+
+val unique_uid : string
+(** Passed as the [uid] argument of [add_user] to request allocation of
+    the next unused uid. *)
+
+val unique_login : string
+(** Passed as the [login] argument of [add_user] to request a placeholder
+    login of ["#<uid>"] (a not-yet-registered account). *)
+
+val unique_gid : string
+(** Passed as the [gid] argument of [add_list] to request allocation of a
+    fresh unix group id. *)
+
+val fs_student : int
+(** nfsphys [status] bit 0: student lockers. *)
+
+val fs_faculty : int
+(** nfsphys [status] bit 1: faculty lockers. *)
+
+val fs_staff : int
+(** nfsphys [status] bit 2: staff lockers. *)
+
+val fs_misc : int
+(** nfsphys [status] bit 3: miscellaneous. *)
+
+val user_not_registered : int
+(** users.status 0 — not registered, but registerable. *)
+
+val user_active : int
+(** users.status 1 — active account. *)
+
+val user_half_registered : int
+(** users.status 2 — half-registered. *)
+
+val user_deleted : int
+(** users.status 3 — marked for deletion. *)
+
+val user_not_registerable : int
+(** users.status 4 — not registerable. *)
+
+val max_field_len : int
+(** Longest accepted query argument; beyond it MR_ARG_TOO_LONG. *)

@@ -1,0 +1,24 @@
+(** Major request numbers of the Moira protocol (paper section 5.3),
+    allocated above the GDB framing ops. *)
+
+val op_noop : int
+(** Do nothing — for testing and profiling of the RPC layer. *)
+
+val op_auth : int
+(** Authenticate: args are the Kerberos authenticator blob and the client
+    program name; later requests act as the authenticated principal. *)
+
+val op_query : int
+(** Run a predefined query: args are the handle name then its arguments;
+    retrieved tuples come back in the reply. *)
+
+val op_access : int
+(** Check access to a query without running it. *)
+
+val op_trigger_dcm : int
+(** Ask the server to spawn a DCM pass now (access-checked against the
+    [trigger_dcm] pseudo-query). *)
+
+val moira_service : string
+(** The service name the Moira server registers under (both on the
+    simulated host and as a Kerberos service principal). *)

@@ -1,0 +1,4 @@
+(** Query handles for machines and clusters (paper section 7.0.2). *)
+
+val queries : Query.t list
+(** The handles this module contributes to the catalogue. *)

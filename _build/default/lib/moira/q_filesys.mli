@@ -1,0 +1,5 @@
+(** Query handles for filesystems, NFS physical partitions and quotas
+    (paper section 7.0.5). *)
+
+val queries : Query.t list
+(** The handles this module contributes to the catalogue. *)

@@ -1,0 +1,4 @@
+(** Query handles for lists and list membership (paper section 7.0.3). *)
+
+val queries : Query.t list
+(** The handles this module contributes to the catalogue. *)

@@ -1,0 +1,5 @@
+(** Miscellaneous query handles (paper section 7.0.7): host access,
+    network services, printcaps, aliases, values and table statistics. *)
+
+val queries : Query.t list
+(** The handles this module contributes to the catalogue. *)

@@ -1,0 +1,5 @@
+(** Query handles for servers and server/host tuples (paper section
+    7.0.4) — the data the DCM drives updates from. *)
+
+val queries : Query.t list
+(** The handles this module contributes to the catalogue. *)

@@ -1,0 +1,4 @@
+(** Query handles for users (paper section 7.0.1). *)
+
+val queries : Query.t list
+(** The handles this module contributes to the catalogue. *)

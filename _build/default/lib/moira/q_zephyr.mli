@@ -1,0 +1,4 @@
+(** Query handles for Zephyr class ACLs (paper section 7.0.6). *)
+
+val queries : Query.t list
+(** The handles this module contributes to the catalogue. *)

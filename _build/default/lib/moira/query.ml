@@ -1,0 +1,89 @@
+type ctx = {
+  mdb : Mdb.t;
+  caller : string;
+  client : string;
+  privileged : bool;
+}
+
+type kind = Retrieve | Append | Update | Delete
+
+type t = {
+  name : string;
+  short : string;
+  kind : kind;
+  inputs : string list;
+  outputs : string list;
+  check_access : ctx -> string list -> (unit, int) result;
+  handler : ctx -> string list -> (string list list, int) result;
+}
+
+let access_anyone _ctx _args = Ok ()
+
+let access_acl qname ctx _args =
+  if Acl.query_allowed ctx.mdb ~query:qname ~login:ctx.caller then Ok ()
+  else Error Mr_err.perm
+
+let access_acl_or qname special ctx args =
+  if Acl.query_allowed ctx.mdb ~query:qname ~login:ctx.caller then Ok ()
+  else if special ctx args then Ok ()
+  else Error Mr_err.perm
+
+type registry = {
+  by_name : (string, t) Hashtbl.t;
+  mutable items : t list;
+}
+
+let make_registry qs =
+  let r = { by_name = Hashtbl.create 256; items = [] } in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun key ->
+          if Hashtbl.mem r.by_name key then
+            invalid_arg
+              (Printf.sprintf "Query.make_registry: duplicate name %S" key);
+          Hashtbl.replace r.by_name key q)
+        [ q.name; q.short ])
+    qs;
+  r.items <- List.sort (fun a b -> String.compare a.name b.name) qs;
+  r
+
+let find r name = Hashtbl.find_opt r.by_name name
+let all r = r.items
+
+let args_ok q args =
+  if List.length args <> List.length q.inputs then Error Mr_err.args
+  else if
+    List.exists (fun a -> String.length a > Mrconst.max_field_len) args
+  then Error Mr_err.arg_too_long
+  else Ok ()
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check r ctx ~name args =
+  match find r name with
+  | None -> Error Mr_err.no_handle
+  | Some q ->
+      let* () = args_ok q args in
+      if ctx.privileged then Ok () else q.check_access ctx args
+
+let execute r ctx ~name args =
+  match find r name with
+  | None -> Error Mr_err.no_handle
+  | Some q ->
+      let* () = args_ok q args in
+      let* () =
+        if ctx.privileged then Ok () else q.check_access ctx args
+      in
+      let* tuples = q.handler ctx args in
+      (match q.kind with
+      | Retrieve -> ()
+      | Append | Update | Delete ->
+          Relation.Journal.append (Mdb.journal ctx.mdb)
+            {
+              Relation.Journal.time = Mdb.now ctx.mdb;
+              who = (if ctx.caller = "" then "(direct)" else ctx.caller);
+              query = q.name;
+              args;
+            });
+      Ok tuples

@@ -1,0 +1,74 @@
+(** The predefined-query mechanism (paper section 7).
+
+    All database access goes through named query handles.  A handle has a
+    long name ([get_user_by_login]), a four-character short name
+    ([gubl]), fixed argument and result signatures, an access rule, and a
+    handler.  The server resolves either name, checks arguments and
+    access, runs the handler, and journals successful side-effecting
+    queries. *)
+
+type ctx = {
+  mdb : Mdb.t;  (** The database context. *)
+  caller : string;  (** Authenticated principal ([""] if unauthenticated). *)
+  client : string;  (** Client program name (recorded in [modwith]). *)
+  privileged : bool;  (** Direct/glue callers bypass access control. *)
+}
+
+type kind = Retrieve | Append | Update | Delete
+(** The paper's four query classes. *)
+
+type t = {
+  name : string;  (** Long name. *)
+  short : string;  (** Four-character tag. *)
+  kind : kind;
+  inputs : string list;  (** Argument names (arity is enforced). *)
+  outputs : string list;  (** Names of returned tuple fields. *)
+  check_access : ctx -> string list -> (unit, int) result;
+      (** Access rule, consulted for the [Access] RPC and before
+          execution (unless the context is privileged). *)
+  handler : ctx -> string list -> (string list list, int) result;
+      (** The implementation: returns tuples or a com_err code. *)
+}
+
+(** {1 Access-rule builders} *)
+
+val access_anyone : ctx -> string list -> (unit, int) result
+(** Always allowed ("safe for the query ACL to be the list containing
+    everybody"). *)
+
+val access_acl : string -> ctx -> string list -> (unit, int) result
+(** Allowed iff the caller is on the query's capability ACL
+    (capacls relation, recursive list membership). *)
+
+val access_acl_or :
+  string ->
+  (ctx -> string list -> bool) ->
+  ctx -> string list -> (unit, int) result
+(** Capability ACL, or the query-specific rule (e.g. "the target user may
+    run this about himself"). *)
+
+(** {1 Registry} *)
+
+type registry
+
+val make_registry : t list -> registry
+(** Index a catalogue by long and short names.
+    @raise Invalid_argument on duplicate names. *)
+
+val find : registry -> string -> t option
+(** Resolve a query by either name. *)
+
+val all : registry -> t list
+(** Every registered query, sorted by long name. *)
+
+val execute :
+  registry -> ctx -> name:string -> string list ->
+  (string list list, int) result
+(** Full dispatch: resolve, arity-check ([Mr_err.args]), length-check
+    ([Mr_err.arg_too_long]), access-check ([Mr_err.perm] unless
+    privileged), run, and journal successful non-retrieve queries. *)
+
+val check :
+  registry -> ctx -> name:string -> string list -> (unit, int) result
+(** The [Access] request: would [execute] be permitted?  Does not run the
+    handler. *)

@@ -1,0 +1,348 @@
+open Relation
+
+let s = Value.TStr
+let i = Value.TInt
+let b = Value.TBool
+
+let col cname ctype = { Schema.cname; ctype }
+
+let audit = [ col "modtime" i; col "modby" s; col "modwith" s ]
+
+let users =
+  Schema.make ~name:"users"
+    ([
+       col "login" s;
+       col "users_id" i;
+       col "uid" i;
+       col "shell" s;
+       col "last" s;
+       col "first" s;
+       col "middle" s;
+       col "status" i;
+       col "mit_id" s;
+       col "mit_year" s;
+     ]
+    @ audit
+    @ [
+        (* finger *)
+        col "fullname" s;
+        col "nickname" s;
+        col "home_addr" s;
+        col "home_phone" s;
+        col "office_addr" s;
+        col "office_phone" s;
+        col "mit_dept" s;
+        col "mit_affil" s;
+        col "fmodtime" i;
+        col "fmodby" s;
+        col "fmodwith" s;
+        (* pobox *)
+        col "potype" s;
+        col "pop_id" i;
+        col "box_id" i;
+        col "pmodtime" i;
+        col "pmodby" s;
+        col "pmodwith" s;
+      ])
+
+let machine =
+  Schema.make ~name:"machine"
+    ([ col "name" s; col "mach_id" i; col "type" s ] @ audit)
+
+let cluster =
+  Schema.make ~name:"cluster"
+    ([ col "name" s; col "clu_id" i; col "desc" s; col "location" s ] @ audit)
+
+let mcmap =
+  Schema.make ~name:"mcmap" [ col "mach_id" i; col "clu_id" i ]
+
+let svc =
+  Schema.make ~name:"svc"
+    [ col "clu_id" i; col "serv_label" s; col "serv_cluster" s ]
+
+let list =
+  Schema.make ~name:"list"
+    ([
+       col "name" s;
+       col "list_id" i;
+       col "active" b;
+       col "public" b;
+       col "hidden" b;
+       col "maillist" b;
+       col "grouplist" b;
+       col "gid" i;
+       col "desc" s;
+       col "acl_type" s;
+       col "acl_id" i;
+     ]
+    @ audit)
+
+let members =
+  Schema.make ~name:"members"
+    [ col "list_id" i; col "member_type" s; col "member_id" i ]
+
+let servers =
+  Schema.make ~name:"servers"
+    ([
+       col "name" s;
+       col "update_int" i;
+       col "target_file" s;
+       col "script" s;
+       col "dfgen" i;
+       col "dfcheck" i;
+       col "type" s;
+       col "enable" b;
+       col "inprogress" b;
+       col "harderror" i;
+       col "errmsg" s;
+       col "acl_type" s;
+       col "acl_id" i;
+     ]
+    @ audit)
+
+let serverhosts =
+  Schema.make ~name:"serverhosts"
+    ([
+       col "service" s;
+       col "mach_id" i;
+       col "enable" b;
+       col "override" b;
+       col "success" b;
+       col "inprogress" b;
+       col "hosterror" i;
+       col "hosterrmsg" s;
+       col "ltt" i;
+       col "lts" i;
+       col "value1" i;
+       col "value2" i;
+       col "value3" s;
+     ]
+    @ audit)
+
+let filesys =
+  Schema.make ~name:"filesys"
+    ([
+       col "label" s;
+       col "order" i;
+       col "filsys_id" i;
+       col "phys_id" i;
+       col "type" s;
+       col "mach_id" i;
+       col "name" s;
+       col "mount" s;
+       col "access" s;
+       col "comments" s;
+       col "owner" i;
+       col "owners" i;
+       col "createflg" b;
+       col "lockertype" s;
+     ]
+    @ audit)
+
+let nfsphys =
+  Schema.make ~name:"nfsphys"
+    ([
+       col "nfsphys_id" i;
+       col "mach_id" i;
+       col "dir" s;
+       col "device" s;
+       col "status" i;
+       col "allocated" i;
+       col "size" i;
+     ]
+    @ audit)
+
+let nfsquota =
+  Schema.make ~name:"nfsquota"
+    ([ col "users_id" i; col "filsys_id" i; col "phys_id" i; col "quota" i ]
+    @ audit)
+
+let zephyr =
+  Schema.make ~name:"zephyr"
+    ([
+       col "class" s;
+       col "xmt_type" s;
+       col "xmt_id" i;
+       col "sub_type" s;
+       col "sub_id" i;
+       col "iws_type" s;
+       col "iws_id" i;
+       col "iui_type" s;
+       col "iui_id" i;
+     ]
+    @ audit)
+
+let hostaccess =
+  Schema.make ~name:"hostaccess"
+    ([ col "mach_id" i; col "acl_type" s; col "acl_id" i ] @ audit)
+
+let strings =
+  Schema.make ~name:"strings" [ col "string_id" i; col "string" s ]
+
+let services =
+  Schema.make ~name:"services"
+    ([ col "name" s; col "protocol" s; col "port" i; col "desc" s ] @ audit)
+
+let printcap =
+  Schema.make ~name:"printcap"
+    ([ col "name" s; col "mach_id" i; col "dir" s; col "rp" s;
+       col "comments" s ]
+    @ audit)
+
+let capacls =
+  Schema.make ~name:"capacls"
+    [ col "capability" s; col "tag" s; col "list_id" i ]
+
+let alias =
+  Schema.make ~name:"alias" [ col "name" s; col "type" s; col "trans" s ]
+
+let values = Schema.make ~name:"values" [ col "name" s; col "value" i ]
+
+let tblstats =
+  Schema.make ~name:"tblstats"
+    [
+      col "table" s;
+      col "retrieves" i;
+      col "appends" i;
+      col "updates" i;
+      col "deletes" i;
+      col "modtime" i;
+    ]
+
+let all =
+  [
+    users; machine; cluster; mcmap; svc; list; members; servers; serverhosts;
+    filesys; nfsphys; nfsquota; zephyr; hostaccess; strings; services;
+    printcap; capacls; alias; values; tblstats;
+  ]
+
+let indexed_columns = function
+  | "users" -> [ "login"; "users_id"; "uid" ]
+  | "machine" -> [ "name"; "mach_id" ]
+  | "cluster" -> [ "name"; "clu_id" ]
+  | "mcmap" -> [ "mach_id"; "clu_id" ]
+  | "svc" -> [ "clu_id" ]
+  | "list" -> [ "name"; "list_id" ]
+  | "members" -> [ "list_id"; "member_id" ]
+  | "servers" -> [ "name" ]
+  | "serverhosts" -> [ "service"; "mach_id" ]
+  | "filesys" -> [ "label"; "filsys_id"; "mach_id"; "phys_id" ]
+  | "nfsphys" -> [ "nfsphys_id"; "mach_id" ]
+  | "nfsquota" -> [ "users_id"; "filsys_id"; "phys_id" ]
+  | "zephyr" -> [ "class" ]
+  | "hostaccess" -> [ "mach_id" ]
+  | "strings" -> [ "string_id"; "string" ]
+  | "services" -> [ "name" ]
+  | "printcap" -> [ "name" ]
+  | "capacls" -> [ "capability" ]
+  | "alias" -> [ "name"; "type" ]
+  | "values" -> [ "name" ]
+  | "tblstats" -> [ "table" ]
+  | _ -> []
+
+(* Bootstrap rows.  Type-checking aliases: (name, TYPE, legal value); type
+   translations: (TYPE-STRING, TYPEDATA, underlying type).  Section 6,
+   ALIAS table. *)
+let bootstrap_aliases =
+  [
+    (* alias types themselves are type-checked *)
+    ("alias", "TYPE", "TYPE");
+    ("alias", "TYPE", "PRINTER");
+    ("alias", "TYPE", "SERVICE");
+    ("alias", "TYPE", "FILESYS");
+    ("alias", "TYPE", "TYPEDATA");
+    (* ace types *)
+    ("ace_type", "TYPE", "USER");
+    ("ace_type", "TYPE", "LIST");
+    ("ace_type", "TYPE", "NONE");
+    (* member types *)
+    ("member", "TYPE", "USER");
+    ("member", "TYPE", "LIST");
+    ("member", "TYPE", "STRING");
+    (* machine types *)
+    ("mach_type", "TYPE", "VAX");
+    ("mach_type", "TYPE", "RT");
+    (* pobox types *)
+    ("pobox", "TYPE", "POP");
+    ("pobox", "TYPE", "SMTP");
+    ("pobox", "TYPE", "NONE");
+    ("POP", "TYPEDATA", "machine");
+    ("SMTP", "TYPEDATA", "string");
+    ("NONE", "TYPEDATA", "none");
+    (* academic classes *)
+    ("class", "TYPE", "1989");
+    ("class", "TYPE", "1990");
+    ("class", "TYPE", "1991");
+    ("class", "TYPE", "1992");
+    ("class", "TYPE", "G");
+    ("class", "TYPE", "FACULTY");
+    ("class", "TYPE", "STAFF");
+    ("class", "TYPE", "OTHER");
+    (* filesystem types *)
+    ("filesys", "TYPE", "NFS");
+    ("filesys", "TYPE", "RVD");
+    ("filesys", "TYPE", "ERR");
+    (* locker types *)
+    ("lockertype", "TYPE", "HOMEDIR");
+    ("lockertype", "TYPE", "PROJECT");
+    ("lockertype", "TYPE", "COURSE");
+    ("lockertype", "TYPE", "SYSTEM");
+    ("lockertype", "TYPE", "OTHER");
+    (* service types for the DCM *)
+    ("service", "TYPE", "UNIQUE");
+    ("service", "TYPE", "REPLICAT");
+    (* protocols *)
+    ("protocol", "TYPE", "TCP");
+    ("protocol", "TYPE", "UDP");
+    (* service cluster labels *)
+    ("slabel", "TYPE", "usrlib");
+    ("slabel", "TYPE", "syslib");
+    ("slabel", "TYPE", "zephyr");
+    ("slabel", "TYPE", "lpr");
+  ]
+
+let bootstrap_values =
+  [
+    ("users_id", 100);
+    ("list_id", 100);
+    ("mach_id", 100);
+    ("clu_id", 100);
+    ("filsys_id", 100);
+    ("nfsphys_id", 100);
+    ("string_id", 100);
+    ("uid", 6500);
+    ("gid", 10900);
+    ("def_quota", 300);
+    ("dcm_enable", 1);
+  ]
+
+let create_db ~clock =
+  let db = Db.create ~clock in
+  List.iter
+    (fun schema ->
+      let name = Schema.name schema in
+      ignore (Db.add_table ~indexed:(indexed_columns name) db schema))
+    all;
+  let aliases = Db.table db "alias" in
+  List.iter
+    (fun (name, ty, trans) ->
+      ignore
+        (Table.insert aliases
+           [| Value.Str name; Value.Str ty; Value.Str trans |]))
+    bootstrap_aliases;
+  let vals = Db.table db "values" in
+  List.iter
+    (fun (name, v) ->
+      ignore (Table.insert vals [| Value.Str name; Value.Int v |]))
+    bootstrap_values;
+  let stats = Db.table db "tblstats" in
+  List.iter
+    (fun schema ->
+      ignore
+        (Table.insert stats
+           [|
+             Value.Str (Schema.name schema);
+             Value.Int 0; Value.Int 0; Value.Int 0; Value.Int 0; Value.Int 0;
+           |]))
+    all;
+  db

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Hashtbl Host List Printf Sim String

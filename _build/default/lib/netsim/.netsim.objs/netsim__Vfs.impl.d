@@ -1,0 +1,1 @@
+lib/netsim/vfs.ml: List Map String

@@ -1,0 +1,1 @@
+lib/netsim/vfs.mli:

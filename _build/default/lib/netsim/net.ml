@@ -1,0 +1,111 @@
+type failure =
+  | Host_down
+  | No_host
+  | No_service
+  | Timeout
+  | Remote_crash of string
+
+let failure_to_string = function
+  | Host_down -> "host is down"
+  | No_host -> "no such host"
+  | No_service -> "connection refused (no such service)"
+  | Timeout -> "connection timed out"
+  | Remote_crash p -> Printf.sprintf "peer crashed (%s)" p
+
+type stats = {
+  mutable calls : int;
+  mutable bytes : int;
+  mutable failures : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  by_name : (string, Host.t) Hashtbl.t;
+  mutable order : string list;
+  base_rtt_ms : int;
+  per_kb_ms : int;
+  timeout_ms : int;
+  mutable drop_rate : float;
+  stats : stats;
+}
+
+let create ?(base_rtt_ms = 4) ?(per_kb_ms = 1) ?(timeout_ms = 30_000) engine =
+  {
+    engine;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    by_name = Hashtbl.create 31;
+    order = [];
+    base_rtt_ms;
+    per_kb_ms;
+    timeout_ms;
+    drop_rate = 0.0;
+    stats = { calls = 0; bytes = 0; failures = 0 };
+  }
+
+let engine t = t.engine
+
+let add_host t name =
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Net.add_host: duplicate host %S" name);
+  let h = Host.create name in
+  Hashtbl.replace t.by_name name h;
+  t.order <- name :: t.order;
+  h
+
+let host t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some h -> h
+  | None -> raise Not_found
+
+let host_opt t name = Hashtbl.find_opt t.by_name name
+let hosts t = List.rev_map (fun n -> host t n) t.order
+
+let charge t bytes =
+  let cost = t.base_rtt_ms + (t.per_kb_ms * (bytes / 1024)) in
+  Sim.Engine.advance t.engine cost
+
+let fail t failure =
+  t.stats.failures <- t.stats.failures + 1;
+  Error failure
+
+let call t ~src ~dst ~service payload =
+  t.stats.calls <- t.stats.calls + 1;
+  t.stats.bytes <- t.stats.bytes + String.length payload;
+  match Hashtbl.find_opt t.by_name dst with
+  | None ->
+      charge t 0;
+      fail t No_host
+  | Some h when not (Host.is_up h) ->
+      (* A down host looks like a connection that never completes. *)
+      Sim.Engine.advance t.engine t.timeout_ms;
+      fail t Host_down
+  | Some h ->
+      if t.drop_rate > 0.0 && Sim.Rng.chance t.rng t.drop_rate then begin
+        Sim.Engine.advance t.engine t.timeout_ms;
+        fail t Timeout
+      end
+      else begin
+        match Host.lookup h ~service with
+        | None ->
+            charge t 0;
+            fail t No_service
+        | Some handler -> (
+            charge t (String.length payload);
+            match handler ~src payload with
+            | reply ->
+                t.stats.bytes <- t.stats.bytes + String.length reply;
+                charge t (String.length reply);
+                Ok reply
+            | exception Host.Crashed point ->
+                Sim.Engine.advance t.engine t.timeout_ms;
+                fail t (Remote_crash point))
+      end
+
+let set_drop_rate t rate = t.drop_rate <- rate
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.calls <- 0;
+  t.stats.bytes <- 0;
+  t.stats.failures <- 0

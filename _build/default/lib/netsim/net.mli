@@ -1,0 +1,66 @@
+(** The simulated Athena network.
+
+    Synchronous request/reply over virtual links: a call charges latency
+    to the engine clock (base round-trip plus a per-kilobyte transfer
+    cost) and can fail the ways the paper's update protocol must survive —
+    the peer host is down, the service is absent, the link times out, or
+    the peer crashes mid-request.  Link faults are injected
+    deterministically from the engine RNG. *)
+
+type t
+
+(** Why a call failed. *)
+type failure =
+  | Host_down  (** Peer exists but is down (connection times out). *)
+  | No_host  (** No such hostname (connection refused). *)
+  | No_service  (** Host up, nothing listening on that service. *)
+  | Timeout  (** Link-level loss: the request or reply vanished. *)
+  | Remote_crash of string  (** Peer crashed mid-handler, at this point. *)
+
+val failure_to_string : failure -> string
+(** Human-readable failure description. *)
+
+type stats = {
+  mutable calls : int;  (** Total calls attempted. *)
+  mutable bytes : int;  (** Total payload bytes moved (both directions). *)
+  mutable failures : int;  (** Calls that returned an error. *)
+}
+
+val create :
+  ?base_rtt_ms:int -> ?per_kb_ms:int -> ?timeout_ms:int -> Sim.Engine.t -> t
+(** A network on the given engine.  Latency model: each successful call
+    advances the clock by [base_rtt_ms] (default 4) plus [per_kb_ms]
+    (default 1) per KiB of payload moved.  A lost message costs the full
+    [timeout_ms] (default 30_000) before the caller sees {!Timeout} —
+    the paper's "reasonable amount of time" guard. *)
+
+val engine : t -> Sim.Engine.t
+(** The engine this network runs on. *)
+
+val add_host : t -> string -> Host.t
+(** Create and register a host.
+    @raise Invalid_argument on a duplicate name. *)
+
+val host : t -> string -> Host.t
+(** Look up a host.  @raise Not_found if absent. *)
+
+val host_opt : t -> string -> Host.t option
+(** Like {!host} but total. *)
+
+val hosts : t -> Host.t list
+(** All hosts, in registration order. *)
+
+val call :
+  t -> src:string -> dst:string -> service:string -> string ->
+  (string, failure) result
+(** One synchronous request/reply.  Charges latency, applies fault
+    injection, dispatches to the destination host's service handler. *)
+
+val set_drop_rate : t -> float -> unit
+(** Probability that any single call is lost to the network (default 0). *)
+
+val stats : t -> stats
+(** Live traffic counters. *)
+
+val reset_stats : t -> unit
+(** Zero the counters. *)

@@ -1,0 +1,66 @@
+module Smap = Map.Make (String)
+
+type overlay_entry =
+  | Written of string
+  | Removed
+
+type t = {
+  mutable stable : string Smap.t;
+  mutable overlay : overlay_entry Smap.t;
+}
+
+let create () = { stable = Smap.empty; overlay = Smap.empty }
+
+let write t ~path contents =
+  t.overlay <- Smap.add path (Written contents) t.overlay
+
+let read t ~path =
+  match Smap.find_opt path t.overlay with
+  | Some (Written c) -> Some c
+  | Some Removed -> None
+  | None -> Smap.find_opt path t.stable
+
+let exists t ~path = read t ~path <> None
+
+let remove t ~path = t.overlay <- Smap.add path Removed t.overlay
+
+let rename t ~src ~dst =
+  match read t ~path:src with
+  | None -> false
+  | Some contents ->
+      (* Atomic and durable: the whole point of the install step. *)
+      t.stable <- Smap.add dst contents (Smap.remove src t.stable);
+      t.overlay <- Smap.remove src (Smap.remove dst t.overlay);
+      true
+
+let flush t =
+  t.stable <-
+    Smap.fold
+      (fun path entry acc ->
+        match entry with
+        | Written c -> Smap.add path c acc
+        | Removed -> Smap.remove path acc)
+      t.overlay t.stable;
+  t.overlay <- Smap.empty
+
+let crash t = t.overlay <- Smap.empty
+
+let list t =
+  let paths =
+    Smap.fold
+      (fun path entry acc ->
+        match entry with Written _ -> path :: acc | Removed -> acc)
+      t.overlay []
+  in
+  let paths =
+    Smap.fold
+      (fun path _ acc ->
+        match Smap.find_opt path t.overlay with
+        | Some Removed | Some (Written _) -> acc
+        | None -> path :: acc)
+      t.stable paths
+  in
+  List.sort String.compare paths
+
+let size t ~path =
+  match read t ~path with Some c -> String.length c | None -> 0

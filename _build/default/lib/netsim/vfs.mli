@@ -1,0 +1,44 @@
+(** A per-host virtual filesystem with crash semantics.
+
+    Writes land in a volatile overlay; {!flush} commits them to stable
+    storage; a {!crash} discards everything unflushed.  This models the
+    explicit "flush all data on the server to disk" step of the
+    Moira-to-server update protocol (paper section 5.9, transfer phase
+    step 4) and lets tests place crashes between write and flush.
+
+    {!rename} is atomic and, like the paper's install step, requires both
+    paths to be on the same (single) partition — it never copies. *)
+
+type t
+
+val create : unit -> t
+(** An empty filesystem. *)
+
+val write : t -> path:string -> string -> unit
+(** Create or replace a file (volatile until {!flush}). *)
+
+val read : t -> path:string -> string option
+(** Current contents (overlay wins over stable store). *)
+
+val exists : t -> path:string -> bool
+(** Whether the path currently resolves to a file. *)
+
+val remove : t -> path:string -> unit
+(** Delete a file (also volatile until {!flush}). *)
+
+val rename : t -> src:string -> dst:string -> bool
+(** Atomically rename [src] over [dst].  Returns [false] if [src] does
+    not exist.  The rename itself is durable immediately (the underlying
+    rename(2) of the install scripts is assumed ordered). *)
+
+val flush : t -> unit
+(** Commit all volatile writes and deletions to stable storage. *)
+
+val crash : t -> unit
+(** Discard volatile state, keeping only what was flushed or renamed. *)
+
+val list : t -> string list
+(** All current paths, sorted. *)
+
+val size : t -> path:string -> int
+(** Size in bytes of a file, 0 if absent. *)

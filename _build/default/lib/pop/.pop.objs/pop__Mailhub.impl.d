@@ -1,0 +1,1 @@
+lib/pop/mailhub.ml: Filename Hashtbl List Netsim Option Printf String

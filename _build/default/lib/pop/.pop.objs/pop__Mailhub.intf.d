@@ -1,0 +1,1 @@
+lib/pop/mailhub.mli: Netsim

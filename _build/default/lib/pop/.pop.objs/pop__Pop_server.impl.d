@@ -1,0 +1,1 @@
+lib/pop/pop_server.ml: Hashtbl List Netsim Option String

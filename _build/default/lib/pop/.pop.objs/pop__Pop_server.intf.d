@@ -1,0 +1,1 @@
+lib/pop/pop_server.mli: Netsim

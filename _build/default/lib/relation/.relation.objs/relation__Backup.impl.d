@@ -1,0 +1,1 @@
+lib/relation/backup.ml: Array Buffer Char Db List Printf Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relation/backup.mli: Db Table

@@ -1,0 +1,1 @@
+lib/relation/db.ml: Hashtbl List Printf Schema Table

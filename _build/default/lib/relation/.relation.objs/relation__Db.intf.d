@@ -1,0 +1,1 @@
+lib/relation/db.mli: Schema Table

@@ -1,0 +1,1 @@
+lib/relation/glob.ml: Char String

@@ -1,0 +1,1 @@
+lib/relation/journal.ml: Backup Buffer List String

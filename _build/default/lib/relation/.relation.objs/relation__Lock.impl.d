@@ -1,0 +1,1 @@
+lib/relation/lock.ml: Hashtbl List Option

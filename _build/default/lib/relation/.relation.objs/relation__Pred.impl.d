@@ -1,0 +1,1 @@
+lib/relation/pred.ml: Array Format Glob List Schema Value

@@ -1,0 +1,1 @@
+lib/relation/pred.mli: Format Schema Value

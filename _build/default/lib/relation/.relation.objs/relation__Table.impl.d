@@ -1,0 +1,1 @@
+lib/relation/table.ml: Array Hashtbl Int List Option Pred Schema Set Value

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Bool Format Int Printf String

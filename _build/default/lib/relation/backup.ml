@@ -1,0 +1,120 @@
+let printable c = c >= ' ' && c < '\x7f'
+
+let escape_field s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | ':' -> Buffer.add_string buf "\\:"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when printable c -> Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "\\%03o" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let unescape_field s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] <> '\\' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else if i + 1 >= n then failwith "backup: dangling backslash"
+    else
+      match s.[i + 1] with
+      | ':' ->
+          Buffer.add_char buf ':';
+          go (i + 2)
+      | '\\' ->
+          Buffer.add_char buf '\\';
+          go (i + 2)
+      | '0' .. '7' ->
+          if i + 3 >= n then failwith "backup: truncated octal escape"
+          else begin
+            let octal = String.sub s (i + 1) 3 in
+            let code =
+              try int_of_string ("0o" ^ octal)
+              with Failure _ ->
+                failwith (Printf.sprintf "backup: bad octal escape \\%s" octal)
+            in
+            if code > 255 then
+              failwith (Printf.sprintf "backup: octal escape \\%s > 255" octal);
+            Buffer.add_char buf (Char.chr code);
+            go (i + 4)
+          end
+      | c -> failwith (Printf.sprintf "backup: bad escape \\%c" c)
+  in
+  go 0;
+  Buffer.contents buf
+
+let encode_row fields = String.concat ":" (List.map escape_field fields)
+
+(* Split on unescaped colons, then unescape each field. *)
+let decode_row line =
+  let n = String.length line in
+  let fields = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if line.[!i] = '\\' then i := !i + 2
+    else if line.[!i] = ':' then begin
+      fields := String.sub line !start (!i - !start) :: !fields;
+      incr i;
+      start := !i
+    end
+    else incr i
+  done;
+  fields := String.sub line !start (n - !start) :: !fields;
+  List.rev_map unescape_field !fields
+
+let dump_table t =
+  let buf = Buffer.create 4096 in
+  Table.fold t ~init:() ~f:(fun () _ row ->
+      let fields =
+        Array.to_list (Array.map Value.to_string row)
+      in
+      Buffer.add_string buf (encode_row fields);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let dump db =
+  List.map (fun (name, t) -> (name, dump_table t)) (Db.tables db)
+
+let dump_size db =
+  List.fold_left (fun acc (_, s) -> acc + String.length s) 0 (dump db)
+
+let restore_table t file =
+  Table.clear t;
+  let schema = Table.schema t in
+  let cols = Schema.columns schema in
+  let lines = String.split_on_char '\n' file in
+  let loaded = ref 0 in
+  List.iter
+    (fun line ->
+      if line <> "" then begin
+        let fields = decode_row line in
+        if List.length fields <> Array.length cols then
+          failwith
+            (Printf.sprintf "backup: %s: row has %d fields, expected %d"
+               (Schema.name schema) (List.length fields) (Array.length cols));
+        let row =
+          Array.of_list
+            (List.mapi
+               (fun i f -> Value.of_string cols.(i).Schema.ctype f)
+               fields)
+        in
+        ignore (Table.insert t row);
+        incr loaded
+      end)
+    lines;
+  !loaded
+
+let restore db files =
+  List.iter
+    (fun (name, contents) ->
+      match Db.table_opt db name with
+      | Some t -> ignore (restore_table t contents)
+      | None -> failwith (Printf.sprintf "backup: unknown relation %S" name))
+    files

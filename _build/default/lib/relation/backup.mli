@@ -1,0 +1,46 @@
+(** mrbackup / mrrestore: the ASCII database dump of paper section 5.2.2.
+
+    Each relation becomes one text file; each row one line of
+    colon-separated fields.  Colons and backslashes inside fields are
+    escaped as [\:] and [\\]; non-printing characters become [\nnn] with
+    [nnn] the octal ASCII code.  The dump is the authoritative recovery
+    path: the paper distrusts INGRES's binary checkpoints and recreates
+    the database from these text files. *)
+
+val escape_field : string -> string
+(** Escape one field for the dump format. *)
+
+val unescape_field : string -> string
+(** Inverse of {!escape_field}.
+    @raise Failure on a malformed escape. *)
+
+val encode_row : string list -> string
+(** One row — escaped fields joined with [:] (no trailing newline). *)
+
+val decode_row : string -> string list
+(** Split a dump line back into raw fields.
+    @raise Failure on a malformed escape. *)
+
+val dump_table : Table.t -> string
+(** The full dump file for one relation: one line per row, rows in rowid
+    order, each line newline-terminated. *)
+
+val dump : Db.t -> (string * string) list
+(** [(relation_name, file_contents)] for every relation, in registration
+    order — what [mrbackup] writes under its backup prefix. *)
+
+val dump_size : Db.t -> int
+(** Total bytes of a dump (the paper quotes ~3.2 MB for the full db). *)
+
+val restore_table : Table.t -> string -> int
+(** [restore_table t file] clears [t] and loads every line of [file] into
+    it, converting fields by the schema's column types.  Returns the
+    number of rows loaded.
+
+    @raise Failure on arity mismatch or unparseable field. *)
+
+val restore : Db.t -> (string * string) list -> unit
+(** Load a full dump into an initialized (schema-created) database,
+    clearing each named relation first — what [mrrestore] does into the
+    freshly created [smstemp] database.  Files naming unknown relations
+    raise [Failure]. *)

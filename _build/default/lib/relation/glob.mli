@@ -1,0 +1,14 @@
+(** Wildcard ("glob") matching for query arguments.
+
+    Moira's retrieval queries accept [*] (match any run of characters)
+    and [?] (match any single character) in name arguments, in the style
+    of INGRES pattern matching. *)
+
+val is_pattern : string -> bool
+(** [is_pattern s] is true when [s] contains an unescaped wildcard. *)
+
+val matches : ?case_fold:bool -> pattern:string -> string -> bool
+(** [matches ~pattern s] tests [s] against [pattern].  [*] matches zero or
+    more characters, [?] matches exactly one.  With [case_fold] (default
+    [false]) matching ignores ASCII case — used for machine and service
+    names, which Moira stores upper-case. *)

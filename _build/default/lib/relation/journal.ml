@@ -1,0 +1,57 @@
+type entry = {
+  time : int;
+  who : string;
+  query : string;
+  args : string list;
+}
+
+type t = {
+  mutable entries : entry list; (* newest first *)
+  mutable hooks : (entry -> unit) list;
+}
+
+let create () = { entries = []; hooks = [] }
+
+let append t e =
+  t.entries <- e :: t.entries;
+  List.iter (fun f -> f e) t.hooks
+
+let on_append t f = t.hooks <- t.hooks @ [ f ]
+let entries t = List.rev t.entries
+let since t t0 = List.filter (fun e -> e.time >= t0) (entries t)
+let length t = List.length t.entries
+let clear t = t.entries <- []
+
+let to_lines t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let fields =
+        string_of_int e.time :: e.who :: e.query :: e.args
+      in
+      Buffer.add_string buf (Backup.encode_row fields);
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
+let of_lines s =
+  let t = create () in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match Backup.decode_row line with
+        | time :: who :: query :: args ->
+            let time =
+              match int_of_string_opt time with
+              | Some i -> i
+              | None -> failwith "journal: bad timestamp"
+            in
+            append t { time; who; query; args }
+        | _ -> failwith "journal: short line")
+    (String.split_on_char '\n' s);
+  t
+
+let replay t ~since:t0 ~f =
+  let es = since t t0 in
+  List.iter f es;
+  List.length es

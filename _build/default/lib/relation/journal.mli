@@ -1,0 +1,47 @@
+(** The server's journal of successful database changes (section 5.2.2):
+    the nightly ASCII dump bounds data loss to about a day; replaying the
+    journal of changes made since the dump closes that gap. *)
+
+type entry = {
+  time : int;  (** Clock when the change committed. *)
+  who : string;  (** Authenticated principal that made the change. *)
+  query : string;  (** Query-handle name (e.g. ["update_user_shell"]). *)
+  args : string list;  (** The query's arguments. *)
+}
+
+type t
+
+val create : unit -> t
+(** An empty journal. *)
+
+val append : t -> entry -> unit
+(** Record one successful change (and run any {!on_append} hooks). *)
+
+val on_append : t -> (entry -> unit) -> unit
+(** Add a hook run on every subsequent append — how the server daemon
+    tees the journal to its on-disk file. *)
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val since : t -> int -> entry list
+(** Entries with [time >= t0], oldest first — the replay set after
+    restoring a dump taken at [t0]. *)
+
+val length : t -> int
+(** Number of entries. *)
+
+val clear : t -> unit
+(** Truncate (e.g. after a successful dump). *)
+
+val to_lines : t -> string
+(** Serialize, one entry per line in the backup escape format:
+    [time:who:query:arg1:...:argN]. *)
+
+val of_lines : string -> t
+(** Parse back what {!to_lines} produced.
+    @raise Failure on malformed input. *)
+
+val replay : t -> since:int -> f:(entry -> unit) -> int
+(** Apply [f] to every entry at or after [since]; returns how many were
+    replayed. *)

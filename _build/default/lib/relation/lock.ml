@@ -1,0 +1,32 @@
+type mode = Shared | Exclusive
+
+type t = (string, (string * mode) list) Hashtbl.t
+
+let create () : t = Hashtbl.create 31
+
+let holders t ~key = Option.value (Hashtbl.find_opt t key) ~default:[]
+
+let acquire t ~key ~owner mode =
+  let hs = holders t ~key in
+  let others = List.filter (fun (o, _) -> o <> owner) hs in
+  let ok =
+    match mode with
+    | Shared -> List.for_all (fun (_, m) -> m = Shared) others
+    | Exclusive -> others = []
+  in
+  if ok then begin
+    let hs' = (owner, mode) :: others in
+    Hashtbl.replace t key hs';
+    true
+  end
+  else false
+
+let release t ~key ~owner =
+  let hs = List.filter (fun (o, _) -> o <> owner) (holders t ~key) in
+  if hs = [] then Hashtbl.remove t key else Hashtbl.replace t key hs
+
+let release_all t ~owner =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t [] in
+  List.iter (fun key -> release t ~key ~owner) keys
+
+let held t ~key = holders t ~key <> []

@@ -1,0 +1,32 @@
+(** Shared/exclusive advisory locks keyed by name.
+
+    The DCM locks services and hosts during scans (paper section 5.7.1):
+    exclusive while generating or updating, shared while hosts of a
+    non-replicated service are walked.  The simulation is single-threaded,
+    so acquisition either succeeds immediately or reports a conflict. *)
+
+type t
+(** A lock manager (one per database). *)
+
+type mode = Shared | Exclusive
+
+val create : unit -> t
+(** An empty lock table. *)
+
+val acquire : t -> key:string -> owner:string -> mode -> bool
+(** Try to take the lock on [key] for [owner].  Rules: any number of
+    [Shared] holders may coexist; [Exclusive] requires no other holder.
+    An owner may re-acquire a key it already holds iff the mode does not
+    strengthen a lock others also hold.  Returns [false] on conflict. *)
+
+val release : t -> key:string -> owner:string -> unit
+(** Drop [owner]'s hold on [key] (no-op if not held). *)
+
+val release_all : t -> owner:string -> unit
+(** Drop every lock held by [owner] — crash cleanup. *)
+
+val holders : t -> key:string -> (string * mode) list
+(** Current holders of [key]. *)
+
+val held : t -> key:string -> bool
+(** Whether anyone holds [key]. *)

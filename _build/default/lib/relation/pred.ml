@@ -1,0 +1,65 @@
+type t =
+  | True
+  | Eq of string * Value.t
+  | Glob of string * string
+  | Glob_fold of string * string
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let conj = function
+  | [] -> True
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let disj = function
+  | [] -> Not True
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+let eq_str col s = Eq (col, Value.Str s)
+let eq_int col i = Eq (col, Value.Int i)
+let eq_bool col b = Eq (col, Value.Bool b)
+
+let name_match ?(case_fold = false) col arg =
+  if Glob.is_pattern arg then
+    if case_fold then Glob_fold (col, arg) else Glob (col, arg)
+  else if case_fold then Glob_fold (col, arg)
+  else Eq (col, Value.Str arg)
+
+let rec eval schema p tuple =
+  let col c = tuple.(Schema.index_of schema c) in
+  match p with
+  | True -> true
+  | Eq (c, v) -> Value.equal (col c) v
+  | Glob (c, pat) -> Glob.matches ~pattern:pat (Value.to_string (col c))
+  | Glob_fold (c, pat) ->
+      Glob.matches ~case_fold:true ~pattern:pat (Value.to_string (col c))
+  | Lt (c, v) -> Value.compare (col c) v < 0
+  | Le (c, v) -> Value.compare (col c) v <= 0
+  | Gt (c, v) -> Value.compare (col c) v > 0
+  | Ge (c, v) -> Value.compare (col c) v >= 0
+  | And (a, b) -> eval schema a tuple && eval schema b tuple
+  | Or (a, b) -> eval schema a tuple || eval schema b tuple
+  | Not a -> not (eval schema a tuple)
+
+let rec indexable_eqs = function
+  | Eq (c, v) -> [ (c, v) ]
+  | And (a, b) -> indexable_eqs a @ indexable_eqs b
+  | True | Glob _ | Glob_fold _ | Lt _ | Le _ | Gt _ | Ge _ | Or _ | Not _ ->
+      []
+
+let rec pp fmt = function
+  | True -> Format.fprintf fmt "true"
+  | Eq (c, v) -> Format.fprintf fmt "%s = %a" c Value.pp v
+  | Glob (c, p) -> Format.fprintf fmt "%s ~ %S" c p
+  | Glob_fold (c, p) -> Format.fprintf fmt "%s ~~ %S" c p
+  | Lt (c, v) -> Format.fprintf fmt "%s < %a" c Value.pp v
+  | Le (c, v) -> Format.fprintf fmt "%s <= %a" c Value.pp v
+  | Gt (c, v) -> Format.fprintf fmt "%s > %a" c Value.pp v
+  | Ge (c, v) -> Format.fprintf fmt "%s >= %a" c Value.pp v
+  | And (a, b) -> Format.fprintf fmt "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a || %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "!(%a)" pp a

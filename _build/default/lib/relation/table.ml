@@ -1,0 +1,188 @@
+type rowid = int
+
+type stats = {
+  mutable appends : int;
+  mutable updates : int;
+  mutable deletes : int;
+  mutable modtime : int;
+  mutable del_time : int;
+}
+
+module Int_set = Set.Make (Int)
+
+type index = {
+  col : int;
+  buckets : (string, Int_set.t) Hashtbl.t;
+}
+
+type t = {
+  schema : Schema.t;
+  rows : (rowid, Value.t array) Hashtbl.t;
+  mutable next_id : rowid;
+  indexes : index list;  (* one per indexed column *)
+  stats : stats;
+  clock : unit -> int;
+}
+
+let create ?(indexed = []) ~clock schema =
+  let indexes =
+    List.map
+      (fun cname ->
+        { col = Schema.index_of schema cname; buckets = Hashtbl.create 64 })
+      indexed
+  in
+  {
+    schema;
+    rows = Hashtbl.create 64;
+    next_id = 0;
+    indexes;
+    stats = { appends = 0; updates = 0; deletes = 0; modtime = 0; del_time = 0 };
+    clock;
+  }
+
+let schema t = t.schema
+
+let key_of v = Value.to_string v
+
+let index_add t id row =
+  List.iter
+    (fun ix ->
+      let k = key_of row.(ix.col) in
+      let set =
+        Option.value (Hashtbl.find_opt ix.buckets k) ~default:Int_set.empty
+      in
+      Hashtbl.replace ix.buckets k (Int_set.add id set))
+    t.indexes
+
+let index_remove t id row =
+  List.iter
+    (fun ix ->
+      let k = key_of row.(ix.col) in
+      match Hashtbl.find_opt ix.buckets k with
+      | None -> ()
+      | Some set ->
+          let set = Int_set.remove id set in
+          if Int_set.is_empty set then Hashtbl.remove ix.buckets k
+          else Hashtbl.replace ix.buckets k set)
+    t.indexes
+
+let touch t = t.stats.modtime <- t.clock ()
+
+let insert t row =
+  Schema.check_tuple t.schema row;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.rows id (Array.copy row);
+  index_add t id row;
+  t.stats.appends <- t.stats.appends + 1;
+  touch t;
+  id
+
+(* Candidate rowids for a predicate: the smallest index bucket among the
+   top-level equality conjuncts on indexed columns, or None for full scan. *)
+let candidates t pred =
+  let eqs = Pred.indexable_eqs pred in
+  List.fold_left
+    (fun best (cname, v) ->
+      match
+        List.find_opt
+          (fun ix ->
+            try ix.col = Schema.index_of t.schema cname
+            with Not_found -> false)
+          t.indexes
+      with
+      | None -> best
+      | Some ix ->
+          let set =
+            Option.value
+              (Hashtbl.find_opt ix.buckets (key_of v))
+              ~default:Int_set.empty
+          in
+          (match best with
+          | Some s when Int_set.cardinal s <= Int_set.cardinal set -> best
+          | _ -> Some set))
+    None eqs
+
+let matching t pred =
+  match candidates t pred with
+  | Some set ->
+      Int_set.fold
+        (fun id acc ->
+          match Hashtbl.find_opt t.rows id with
+          | Some row when Pred.eval t.schema pred row -> (id, row) :: acc
+          | _ -> acc)
+        set []
+      |> List.rev
+  | None ->
+      let acc =
+        Hashtbl.fold
+          (fun id row acc ->
+            if Pred.eval t.schema pred row then (id, row) :: acc else acc)
+          t.rows []
+      in
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) acc
+
+let select t pred =
+  List.map (fun (id, row) -> (id, Array.copy row)) (matching t pred)
+
+let select_one t pred =
+  match matching t pred with
+  | [ (id, row) ] -> Some (id, Array.copy row)
+  | _ -> None
+
+let count t pred = List.length (matching t pred)
+let exists t pred = matching t pred <> []
+
+let update t pred f =
+  let hits = matching t pred in
+  List.iter
+    (fun (id, row) ->
+      let row' = f (Array.copy row) in
+      Schema.check_tuple t.schema row';
+      index_remove t id row;
+      Hashtbl.replace t.rows id row';
+      index_add t id row';
+      t.stats.updates <- t.stats.updates + 1)
+    hits;
+  if hits <> [] then touch t;
+  List.length hits
+
+let set_fields t pred fields =
+  let positions =
+    List.map (fun (c, v) -> (Schema.index_of t.schema c, v)) fields
+  in
+  update t pred (fun row ->
+      List.iter (fun (i, v) -> row.(i) <- v) positions;
+      row)
+
+let delete t pred =
+  let hits = matching t pred in
+  List.iter
+    (fun (id, row) ->
+      index_remove t id row;
+      Hashtbl.remove t.rows id;
+      t.stats.deletes <- t.stats.deletes + 1)
+    hits;
+  if hits <> [] then begin
+    touch t;
+    t.stats.del_time <- t.clock ()
+  end;
+  List.length hits
+
+let get t id = Option.map Array.copy (Hashtbl.find_opt t.rows id)
+let cardinal t = Hashtbl.length t.rows
+
+let fold t ~init ~f =
+  List.fold_left (fun acc (id, row) -> f acc id (Array.copy row)) init
+    (matching t Pred.True)
+
+let stats t = t.stats
+
+let clear t =
+  if Hashtbl.length t.rows > 0 then t.stats.del_time <- t.clock ();
+  t.stats.deletes <- t.stats.deletes + Hashtbl.length t.rows;
+  Hashtbl.reset t.rows;
+  List.iter (fun ix -> Hashtbl.reset ix.buckets) t.indexes;
+  touch t
+
+let field t row col = row.(Schema.index_of t.schema col)

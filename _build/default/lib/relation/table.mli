@@ -1,0 +1,76 @@
+(** A mutable relation: rows, optional hash indexes, and modification
+    statistics (the paper's [tblstats] counters, section 6). *)
+
+type t
+
+type rowid = int
+(** Stable row identifier, unique within a table for its lifetime. *)
+
+type stats = {
+  mutable appends : int;  (** Rows inserted since creation/clear. *)
+  mutable updates : int;  (** Rows updated. *)
+  mutable deletes : int;  (** Rows deleted. *)
+  mutable modtime : int;  (** Clock at last modification. *)
+  mutable del_time : int;  (** Clock at last deletion (0 if never).  Lets
+      change detection see deletions, which leave no row behind to carry
+      a modtime. *)
+}
+
+val create : ?indexed : string list -> clock:(unit -> int) -> Schema.t -> t
+(** [create ~clock schema] makes an empty relation.  [indexed] columns get
+    hash indexes consulted by {!select} for top-level equality conjuncts.
+    [clock] supplies the current time for the stats' [modtime].
+
+    @raise Not_found if an [indexed] column is not in [schema]. *)
+
+val schema : t -> Schema.t
+(** The table's schema. *)
+
+val insert : t -> Value.t array -> rowid
+(** Append a row (type-checked against the schema).
+    @raise Invalid_argument on arity or type mismatch. *)
+
+val select : t -> Pred.t -> (rowid * Value.t array) list
+(** Matching rows, ordered by ascending [rowid] (i.e. insertion order) for
+    deterministic output.  Tuples are fresh copies: mutating them does not
+    affect the table. *)
+
+val select_one : t -> Pred.t -> (rowid * Value.t array) option
+(** [Some row] iff exactly one row matches; [None] if zero or several.
+    This implements the paper's pervasive "must match exactly one"
+    argument checking. *)
+
+val count : t -> Pred.t -> int
+(** Number of matching rows. *)
+
+val exists : t -> Pred.t -> bool
+(** Whether any row matches. *)
+
+val update : t -> Pred.t -> (Value.t array -> Value.t array) -> int
+(** Replace each matching row by [f row]; returns the number updated.
+    @raise Invalid_argument if [f] produces an ill-typed tuple. *)
+
+val set_fields : t -> Pred.t -> (string * Value.t) list -> int
+(** Convenience update overwriting the named fields of matching rows. *)
+
+val delete : t -> Pred.t -> int
+(** Remove matching rows; returns the number removed. *)
+
+val get : t -> rowid -> Value.t array option
+(** Fetch one row (a fresh copy) by id. *)
+
+val cardinal : t -> int
+(** Current number of rows. *)
+
+val fold : t -> init:'a -> f:('a -> rowid -> Value.t array -> 'a) -> 'a
+(** Fold over rows in rowid order. *)
+
+val stats : t -> stats
+(** The live statistics record. *)
+
+val clear : t -> unit
+(** Remove every row (counts it as deletions in the stats). *)
+
+val field : t -> Value.t array -> string -> Value.t
+(** [field t row col] projects a named column out of a tuple of this
+    table.  @raise Not_found if [col] is not a column. *)

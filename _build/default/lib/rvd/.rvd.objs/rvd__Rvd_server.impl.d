@@ -1,0 +1,1 @@
+lib/rvd/rvd_server.ml: List Netsim Printf String

@@ -1,0 +1,1 @@
+lib/rvd/rvd_server.mli: Netsim

@@ -1,0 +1,48 @@
+(** The Remote Virtual Disk substrate — the paper's second filesystem
+    type (filsys entries like ["RVD ade helen r /mnt/ade"]).
+
+    An RVD server exports named *packs*.  Its pack database lives in a
+    file ([/etc/rvddb], one ["pack mode"] line each) that is loaded when
+    the machine boots — the paper's §5.9 example of reboot-repairs-state:
+    "the RVD database is sent to the server upon booting, so if the
+    machine crashes between installation of the file and delivery of the
+    information to the server, no harm is done."
+
+    Clients spin a pack up over the network service ["rvd"]. *)
+
+type t
+
+val db_path : string
+(** Where the pack database lives: ["/etc/rvddb"]. *)
+
+val format_db : (string * string) list -> string
+(** Render a pack database from [(pack, mode)] pairs. *)
+
+val start : Netsim.Host.t -> t
+(** Run an RVD server on the host: load {!db_path} now, reload on every
+    boot, and serve spin-up requests. *)
+
+val reload : t -> unit
+(** Re-read the pack database (what the boot hook does). *)
+
+val packs : t -> (string * string) list
+(** The currently exported [(pack, mode)] pairs, sorted. *)
+
+type spinup_error =
+  | No_such_pack
+  | Access_denied  (** Write spin-up of a read-only pack. *)
+  | Unreachable of Netsim.Net.failure
+
+val spinup_local : t -> pack:string -> mode:string -> (unit, spinup_error) result
+(** In-process spin-up check. *)
+
+val spunup : t -> (string * string) list
+(** Packs currently spun up, as [(pack, mode)], oldest first. *)
+
+(** {1 Client side} *)
+
+val spinup :
+  Netsim.Net.t -> src:string -> server:string -> pack:string ->
+  mode:string -> (unit, spinup_error) result
+(** Ask the RVD server on [server] to spin [pack] up with [mode]
+    ([r] or [w]). *)

@@ -1,0 +1,1 @@
+lib/workload/attach.ml: Hesiod List Netsim Option Printf Rvd String Testbed

@@ -1,0 +1,1 @@
+lib/workload/attach.mli: Netsim Rvd Testbed

@@ -1,0 +1,1 @@
+lib/workload/backup_job.ml: List Moira Netsim Option Population Printf Relation Sim String Testbed

@@ -1,0 +1,1 @@
+lib/workload/backup_job.mli: Moira Relation Sim Testbed

@@ -1,0 +1,1 @@
+lib/workload/names.ml: Char Hashtbl Printf Sim String

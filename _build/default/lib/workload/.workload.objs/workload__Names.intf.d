@@ -1,0 +1,1 @@
+lib/workload/names.mli: Sim

@@ -1,0 +1,1 @@
+lib/workload/population.ml: Array Comerr Krb List Moira Names Printf Sim String

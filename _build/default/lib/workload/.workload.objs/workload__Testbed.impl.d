@@ -1,0 +1,1 @@
+lib/workload/testbed.ml: Array Comerr Dcm Filename Hesiod Krb List Moira Netsim Option Pop Population Printf Relation Sim String Userreg Zephyr

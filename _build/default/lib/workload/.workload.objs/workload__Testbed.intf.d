@@ -1,0 +1,1 @@
+lib/workload/testbed.mli: Dcm Gdb Hesiod Krb Moira Netsim Pop Population Relation Sim Userreg Zephyr

@@ -1,0 +1,96 @@
+type filsys = {
+  fstype : string;
+  name : string;
+  server : string;
+  access : string;
+  mount : string;
+}
+
+let parse_filsys data =
+  match
+    String.split_on_char ' ' data |> List.filter (fun s -> s <> "")
+  with
+  | [ fstype; name; server; access; mount ] ->
+      Some { fstype; name; server; access; mount }
+  | _ -> None
+
+type error =
+  | Unknown_locker
+  | Bad_entry of string
+  | Hesiod_unreachable of Netsim.Net.failure
+  | Rvd_failed of Rvd.Rvd_server.spinup_error
+
+let error_to_string = function
+  | Unknown_locker -> "no such locker in hesiod"
+  | Bad_entry s -> Printf.sprintf "unparseable filsys entry %S" s
+  | Hesiod_unreachable f -> Netsim.Net.failure_to_string f
+  | Rvd_failed Rvd.Rvd_server.No_such_pack -> "rvd: no such pack"
+  | Rvd_failed Rvd.Rvd_server.Access_denied -> "rvd: access denied"
+  | Rvd_failed (Rvd.Rvd_server.Unreachable f) ->
+      "rvd: " ^ Netsim.Net.failure_to_string f
+
+(* filsys.db stores the short lower-case hostname; find the full machine
+   name among the simulated hosts *)
+let full_hostname tb short =
+  let prefix = String.uppercase_ascii short ^ "." in
+  List.find_map
+    (fun h ->
+      let name = Netsim.Host.name h in
+      if
+        String.length name >= String.length prefix
+        && String.sub name 0 (String.length prefix) = prefix
+      then Some name
+      else None)
+    (Netsim.Net.hosts tb.Testbed.net)
+
+let mtab_path = "/etc/mtab"
+
+let attach tb ~ws ~locker =
+  let hes_machine, _ = Testbed.first_hesiod tb in
+  match
+    Hesiod.Hes_server.resolve tb.Testbed.net ~src:ws ~server:hes_machine
+      ~name:locker ~ty:"filsys"
+  with
+  | Error f -> Error (Hesiod_unreachable f)
+  | Ok [] -> Error Unknown_locker
+  | Ok (entry :: _) -> (
+      match parse_filsys entry with
+      | None -> Error (Bad_entry entry)
+      | Some fs ->
+          (* RVD lockers must be spun up on their server first *)
+          let spun =
+            if fs.fstype <> "RVD" then Ok ()
+            else
+              match full_hostname tb fs.server with
+              | None -> Error (Rvd_failed Rvd.Rvd_server.No_such_pack)
+              | Some server -> (
+                  match
+                    Rvd.Rvd_server.spinup tb.Testbed.net ~src:ws ~server
+                      ~pack:fs.name ~mode:fs.access
+                  with
+                  | Ok () -> Ok ()
+                  | Error e -> Error (Rvd_failed e))
+          in
+          match spun with
+          | Error e -> Error e
+          | Ok () ->
+          let host = Testbed.host tb ws in
+          let vfs = Netsim.Host.fs host in
+          let line =
+            Printf.sprintf "%s:%s on %s (%s,%s)" fs.server fs.name fs.mount
+              fs.fstype fs.access
+          in
+          let existing =
+            Option.value (Netsim.Vfs.read vfs ~path:mtab_path) ~default:""
+          in
+          Netsim.Vfs.write vfs ~path:mtab_path (existing ^ line ^ "\n");
+          Netsim.Vfs.write vfs ~path:(fs.mount ^ "/.mounted") fs.server;
+          Netsim.Vfs.flush vfs;
+          Ok fs)
+
+let attached tb ~ws =
+  let vfs = Netsim.Host.fs (Testbed.host tb ws) in
+  match Netsim.Vfs.read vfs ~path:mtab_path with
+  | Some contents ->
+      String.split_on_char '\n' contents |> List.filter (fun l -> l <> "")
+  | None -> []

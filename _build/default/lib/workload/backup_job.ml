@@ -1,0 +1,82 @@
+let backup_prefix n = Printf.sprintf "/site/sms/backup_%d/" n
+
+let moira_fs (tb : Testbed.t) =
+  Netsim.Host.fs (Testbed.host tb tb.Testbed.built.Population.moira_machine)
+
+let files_under fs prefix =
+  List.filter
+    (fun path ->
+      String.length path > String.length prefix
+      && String.sub path 0 (String.length prefix) = prefix)
+    (Netsim.Vfs.list fs)
+
+(* Rotate: drop _3, move _2 -> _3 and _1 -> _2 (renames are atomic). *)
+let rotate fs =
+  List.iter
+    (fun path -> Netsim.Vfs.remove fs ~path)
+    (files_under fs (backup_prefix 3));
+  List.iter
+    (fun from_n ->
+      let to_n = from_n + 1 in
+      List.iter
+        (fun path ->
+          let base =
+            String.sub path
+              (String.length (backup_prefix from_n))
+              (String.length path - String.length (backup_prefix from_n))
+          in
+          ignore
+            (Netsim.Vfs.rename fs ~src:path ~dst:(backup_prefix to_n ^ base)))
+        (files_under fs (backup_prefix from_n)))
+    [ 2; 1 ]
+
+let run_once (tb : Testbed.t) =
+  let fs = moira_fs tb in
+  rotate fs;
+  Moira.Mdb.sync_tblstats tb.Testbed.mdb;
+  List.iter
+    (fun (name, contents) ->
+      Netsim.Vfs.write fs ~path:(backup_prefix 1 ^ name) contents)
+    (Relation.Backup.dump (Moira.Mdb.db tb.Testbed.mdb));
+  Netsim.Vfs.write fs
+    ~path:(backup_prefix 1 ^ "journal")
+    (Relation.Journal.to_lines (Moira.Mdb.journal tb.Testbed.mdb));
+  Netsim.Vfs.flush fs
+
+let install tb ~every_hours =
+  Sim.Engine.every tb.Testbed.engine
+    ~interval:(every_hours * 3600 * 1000)
+    "nightly.sh"
+    (fun () -> run_once tb)
+
+let generations tb =
+  let fs = moira_fs tb in
+  List.length
+    (List.filter (fun n -> files_under fs (backup_prefix n) <> []) [ 1; 2; 3 ])
+
+let latest tb =
+  let fs = moira_fs tb in
+  List.filter_map
+    (fun path ->
+      let base =
+        String.sub path
+          (String.length (backup_prefix 1))
+          (String.length path - String.length (backup_prefix 1))
+      in
+      if base = "journal" then None
+      else
+        Option.map (fun c -> (base, c)) (Netsim.Vfs.read fs ~path))
+    (files_under fs (backup_prefix 1))
+
+let latest_journal tb =
+  Option.map Relation.Journal.of_lines
+    (Netsim.Vfs.read (moira_fs tb) ~path:(backup_prefix 1 ^ "journal"))
+
+let restore_latest tb mdb =
+  match latest tb with
+  | [] -> Error "no backup on line"
+  | files -> (
+      try
+        Relation.Backup.restore (Moira.Mdb.db mdb) files;
+        Ok ()
+      with Failure msg -> Error msg)

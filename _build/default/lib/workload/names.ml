@@ -1,0 +1,74 @@
+type person = {
+  first : string;
+  middle : string;
+  last : string;
+  login : string;
+  id_number : string;
+}
+
+let firsts =
+  [|
+    "alice"; "bob"; "carol"; "dave"; "erin"; "frank"; "grace"; "heidi";
+    "ivan"; "judy"; "karl"; "laura"; "mallory"; "nina"; "oscar"; "peggy";
+    "quentin"; "ruth"; "steve"; "trudy"; "ursula"; "victor"; "wendy";
+    "xavier"; "yolanda"; "zach"; "harmon"; "angela"; "gerhard"; "martin";
+    "peter"; "jean"; "mark"; "ken"; "bill"; "michael";
+  |]
+
+let lasts =
+  [|
+    "smith"; "jones"; "brown"; "taylor"; "wilson"; "davis"; "clark";
+    "hall"; "allen"; "young"; "king"; "wright"; "scott"; "green"; "baker";
+    "adams"; "nelson"; "hill"; "ramirez"; "campbell"; "mitchell"; "roberts";
+    "carter"; "phillips"; "evans"; "turner"; "torres"; "parker"; "collins";
+    "edwards"; "stewart"; "flores"; "morris"; "nguyen"; "murphy"; "rivera";
+    "fowler"; "barba"; "messmer"; "zimmermann"; "delaney"; "levine";
+  |]
+
+type t = {
+  rng : Sim.Rng.t;
+  mutable counter : int;
+  seen_logins : (string, unit) Hashtbl.t;
+  mutable host_counter : int;
+}
+
+let create rng =
+  { rng; counter = 0; seen_logins = Hashtbl.create 1024; host_counter = 0 }
+
+let cap s = String.capitalize_ascii s
+
+let person t =
+  t.counter <- t.counter + 1;
+  let first = Sim.Rng.pick t.rng firsts in
+  let last = Sim.Rng.pick t.rng lasts in
+  let middle =
+    if Sim.Rng.chance t.rng 0.4 then
+      String.make 1 (Char.chr (Char.code 'a' + Sim.Rng.int t.rng 26))
+      |> String.uppercase_ascii
+    else ""
+  in
+  (* login: initials + last name fragment, disambiguated by a counter *)
+  let base =
+    String.sub first 0 1
+    ^ (if middle = "" then "" else String.lowercase_ascii middle)
+    ^ (if String.length last > 6 then String.sub last 0 6 else last)
+  in
+  let rec unique candidate n =
+    if Hashtbl.mem t.seen_logins candidate then
+      unique (Printf.sprintf "%s%d" base n) (n + 1)
+    else candidate
+  in
+  let login = unique base 1 in
+  Hashtbl.replace t.seen_logins login ();
+  let id_number =
+    Printf.sprintf "%03d-%02d-%04d"
+      (Sim.Rng.int t.rng 900 + 100)
+      (Sim.Rng.int t.rng 90 + 10)
+      (t.counter mod 10000)
+  in
+  { first = cap first; middle; last = cap last; login; id_number }
+
+let hostname t ~prefix =
+  t.host_counter <- t.host_counter + 1;
+  Printf.sprintf "%s-%03d.MIT.EDU" (String.uppercase_ascii prefix)
+    t.host_counter

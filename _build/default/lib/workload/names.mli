@@ -1,0 +1,20 @@
+(** Deterministic synthetic people and hostnames. *)
+
+type person = {
+  first : string;
+  middle : string;
+  last : string;
+  login : string;  (** Unique within one generator. *)
+  id_number : string;  (** Nine digits, hyphenated. *)
+}
+
+type t
+
+val create : Sim.Rng.t -> t
+(** A name generator drawing from the given RNG stream. *)
+
+val person : t -> person
+(** A fresh person with a unique login. *)
+
+val hostname : t -> prefix:string -> string
+(** A fresh uppercase hostname like "W20-042.MIT.EDU". *)

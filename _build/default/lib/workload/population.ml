@@ -1,0 +1,398 @@
+type spec = {
+  users : int;
+  unregistered : int;
+  nfs_servers : int;
+  partitions_per_server : int;
+  pop_servers : int;
+  hesiod_servers : int;
+  zephyr_servers : int;
+  zephyr_classes : int;
+  maillists : int;
+  course_groups : int;
+  clusters : int;
+  workstations : int;
+  printers : int;
+  network_services : int;
+  members_per_list : int;
+  seed : int;
+}
+
+let default =
+  {
+    users = 10_000;
+    unregistered = 500;
+    nfs_servers = 20;
+    partitions_per_server = 1;
+    pop_servers = 2;
+    hesiod_servers = 1;
+    zephyr_servers = 3;
+    zephyr_classes = 6;
+    maillists = 200;
+    course_groups = 80;
+    clusters = 40;
+    workstations = 1000;
+    printers = 40;
+    network_services = 120;
+    members_per_list = 18;
+    seed = 7;
+  }
+
+let small =
+  {
+    users = 60;
+    unregistered = 10;
+    nfs_servers = 3;
+    partitions_per_server = 2;
+    pop_servers = 2;
+    hesiod_servers = 1;
+    zephyr_servers = 2;
+    zephyr_classes = 3;
+    maillists = 8;
+    course_groups = 5;
+    clusters = 3;
+    workstations = 10;
+    printers = 4;
+    network_services = 8;
+    members_per_list = 6;
+    seed = 7;
+  }
+
+let scaled s f =
+  let m x = max 1 (int_of_float (float_of_int x *. f)) in
+  {
+    s with
+    users = m s.users;
+    unregistered = m s.unregistered;
+    maillists = m s.maillists;
+    course_groups = m s.course_groups;
+    workstations = m s.workstations;
+  }
+
+type built = {
+  spec : spec;
+  admin : string;
+  admin_password : string;
+  logins : string array;
+  passwords : string -> string;
+  maillist_names : string array;
+  group_names : string array;
+  nfs_machines : string array;
+  pop_machines : string array;
+  hesiod_machines : string array;
+  zephyr_machines : string array;
+  mail_hub : string;
+  moira_machine : string;
+  workstation_machines : string array;
+}
+
+let machines_of _spec b =
+  List.sort_uniq String.compare
+    (Array.to_list b.nfs_machines
+    @ Array.to_list b.pop_machines
+    @ Array.to_list b.hesiod_machines
+    @ Array.to_list b.zephyr_machines
+    @ [ b.mail_hub; b.moira_machine ])
+
+let password_of login = "pw-" ^ login
+
+(* Every build step goes through a query handle; a failure here is a bug
+   in the builder, so fail loudly. *)
+let must glue name args =
+  match Moira.Glue.query glue ~name args with
+  | Ok tuples -> tuples
+  | Error code ->
+      failwith
+        (Printf.sprintf "population: %s(%s) failed: %s" name
+           (String.concat ", " args)
+           (Comerr.Com_err.error_message code))
+
+let classes = [| "1989"; "1990"; "1991"; "1992"; "G" |]
+
+let build ~glue ~kdc spec =
+  let rng = Sim.Rng.create spec.seed in
+  let names = Names.create (Sim.Rng.split rng) in
+  let mdb = Moira.Glue.mdb glue in
+
+  (* --- machines --- *)
+  let moira_machine = "MOIRA.MIT.EDU" in
+  let mail_hub = "ATHENA.MIT.EDU" in
+  let mk_hosts n prefix =
+    Array.init n (fun i -> Printf.sprintf "%s-%d.MIT.EDU" prefix (i + 1))
+  in
+  let hesiod_machines =
+    if spec.hesiod_servers = 1 then [| "SUOMI.MIT.EDU" |]
+    else mk_hosts spec.hesiod_servers "HESIOD"
+  in
+  let nfs_machines = mk_hosts spec.nfs_servers "NFS" in
+  let pop_machines = mk_hosts spec.pop_servers "ATHENA-PO" in
+  let zephyr_machines = mk_hosts spec.zephyr_servers "ZEPHYR" in
+  let workstation_machines =
+    Array.init spec.workstations (fun _ -> Names.hostname names ~prefix:"W20")
+  in
+  let all_machines =
+    [ moira_machine; mail_hub ]
+    @ Array.to_list hesiod_machines
+    @ Array.to_list nfs_machines
+    @ Array.to_list pop_machines
+    @ Array.to_list zephyr_machines
+    @ Array.to_list workstation_machines
+  in
+  List.iter
+    (fun m ->
+      ignore
+        (must glue "add_machine"
+           [ m; (if Sim.Rng.bool rng then "VAX" else "RT") ]))
+    all_machines;
+
+  (* --- admin user and the capability ACLs --- *)
+  let admin = "admin" in
+  ignore
+    (must glue "add_user"
+       [ admin; "1000"; "/bin/csh"; "Admin"; "Athena"; ""; "1";
+         "adminhash"; "STAFF" ]);
+  ignore
+    (must glue "add_list"
+       [ "moira-admins"; "1"; "0"; "0"; "1"; "0"; "-1"; "USER"; admin;
+         "Moira administrators" ]);
+  ignore (must glue "add_member_to_list" [ "moira-admins"; "USER"; admin ]);
+  let admins_id =
+    match Moira.Lookup.list_id mdb "moira-admins" with
+    | Some id -> id
+    | None -> failwith "population: moira-admins vanished"
+  in
+  (* Point every query handle's capacl at moira-admins.  Queries that are
+     safe for everybody keep access_anyone in their definition. *)
+  List.iter
+    (fun q ->
+      Moira.Acl.set_capacl mdb ~query:q.Moira.Query.name
+        ~tag:q.Moira.Query.short ~list_id:admins_id)
+    (Moira.Catalog.standard ());
+  Moira.Acl.set_capacl mdb ~query:"trigger_dcm" ~tag:"tdcm"
+    ~list_id:admins_id;
+  ignore (Krb.Kdc.add_principal kdc ~name:admin ~password:(password_of admin));
+
+  (* --- NFS partitions --- *)
+  Array.iter
+    (fun m ->
+      for p = 1 to spec.partitions_per_server do
+        ignore
+          (must glue "add_nfsphys"
+             [
+               m;
+               Printf.sprintf "/u%d/lockers" p;
+               Printf.sprintf "/dev/ra%dc" p;
+               string_of_int
+                 (Moira.Mrconst.fs_student lor Moira.Mrconst.fs_faculty
+                lor Moira.Mrconst.fs_staff lor Moira.Mrconst.fs_misc);
+               "0";
+               string_of_int
+                 (max 120_000
+                    (spec.users * 400
+                    / max 1 (spec.nfs_servers * spec.partitions_per_server)));
+             ])
+      done)
+    nfs_machines;
+
+  (* --- services (DCM) and server/host tuples --- *)
+  let add_service name interval target script ty =
+    ignore
+      (must glue "add_server_info"
+         [ name; string_of_int interval; target; script; ty; "1"; "LIST";
+           "moira-admins" ])
+  in
+  add_service "HESIOD" 360 "/tmp/hesiod.out" "hesiod.sh" "REPLICAT";
+  add_service "NFS" 720 "/var/moira/nfs.out" "nfs.sh" "UNIQUE";
+  add_service "MAIL" 1440 "/tmp/mail.out" "mail.sh" "UNIQUE";
+  add_service "ZEPHYR" 1440 "/tmp/zephyr.out" "zephyr.sh" "REPLICAT";
+  let add_shost service machine v1 v2 v3 =
+    ignore
+      (must glue "add_server_host_info"
+         [ service; machine; "1"; string_of_int v1; string_of_int v2; v3 ])
+  in
+  Array.iter (fun m -> add_shost "HESIOD" m 0 0 "") hesiod_machines;
+  Array.iter (fun m -> add_shost "NFS" m 0 0 "") nfs_machines;
+  add_shost "MAIL" mail_hub 0 0 "";
+  Array.iter (fun m -> add_shost "ZEPHYR" m 0 0 "") zephyr_machines;
+  (* POP itself is stuffed by Moira rather than the DCM, but it needs a
+     servers row so the serverhosts rows are well-formed. *)
+  add_service "POP" 0 "" "" "UNIQUE";
+  let pop_capacity = (spec.users / max 1 spec.pop_servers) + 64 in
+  Array.iter (fun m -> add_shost "POP" m 0 pop_capacity "") pop_machines;
+  (* the admin reads operational mail too *)
+  ignore (must glue "set_pobox" [ admin; "POP"; pop_machines.(0) ]);
+
+  (* --- clusters --- *)
+  let cluster_names =
+    Array.init spec.clusters (fun i -> Printf.sprintf "bldg%d-vs" (i + 1))
+  in
+  Array.iteri
+    (fun i cname ->
+      ignore
+        (must glue "add_cluster"
+           [ cname; Printf.sprintf "cluster %d" (i + 1);
+             Printf.sprintf "Building %d" (i + 1) ]);
+      ignore
+        (must glue "add_cluster_data"
+           [ cname; "zephyr"; zephyr_machines.(i mod spec.zephyr_servers) ]);
+      ignore
+        (must glue "add_cluster_data"
+           [ cname; "syslib"; Printf.sprintf "%s-syslib" cname ]))
+    cluster_names;
+  Array.iteri
+    (fun i w ->
+      ignore
+        (must glue "add_machine_to_cluster"
+           [ w; cluster_names.(i mod spec.clusters) ]);
+      (* a few machines live in two clusters, exercising the
+         pseudo-cluster path of the hesiod generator *)
+      if i mod 17 = 0 && spec.clusters > 1 then
+        ignore
+          (must glue "add_machine_to_cluster"
+             [ w; cluster_names.((i + 1) mod spec.clusters) ]))
+    workstation_machines;
+
+  (* --- users --- *)
+  let logins = Array.make spec.users "" in
+  for i = 0 to spec.users - 1 do
+    let p = Names.person names in
+    let uid = 7000 + i in
+    let hashed =
+      Krb.Kcrypt.crypt_mit_id ~first:p.Names.first ~last:p.Names.last
+        p.Names.id_number
+    in
+    ignore
+      (must glue "add_user"
+         [
+           Moira.Mrconst.unique_login; string_of_int uid; "/bin/csh";
+           p.Names.last; p.Names.first; p.Names.middle; "0"; hashed;
+           classes.(i mod Array.length classes);
+         ]);
+    ignore
+      (must glue "register_user"
+         [ string_of_int uid; p.Names.login;
+           string_of_int Moira.Mrconst.fs_student ]);
+    ignore
+      (must glue "update_user_status" [ p.Names.login; "1" ]);
+    ignore
+      (Krb.Kdc.add_principal kdc ~name:p.Names.login
+         ~password:(password_of p.Names.login));
+    logins.(i) <- p.Names.login
+  done;
+
+  (* --- registrar-tape stubs that have not registered yet --- *)
+  for i = 0 to spec.unregistered - 1 do
+    let p = Names.person names in
+    let hashed =
+      Krb.Kcrypt.crypt_mit_id ~first:p.Names.first ~last:p.Names.last
+        p.Names.id_number
+    in
+    ignore
+      (must glue "add_user"
+         [
+           Moira.Mrconst.unique_login;
+           string_of_int (40_000 + i);
+           "/bin/csh"; p.Names.last; p.Names.first; p.Names.middle; "0";
+           hashed; classes.(i mod Array.length classes);
+         ])
+  done;
+
+  (* --- mailing lists --- *)
+  let maillist_names =
+    Array.init spec.maillists (fun i -> Printf.sprintf "ml-%03d" (i + 1))
+  in
+  Array.iter
+    (fun name ->
+      let public = if Sim.Rng.chance rng 0.5 then "1" else "0" in
+      ignore
+        (must glue "add_list"
+           [ name; "1"; public; "0"; "1"; "0"; "-1"; "LIST"; "moira-admins";
+             "mailing list " ^ name ]);
+      let n = 1 + Sim.Rng.int rng (2 * spec.members_per_list) in
+      for _ = 1 to n do
+        let member = logins.(Sim.Rng.int rng spec.users) in
+        match
+          Moira.Glue.query glue ~name:"add_member_to_list"
+            [ name; "USER"; member ]
+        with
+        | Ok _ | Error _ -> () (* duplicates rejected; fine *)
+      done;
+      if Sim.Rng.chance rng 0.2 then
+        ignore
+          (must glue "add_member_to_list"
+             [ name; "STRING";
+               Printf.sprintf "%s@media-lab.mit.edu"
+                 logins.(Sim.Rng.int rng spec.users) ]))
+    maillist_names;
+
+  (* --- course unix groups --- *)
+  let group_names =
+    Array.init spec.course_groups (fun i ->
+        Printf.sprintf "course-%d_%03d" (6 + (i mod 3)) (i + 1))
+  in
+  Array.iter
+    (fun name ->
+      ignore
+        (must glue "add_list"
+           [ name; "1"; "0"; "0"; "0"; "1"; Moira.Mrconst.unique_gid;
+             "LIST"; "moira-admins"; "course group " ^ name ]);
+      let n = 1 + Sim.Rng.int rng (2 * spec.members_per_list) in
+      for _ = 1 to n do
+        let member = logins.(Sim.Rng.int rng spec.users) in
+        match
+          Moira.Glue.query glue ~name:"add_member_to_list"
+            [ name; "USER"; member ]
+        with
+        | Ok _ | Error _ -> ()
+      done)
+    group_names;
+
+  (* --- zephyr classes --- *)
+  for i = 1 to spec.zephyr_classes do
+    let cls = Printf.sprintf "zclass-%d" i in
+    let xmt_list = maillist_names.(i mod Array.length maillist_names) in
+    ignore
+      (must glue "add_zephyr_class"
+         [ cls; "LIST"; xmt_list; "NONE"; "NONE"; "NONE"; "NONE"; "NONE";
+           "NONE" ])
+  done;
+
+  (* --- printers --- *)
+  for i = 1 to spec.printers do
+    let name = Printf.sprintf "printer-%02d" i in
+    let host =
+      workstation_machines.(Sim.Rng.int rng spec.workstations)
+    in
+    ignore
+      (must glue "add_printcap"
+         [ name; host; "/usr/spool/printer/" ^ name; name;
+           "floor printer" ])
+  done;
+
+  (* --- network services --- *)
+  List.iteri
+    (fun i (name, proto, port) ->
+      if i < spec.network_services then
+        ignore
+          (must glue "add_service"
+             [ name; proto; string_of_int port; name ^ " service" ]))
+    ([ ("smtp", "TCP", 25); ("qotd", "TCP", 17); ("rpc_ns", "UDP", 32767) ]
+    @ List.init 64 (fun i ->
+          (Printf.sprintf "svc%02d" i, (if i mod 2 = 0 then "TCP" else "UDP"),
+           2000 + i)));
+
+  {
+    spec;
+    admin;
+    admin_password = password_of admin;
+    logins;
+    passwords = password_of;
+    maillist_names;
+    group_names;
+    nfs_machines;
+    pop_machines;
+    hesiod_machines;
+    zephyr_machines;
+    mail_hub;
+    moira_machine;
+    workstation_machines;
+  }

@@ -1,0 +1,64 @@
+(** Synthetic Athena population builder.
+
+    Loads a database — through the ordinary query handles — with a
+    campus shaped like the paper's assumptions (section 5.1): about
+    10,000 active users each with a pobox, a personal unix group, a home
+    filesystem and a quota; 20 NFS servers; one hesiod server and one
+    mail hub; a handful of zephyr servers and classes; clusters,
+    printers and network services. *)
+
+type spec = {
+  users : int;  (** Active users (paper: 10,000). *)
+  unregistered : int;  (** Registrar-tape stubs not yet registered. *)
+  nfs_servers : int;  (** Paper: 20. *)
+  partitions_per_server : int;  (** NFS partitions per server. *)
+  pop_servers : int;  (** Post offices. *)
+  hesiod_servers : int;  (** Paper: 1. *)
+  zephyr_servers : int;  (** Paper: several; class files go to each. *)
+  zephyr_classes : int;  (** Paper: 6. *)
+  maillists : int;  (** Shared mailing lists. *)
+  course_groups : int;  (** Course unix groups. *)
+  clusters : int;
+  workstations : int;
+  printers : int;
+  network_services : int;
+  members_per_list : int;  (** Mean members per mailing list / group. *)
+  seed : int;
+}
+
+val default : spec
+(** The paper-scale campus: 10,000 users, 20 NFS servers, etc. *)
+
+val small : spec
+(** A scaled-down campus for unit tests (60 users, 3 NFS servers). *)
+
+val scaled : spec -> float -> spec
+(** [scaled s f] multiplies the population-proportional knobs by [f]. *)
+
+type built = {
+  spec : spec;
+  admin : string;  (** Login of the all-powerful admin user. *)
+  admin_password : string;
+  logins : string array;  (** Every active user login, in creation order. *)
+  passwords : (string -> string);  (** Deterministic password of a login. *)
+  maillist_names : string array;
+  group_names : string array;  (** Course group names. *)
+  nfs_machines : string array;
+  pop_machines : string array;
+  hesiod_machines : string array;
+  zephyr_machines : string array;
+  mail_hub : string;
+  moira_machine : string;
+  workstation_machines : string array;
+}
+
+val machines_of : spec -> built -> string list
+(** Every server machine a DCM update can target (deduplicated). *)
+
+val build :
+  glue:Moira.Glue.t -> kdc:Krb.Kdc.t -> spec -> built
+(** Populate the database and the KDC.  The admin user and the
+    ["moira-admins"] list are created first and every query handle's
+    capability ACL is pointed at that list.
+
+    @raise Failure if any build query unexpectedly fails. *)

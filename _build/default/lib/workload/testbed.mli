@@ -1,0 +1,76 @@
+(** A fully wired simulated Athena: the Moira database machine (server,
+    registration server, DCM), the KDC, and every managed server host
+    (hesiod, NFS, mail hub, zephyr) with its update service and install
+    scripts — Figure 1 of the paper, running on the discrete-event
+    engine. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  net : Netsim.Net.t;
+  kdc : Krb.Kdc.t;
+  mdb : Moira.Mdb.t;
+  server : Moira.Mr_server.t;
+  glue : Moira.Glue.t;  (** Privileged direct handle (used by the DCM). *)
+  dcm : Dcm.Manager.t;
+  built : Population.built;
+  hesiods : (string * Hesiod.Hes_server.t) list;
+  zephyrs : (string * Zephyr.t) list;
+  pops : (string * Pop.Pop_server.t) list;
+  mailhub : Pop.Mailhub.t;
+  userreg : Userreg.server;
+}
+
+val create :
+  ?spec:Population.spec ->
+  ?backend:Gdb.Server.backend_cost ->
+  ?access_cache:bool ->
+  ?dcm_every_min:int ->
+  unit ->
+  t
+(** Build the world: engine + network + KDC + database, populate it
+    (default [Population.small]), start every server, arm the DCM cron
+    (default every 15 simulated minutes, the paper's minimum
+    distribution interval).  The moira server's Trigger_DCM request is
+    wired to an immediate DCM run. *)
+
+val client : t -> src:string -> Moira.Mr_client.t
+(** An application-library handle on the given workstation. *)
+
+val admin_client : t -> src:string -> Moira.Mr_client.t
+(** A handle already connected to the Moira server and authenticated as
+    the admin principal.
+    @raise Failure if connection or authentication fails. *)
+
+val user_client : t -> src:string -> login:string -> Moira.Mr_client.t
+(** A connected handle authenticated as an ordinary user.
+    @raise Failure if connection or authentication fails. *)
+
+val run_minutes : t -> int -> unit
+(** Advance the simulation by that many minutes, firing due events. *)
+
+val run_hours : t -> int -> unit
+(** Advance by hours. *)
+
+val host : t -> string -> Netsim.Host.t
+(** A host by machine name.  @raise Not_found if absent. *)
+
+val first_hesiod : t -> string * Hesiod.Hes_server.t
+(** The first hesiod server (machine name, server). *)
+
+val send_mail :
+  t -> src:string -> sender:string -> rcpt:string -> body:string ->
+  (int, Netsim.Net.failure) result
+(** Submit a message to the campus mail hub; it routes with the
+    Moira-generated aliases file.  Returns how many copies were
+    delivered. *)
+
+val journal_file : t -> Relation.Journal.t option
+(** Parse the server daemon's on-disk journal file
+    ([/site/sms/journal] on the Moira host) — the recovery source when
+    the in-memory server state is gone. *)
+
+val read_mail :
+  t -> ws:string -> login:string ->
+  (Pop.Pop_server.message list, Netsim.Net.failure) result
+(** The [inc] flow: look the user's pobox up in hesiod from the
+    workstation, then drain the mailbox on that post office. *)

@@ -1,0 +1,54 @@
+(** The Zephyr notification substrate.
+
+    Enough of the Athena notification service to exercise Moira's two
+    interactions with it: (a) the DCM sends failure zephyrgrams to class
+    MOIRA instance DCM (paper section 5.7.1), and (b) Moira distributes
+    per-class transmit ACL files to the zephyr servers (section 5.8.2),
+    which this server loads from its filesystem and enforces. *)
+
+type notice = {
+  sender : string;  (** Sending principal. *)
+  cls : string;  (** Zephyr class. *)
+  instance : string;  (** Instance within the class. *)
+  message : string;  (** Body. *)
+  time : int;  (** Engine ms at send. *)
+}
+
+type t
+
+val start : ?acl_dir:string -> Netsim.Host.t -> Sim.Engine.t -> t
+(** Start a zephyr server on the host.  If [acl_dir] is given, files
+    named [<class>.acl] under it (one principal per line, [*.*@*] for
+    everybody) restrict who may transmit to that class; classes without
+    an ACL file are unrestricted.  Registers network service ["zephyr"]
+    accepting ["SEND sender cls instance message"] payloads and a boot
+    hook reloading the ACLs. *)
+
+val reload_acls : t -> unit
+(** Re-read the ACL files from disk (after a Moira update). *)
+
+val subscribe : t -> cls:string -> (notice -> unit) -> unit
+(** Register a local subscriber callback for a class. *)
+
+val transmit :
+  t -> sender:string -> cls:string -> instance:string -> string ->
+  (unit, [ `Not_authorized ]) result
+(** In-process send: ACL-checked, then delivered to subscribers and
+    logged. *)
+
+val notices : t -> notice list
+(** Every notice delivered, oldest first (the test observatory). *)
+
+val notices_for : t -> cls:string -> notice list
+(** Delivered notices of one class. *)
+
+val acl_classes : t -> string list
+(** Classes that currently have an ACL loaded. *)
+
+(** {1 Client side} *)
+
+val send :
+  Netsim.Net.t -> src:string -> server:string -> sender:string ->
+  cls:string -> instance:string -> string ->
+  (unit, [ `Not_authorized | `Net of Netsim.Net.failure ]) result
+(** Send a zephyrgram via the server on host [server]. *)

@@ -1,0 +1,1 @@
+test/fix.ml: Alcotest Comerr List Moira Option String

@@ -1,0 +1,1 @@
+test/test_acl.ml: Acl Alcotest Fix Gen List Lookup Moira Mr_err Option Printf QCheck QCheck_alcotest String

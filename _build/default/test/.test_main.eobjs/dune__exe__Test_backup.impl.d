@@ -1,0 +1,1 @@
+test/test_backup.ml: Alcotest Array Backup Comerr Db Gen Journal List Moira Pred QCheck QCheck_alcotest Relation Schema String Table Value

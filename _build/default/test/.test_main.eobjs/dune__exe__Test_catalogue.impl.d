@@ -1,0 +1,1 @@
+test/test_catalogue.ml: Alcotest Comerr Fix Hashtbl Lazy List Moira String

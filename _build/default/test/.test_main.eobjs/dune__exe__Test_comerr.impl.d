@@ -1,0 +1,1 @@
+test/test_comerr.ml: Alcotest Comerr Gdb Krb Moira String

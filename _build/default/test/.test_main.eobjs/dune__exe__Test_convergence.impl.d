@@ -1,0 +1,1 @@
+test/test_convergence.ml: Alcotest Array Hesiod List Moira Netsim Option Population Printf Relation Sim String Table Testbed Value Workload

@@ -1,0 +1,1 @@
+test/test_dcm.ml: Alcotest Array Comerr Dcm Filename Gdb Hesiod List Moira Netsim Pop Population Relation Sim String Testbed Workload Zephyr

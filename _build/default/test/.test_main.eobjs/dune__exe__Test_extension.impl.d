@@ -1,0 +1,1 @@
+test/test_extension.ml: Alcotest Array Comerr Dcm List Moira Netsim Population Pred Printf Relation Sim String Table Testbed Value Workload

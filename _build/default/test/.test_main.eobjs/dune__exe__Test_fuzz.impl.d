@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Char Comerr Gdb List Moira Netsim Population Relation Sim String Testbed Workload

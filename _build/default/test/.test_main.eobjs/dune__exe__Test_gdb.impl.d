@@ -1,0 +1,1 @@
+test/test_gdb.ml: Alcotest Gdb Gen List Moira Netsim QCheck QCheck_alcotest Sim String

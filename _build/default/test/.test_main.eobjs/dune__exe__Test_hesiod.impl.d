@@ -1,0 +1,1 @@
+test/test_hesiod.ml: Alcotest Gen Hesiod List Netsim QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Comerr Dcm Gdb Hesiod Krb List Moira Netsim Option Population Relation Sim String Testbed Workload

@@ -1,0 +1,1 @@
+test/test_krb.ml: Alcotest Bytes Char Comerr Gen Krb List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lpd.ml: Alcotest Array Comerr List Lpd Moira Netsim Population String Testbed Workload

@@ -1,0 +1,1 @@
+test/test_mail.ml: Alcotest Array List Moira Netsim Pop Population Testbed Workload

@@ -1,0 +1,1 @@
+test/test_multidb.ml: Alcotest Catalog Comerr Glue Krb List Mdb Moira Mr_client Mr_err Mr_server Netsim Query Sim

@@ -1,0 +1,1 @@
+test/test_population.ml: Alcotest Array Hashtbl Krb List Moira Option Pred Relation String Table Value Workload

@@ -1,0 +1,1 @@
+test/test_q_cluster.ml: Alcotest Comerr Fix List Moira

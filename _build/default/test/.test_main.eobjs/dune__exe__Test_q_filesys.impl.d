@@ -1,0 +1,1 @@
+test/test_q_filesys.ml: Alcotest Fix List Moira

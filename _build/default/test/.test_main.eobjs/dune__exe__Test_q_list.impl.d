@@ -1,0 +1,1 @@
+test/test_q_list.ml: Alcotest Comerr Fix List Moira Option

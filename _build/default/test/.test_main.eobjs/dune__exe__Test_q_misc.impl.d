@@ -1,0 +1,1 @@
+test/test_q_misc.ml: Alcotest Comerr Fix List Moira String

@@ -1,0 +1,1 @@
+test/test_q_server.ml: Alcotest Comerr Fix List Moira

@@ -1,0 +1,1 @@
+test/test_q_users.ml: Alcotest Comerr Fix List Moira String

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Db Gen Glob List Lock Pred Printf QCheck QCheck_alcotest Relation Schema String Table Value

@@ -1,0 +1,1 @@
+test/test_rvd.ml: Alcotest Array Comerr Dcm List Moira Netsim Population Rvd Sim Testbed Workload

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Comerr Krb List Moira Netsim Relation Workload

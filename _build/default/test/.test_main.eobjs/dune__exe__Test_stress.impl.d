@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Comerr Hesiod List Moira Population Printf Relation Sim String Testbed Workload

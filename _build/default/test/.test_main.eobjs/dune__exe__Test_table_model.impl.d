@@ -1,0 +1,1 @@
+test/test_table_model.ml: Array Fun Glob List Pred Printf QCheck QCheck_alcotest Relation Schema String Table Value

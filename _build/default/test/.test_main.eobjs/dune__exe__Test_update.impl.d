@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Dcm Gdb Gen Moira Netsim QCheck QCheck_alcotest Sim

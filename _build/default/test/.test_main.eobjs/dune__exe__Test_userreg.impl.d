@@ -1,0 +1,1 @@
+test/test_userreg.ml: Alcotest Array Comerr Filename Hesiod Krb List Moira Names Netsim Population String Testbed Userreg Workload

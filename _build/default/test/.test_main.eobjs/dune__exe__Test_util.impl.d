@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Buffer Menu Moira Mr_util Mrconst String

@@ -1,0 +1,1 @@
+test/test_zephyr.ml: Alcotest List Netsim Sim Zephyr

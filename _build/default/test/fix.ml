@@ -1,0 +1,101 @@
+(* Shared fixtures for the Moira query-layer tests: a fresh database with
+   a deterministic mini-world, plus helpers to run queries as the
+   privileged glue, as an admin on every capability ACL, or as an
+   ordinary user. *)
+
+type t = {
+  clock : int ref;
+  mdb : Moira.Mdb.t;
+  registry : Moira.Query.registry;
+  glue : Moira.Glue.t;
+}
+
+let admin = "admin"
+let user1 = "ann"
+let user2 = "bob"
+
+let must t name args =
+  match Moira.Glue.query t.glue ~name args with
+  | Ok tuples -> tuples
+  | Error code ->
+      Alcotest.failf "fixture %s(%s): %s" name (String.concat "," args)
+        (Comerr.Com_err.error_message code)
+
+let create () =
+  let clock = ref 1_000_000 in
+  let mdb = Moira.Mdb.create ~clock:(fun () -> !clock) in
+  let registry = Moira.Catalog.make () in
+  let glue = Moira.Glue.create ~mdb ~registry () in
+  let t = { clock; mdb; registry; glue } in
+  (* machines *)
+  List.iter
+    (fun (m, ty) -> ignore (must t "add_machine" [ m; ty ]))
+    [
+      ("E40-PO.MIT.EDU", "VAX"); ("CHARON.MIT.EDU", "RT");
+      ("NFS-1.MIT.EDU", "VAX"); ("SUOMI.MIT.EDU", "VAX");
+      ("W20-001.MIT.EDU", "RT");
+    ];
+  (* admin + admin list holding every capability *)
+  ignore
+    (must t "add_user"
+       [ admin; "1000"; "/bin/csh"; "Admin"; "Athena"; ""; "1"; "h"; "STAFF" ]);
+  ignore
+    (must t "add_list"
+       [ "moira-admins"; "1"; "0"; "0"; "0"; "0"; "-1"; "USER"; admin;
+         "admins" ]);
+  ignore (must t "add_member_to_list" [ "moira-admins"; "USER"; admin ]);
+  let admins_id = Option.get (Moira.Lookup.list_id mdb "moira-admins") in
+  List.iter
+    (fun q ->
+      Moira.Acl.set_capacl mdb ~query:q.Moira.Query.name
+        ~tag:q.Moira.Query.short ~list_id:admins_id)
+    (Moira.Catalog.standard ());
+  Moira.Acl.set_capacl mdb ~query:"trigger_dcm" ~tag:"tdcm"
+    ~list_id:admins_id;
+  (* two ordinary users *)
+  ignore
+    (must t "add_user"
+       [ user1; "2001"; "/bin/csh"; "Alpha"; "Ann"; "B"; "1"; "ha"; "1991" ]);
+  ignore
+    (must t "add_user"
+       [ user2; "2002"; "/bin/sh"; "Beta"; "Bob"; ""; "1"; "hb"; "1990" ]);
+  (* an NFS partition so filesystems can be added *)
+  ignore
+    (must t "add_nfsphys"
+       [ "NFS-1.MIT.EDU"; "/u1/lockers"; "/dev/ra1c"; "15"; "0"; "50000" ]);
+  t
+
+(* Run a query as a (non-privileged) authenticated caller. *)
+let as_user t login name args =
+  let ctx =
+    { Moira.Query.mdb = t.mdb; caller = login; client = "test";
+      privileged = false }
+  in
+  Moira.Query.execute t.registry ctx ~name args
+
+let check_access t login name args =
+  let ctx =
+    { Moira.Query.mdb = t.mdb; caller = login; client = "test";
+      privileged = false }
+  in
+  Moira.Query.check t.registry ctx ~name args
+
+let as_admin t name args = as_user t admin name args
+
+(* expectation helpers *)
+let expect_ok what = function
+  | Ok tuples -> tuples
+  | Error code ->
+      Alcotest.failf "%s failed: %s" what (Comerr.Com_err.error_message code)
+
+let expect_err what expected = function
+  | Ok _ -> Alcotest.failf "%s unexpectedly succeeded" what
+  | Error code ->
+      Alcotest.(check string)
+        (what ^ " error")
+        (Comerr.Com_err.error_message expected)
+        (Comerr.Com_err.error_message code)
+
+let first_field = function
+  | (f :: _) :: _ -> f
+  | _ -> Alcotest.fail "no tuples returned"

@@ -1,0 +1,188 @@
+(* The access-control machinery in isolation: ACE resolution, recursive
+   membership, capability ACLs (sections 5.5 and 6). *)
+
+open Moira
+
+let uid t login = Option.get (Lookup.user_id t.Fix.mdb login)
+let lid t name = Option.get (Lookup.list_id t.Fix.mdb name)
+
+let mklist t ?(ace = ("NONE", "NONE")) name =
+  ignore
+    (Fix.must t "add_list"
+       [ name; "1"; "0"; "0"; "0"; "0"; "-1"; fst ace; snd ace; "d" ])
+
+let addm t l ty m = ignore (Fix.must t "add_member_to_list" [ l; ty; m ])
+
+let test_resolve_ace () =
+  let t = Fix.create () in
+  (match Acl.resolve_ace t.Fix.mdb ~ace_type:"user" ~ace_name:"ann" with
+  | Ok ace ->
+      Alcotest.(check string) "type normalized" "USER" ace.Acl.ace_type;
+      Alcotest.(check int) "id" (uid t "ann") ace.Acl.ace_id
+  | Error _ -> Alcotest.fail "user ace");
+  (match Acl.resolve_ace t.Fix.mdb ~ace_type:"NONE" ~ace_name:"whatever" with
+  | Ok ace -> Alcotest.(check string) "none" "NONE" ace.Acl.ace_type
+  | Error _ -> Alcotest.fail "none ace");
+  (match Acl.resolve_ace t.Fix.mdb ~ace_type:"USER" ~ace_name:"ghost" with
+  | Error code when code = Mr_err.ace -> ()
+  | _ -> Alcotest.fail "ghost resolved");
+  match Acl.resolve_ace t.Fix.mdb ~ace_type:"CABAL" ~ace_name:"x" with
+  | Error code when code = Mr_err.ace -> ()
+  | _ -> Alcotest.fail "bad type resolved"
+
+let test_ace_name_roundtrip () =
+  let t = Fix.create () in
+  let render ty id = Acl.ace_name t.Fix.mdb { Acl.ace_type = ty; ace_id = id } in
+  Alcotest.(check string) "user" "ann" (render "USER" (uid t "ann"));
+  Alcotest.(check string) "list" "moira-admins"
+    (render "LIST" (lid t "moira-admins"));
+  Alcotest.(check string) "none" "NONE" (render "NONE" 0);
+  Alcotest.(check string) "dangling" "#424242" (render "USER" 424242)
+
+let test_deep_nesting () =
+  let t = Fix.create () in
+  (* five levels deep *)
+  mklist t "l1"; mklist t "l2"; mklist t "l3"; mklist t "l4"; mklist t "l5";
+  addm t "l1" "LIST" "l2";
+  addm t "l2" "LIST" "l3";
+  addm t "l3" "LIST" "l4";
+  addm t "l4" "LIST" "l5";
+  addm t "l5" "USER" "bob";
+  Alcotest.(check bool) "found at depth 5" true
+    (Acl.user_in_list t.Fix.mdb ~list_id:(lid t "l1") ~users_id:(uid t "bob"));
+  Alcotest.(check bool) "not found for ann" false
+    (Acl.user_in_list t.Fix.mdb ~list_id:(lid t "l1") ~users_id:(uid t "ann"));
+  Alcotest.(check bool) "list_in_list deep" true
+    (Acl.list_in_list t.Fix.mdb ~outer:(lid t "l1") ~inner:(lid t "l5"));
+  (* expansion flattens the whole chain *)
+  Alcotest.(check (list string)) "expand_users" [ "bob" ]
+    (Acl.expand_users t.Fix.mdb ~list_id:(lid t "l1"))
+
+let test_diamond_and_dedup () =
+  let t = Fix.create () in
+  mklist t "top"; mklist t "left"; mklist t "right";
+  addm t "top" "LIST" "left";
+  addm t "top" "LIST" "right";
+  addm t "left" "USER" "bob";
+  addm t "right" "USER" "bob";
+  addm t "right" "USER" "ann";
+  Alcotest.(check (list string)) "deduplicated, sorted" [ "ann"; "bob" ]
+    (Acl.expand_users t.Fix.mdb ~list_id:(lid t "top"))
+
+let test_string_members_ignored_in_expansion () =
+  let t = Fix.create () in
+  mklist t "l";
+  addm t "l" "USER" "bob";
+  addm t "l" "STRING" "outsider@elsewhere.edu";
+  Alcotest.(check (list string)) "strings not users" [ "bob" ]
+    (Acl.expand_users t.Fix.mdb ~list_id:(lid t "l"))
+
+let test_containing_lists () =
+  let t = Fix.create () in
+  mklist t "inner"; mklist t "middle"; mklist t "outer";
+  addm t "middle" "LIST" "inner";
+  addm t "outer" "LIST" "middle";
+  addm t "inner" "USER" "bob";
+  let containers =
+    Acl.containing_lists t.Fix.mdb ~mtype:"USER" ~mid:(uid t "bob")
+  in
+  Alcotest.(check int) "three containers" 3 (List.length containers);
+  let names =
+    List.filter_map (Lookup.list_name t.Fix.mdb) containers
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "names" [ "inner"; "middle"; "outer" ] names
+
+let test_capacl () =
+  let t = Fix.create () in
+  mklist t "operators";
+  addm t "operators" "USER" "bob";
+  Acl.set_capacl t.Fix.mdb ~query:"frob" ~tag:"frob"
+    ~list_id:(lid t "operators");
+  Alcotest.(check bool) "member allowed" true
+    (Acl.query_allowed t.Fix.mdb ~query:"frob" ~login:"bob");
+  Alcotest.(check bool) "non-member denied" false
+    (Acl.query_allowed t.Fix.mdb ~query:"frob" ~login:"ann");
+  Alcotest.(check bool) "unknown query denied" false
+    (Acl.query_allowed t.Fix.mdb ~query:"zap" ~login:"bob");
+  Alcotest.(check bool) "unknown user denied" false
+    (Acl.query_allowed t.Fix.mdb ~query:"frob" ~login:"ghost");
+  (* re-pointing the capacl replaces, not duplicates *)
+  mklist t "others";
+  Acl.set_capacl t.Fix.mdb ~query:"frob" ~tag:"frob" ~list_id:(lid t "others");
+  Alcotest.(check bool) "old list revoked" false
+    (Acl.query_allowed t.Fix.mdb ~query:"frob" ~login:"bob")
+
+let test_capacl_through_sublist () =
+  let t = Fix.create () in
+  mklist t "root-acl"; mklist t "ops";
+  addm t "root-acl" "LIST" "ops";
+  addm t "ops" "USER" "ann";
+  Acl.set_capacl t.Fix.mdb ~query:"frob" ~tag:"frob"
+    ~list_id:(lid t "root-acl");
+  Alcotest.(check bool) "recursive capacl" true
+    (Acl.query_allowed t.Fix.mdb ~query:"frob" ~login:"ann")
+
+let test_user_on_ace () =
+  let t = Fix.create () in
+  mklist t "board";
+  addm t "board" "USER" "ann";
+  let user_ace = { Acl.ace_type = "USER"; ace_id = uid t "ann" } in
+  let list_ace = { Acl.ace_type = "LIST"; ace_id = lid t "board" } in
+  let none_ace = { Acl.ace_type = "NONE"; ace_id = 0 } in
+  Alcotest.(check bool) "direct user" true
+    (Acl.user_on_ace t.Fix.mdb user_ace ~users_id:(uid t "ann"));
+  Alcotest.(check bool) "other user" false
+    (Acl.user_on_ace t.Fix.mdb user_ace ~users_id:(uid t "bob"));
+  Alcotest.(check bool) "via list" true
+    (Acl.user_on_ace t.Fix.mdb list_ace ~users_id:(uid t "ann"));
+  Alcotest.(check bool) "NONE admits nobody" false
+    (Acl.user_on_ace t.Fix.mdb none_ace ~users_id:(uid t "ann"));
+  Alcotest.(check bool) "login form" true
+    (Acl.login_on_ace t.Fix.mdb list_ace ~login:"ann");
+  Alcotest.(check bool) "unknown login" false
+    (Acl.login_on_ace t.Fix.mdb list_ace ~login:"ghost")
+
+let prop_expansion_terminates_on_random_graphs =
+  QCheck.Test.make ~name:"acl: expansion terminates on arbitrary graphs"
+    ~count:40
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_range 0 9) (int_range 0 9)))
+    (fun edges ->
+      let t = Fix.create () in
+      for i = 0 to 9 do
+        ignore
+          (Fix.must t "add_list"
+             [ Printf.sprintf "g%d" i; "1"; "0"; "0"; "0"; "0"; "-1";
+               "NONE"; "NONE"; "d" ])
+      done;
+      List.iter
+        (fun (a, b) ->
+          match
+            Moira.Glue.query t.Fix.glue ~name:"add_member_to_list"
+              [ Printf.sprintf "g%d" a; "LIST"; Printf.sprintf "g%d" b ]
+          with
+          | Ok _ | Error _ -> ())
+        edges;
+      ignore
+        (Fix.must t "add_member_to_list" [ "g9"; "USER"; "bob" ]);
+      (* must terminate whatever the edge set *)
+      ignore (Acl.expand_users t.Fix.mdb ~list_id:(lid t "g0"));
+      ignore
+        (Acl.containing_lists t.Fix.mdb ~mtype:"USER" ~mid:(uid t "bob"));
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "resolve_ace" `Quick test_resolve_ace;
+    Alcotest.test_case "ace_name" `Quick test_ace_name_roundtrip;
+    Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+    Alcotest.test_case "diamond dedup" `Quick test_diamond_and_dedup;
+    Alcotest.test_case "strings not expanded" `Quick
+      test_string_members_ignored_in_expansion;
+    Alcotest.test_case "containing_lists" `Quick test_containing_lists;
+    Alcotest.test_case "capacl" `Quick test_capacl;
+    Alcotest.test_case "capacl through sublist" `Quick
+      test_capacl_through_sublist;
+    Alcotest.test_case "user_on_ace" `Quick test_user_on_ace;
+    QCheck_alcotest.to_alcotest prop_expansion_terminates_on_random_graphs;
+  ]

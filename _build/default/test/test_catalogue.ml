@@ -1,0 +1,124 @@
+(* Catalogue-wide checks: every one of the ~100 handles is wired — it
+   resolves by both names, enforces its arity, describes itself through
+   _help, and appears in _list_queries. *)
+
+let t = lazy (Fix.create ())
+
+let all_queries = Moira.Catalog.standard ()
+
+let test_no_duplicate_names () =
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun n ->
+          if Hashtbl.mem seen n then Alcotest.failf "duplicate name %S" n;
+          Hashtbl.replace seen n ())
+        [ q.Moira.Query.name; q.Moira.Query.short ])
+    all_queries
+
+let test_catalogue_size () =
+  (* "Over 100 query handles" (section 5.1.C) counting the builtins *)
+  Alcotest.(check bool) "paper-scale catalogue" true
+    (List.length all_queries + 4 >= 100)
+
+let test_arity_enforced_everywhere () =
+  let t = Lazy.force t in
+  List.iter
+    (fun q ->
+      let too_many =
+        List.init (List.length q.Moira.Query.inputs + 1) (fun _ -> "x")
+      in
+      Fix.expect_err (q.Moira.Query.name ^ " arity") Moira.Mr_err.args
+        (Fix.as_admin t q.Moira.Query.name too_many))
+    all_queries
+
+let test_short_names_resolve_everywhere () =
+  let t = Lazy.force t in
+  List.iter
+    (fun q ->
+      match Moira.Query.find t.Fix.registry q.Moira.Query.short with
+      | Some q' ->
+          Alcotest.(check string) "short resolves to same handle"
+            q.Moira.Query.name q'.Moira.Query.name
+      | None -> Alcotest.failf "short name %S missing" q.Moira.Query.short)
+    all_queries
+
+let test_help_describes_everything () =
+  let t = Lazy.force t in
+  List.iter
+    (fun q ->
+      match Fix.as_user t "" "_help" [ q.Moira.Query.name ] with
+      | Ok [ [ msg ] ] ->
+          Alcotest.(check bool)
+            (q.Moira.Query.name ^ " help mentions short name") true
+            (String.length msg >= String.length q.Moira.Query.short)
+      | _ -> Alcotest.failf "_help failed for %s" q.Moira.Query.name)
+    all_queries
+
+let test_list_queries_is_complete () =
+  let t = Lazy.force t in
+  match Fix.as_user t "" "_list_queries" [] with
+  | Ok rows ->
+      List.iter
+        (fun q ->
+          Alcotest.(check bool)
+            (q.Moira.Query.name ^ " listed") true
+            (List.mem [ q.Moira.Query.name; q.Moira.Query.short ] rows))
+        all_queries
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+
+let test_arg_too_long_everywhere () =
+  let t = Lazy.force t in
+  let huge = String.make (Moira.Mrconst.max_field_len + 1) 'x' in
+  List.iter
+    (fun q ->
+      if q.Moira.Query.inputs <> [] then begin
+        let args =
+          huge :: List.tl (List.map (fun _ -> "x") q.Moira.Query.inputs)
+        in
+        Fix.expect_err (q.Moira.Query.name ^ " long arg")
+          Moira.Mr_err.arg_too_long
+          (Fix.as_admin t q.Moira.Query.name args)
+      end)
+    all_queries
+
+let test_anonymous_never_crashes () =
+  (* an unauthenticated caller may be denied or served, but no handle
+     may raise *)
+  let t = Lazy.force t in
+  List.iter
+    (fun q ->
+      let args = List.map (fun _ -> "probe") q.Moira.Query.inputs in
+      match Fix.as_user t "" q.Moira.Query.name args with
+      | Ok _ | Error _ -> ())
+    all_queries
+
+let test_retrieves_have_outputs () =
+  List.iter
+    (fun q ->
+      if q.Moira.Query.kind = Moira.Query.Retrieve then
+        Alcotest.(check bool)
+          (q.Moira.Query.name ^ " declares outputs") true
+          (q.Moira.Query.outputs <> []))
+    all_queries
+
+let suite =
+  [
+    Alcotest.test_case "no duplicate names" `Quick test_no_duplicate_names;
+    Alcotest.test_case "catalogue size" `Quick test_catalogue_size;
+    Alcotest.test_case "arity enforced everywhere" `Quick
+      test_arity_enforced_everywhere;
+    Alcotest.test_case "short names resolve" `Quick
+      test_short_names_resolve_everywhere;
+    Alcotest.test_case "_help for every handle" `Quick
+      test_help_describes_everything;
+    Alcotest.test_case "_list_queries complete" `Quick
+      test_list_queries_is_complete;
+    Alcotest.test_case "MR_ARG_TOO_LONG everywhere" `Quick
+      test_arg_too_long_everywhere;
+    Alcotest.test_case "anonymous never crashes" `Quick
+      test_anonymous_never_crashes;
+    Alcotest.test_case "retrieves declare outputs" `Quick
+      test_retrieves_have_outputs;
+  ]

@@ -1,0 +1,96 @@
+(* com_err error-table mechanism. *)
+
+let test_base_derivation () =
+  (* distinct table names get distinct, disjoint ranges *)
+  let a = Comerr.Com_err.create_table ~name:"ta01" [| "m0"; "m1" |] in
+  let b = Comerr.Com_err.create_table ~name:"tb02" [| "x0" |] in
+  Alcotest.(check bool)
+    "bases differ"
+    true
+    (Comerr.Com_err.base a <> Comerr.Com_err.base b);
+  Alcotest.(check bool)
+    "base is 256-aligned" true
+    (Comerr.Com_err.base a mod 256 = 0)
+
+let test_code_and_message () =
+  let t = Comerr.Com_err.create_table ~name:"tc03" [| "first"; "second" |] in
+  Alcotest.(check string)
+    "message 0" "first"
+    (Comerr.Com_err.error_message (Comerr.Com_err.code t 0));
+  Alcotest.(check string)
+    "message 1" "second"
+    (Comerr.Com_err.error_message (Comerr.Com_err.code t 1))
+
+let test_zero_is_success () =
+  Alcotest.(check string) "zero" "Success" (Comerr.Com_err.error_message 0)
+
+let test_unknown_code () =
+  let t = Comerr.Com_err.create_table ~name:"td04" [| "only" |] in
+  let msg = Comerr.Com_err.error_message (Comerr.Com_err.base t + 77) in
+  Alcotest.(check bool)
+    "unknown offset mentions table" true
+    (String.length msg > 0
+    && String.sub msg 0 12 = "Unknown code")
+
+let test_unregistered_code () =
+  (* A code from a never-registered base *)
+  let msg = Comerr.Com_err.error_message ((123456 lsl 8) + 3) in
+  Alcotest.(check bool)
+    "unknown code string" true
+    (String.length msg > 0)
+
+let test_table_name_roundtrip () =
+  let t = Comerr.Com_err.create_table ~name:"krbX" [| "a" |] in
+  Alcotest.(check string)
+    "name recovered" "krbX"
+    (Comerr.Com_err.error_table_name (Comerr.Com_err.code t 0))
+
+let test_code_out_of_range () =
+  let t = Comerr.Com_err.create_table ~name:"te05" [| "a" |] in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "com_err: code index 5 out of range for table \"te05\"")
+    (fun () -> ignore (Comerr.Com_err.code t 5))
+
+let test_hook () =
+  let captured = ref None in
+  Comerr.Com_err.set_com_err_hook (fun ~whoami code msg ->
+      captured := Some (whoami, code, msg));
+  Comerr.Com_err.com_err ~whoami:"prog" 0 "hello";
+  Comerr.Com_err.reset_com_err_hook ();
+  match !captured with
+  | Some ("prog", 0, "hello") -> ()
+  | _ -> Alcotest.fail "hook did not capture"
+
+let test_moira_table_registered () =
+  (* the mr table is registered and its codes decode *)
+  Alcotest.(check string)
+    "MR_PERM message"
+    "Insufficient permission to perform requested database access"
+    (Comerr.Com_err.error_message Moira.Mr_err.perm);
+  Alcotest.(check string)
+    "MR_NO_MATCH message" "No records in database match query"
+    (Comerr.Com_err.error_message Moira.Mr_err.no_match)
+
+let test_krb_and_gdb_tables () =
+  Alcotest.(check bool)
+    "krb and mr disjoint" true
+    (Moira.Mr_err.perm <> Krb.Krb_err.bad_password);
+  Alcotest.(check string)
+    "gdb version skew" "Protocol version skew"
+    (Comerr.Com_err.error_message Gdb.Gdb_err.version_skew)
+
+let suite =
+  [
+    Alcotest.test_case "base derivation" `Quick test_base_derivation;
+    Alcotest.test_case "code and message" `Quick test_code_and_message;
+    Alcotest.test_case "zero is success" `Quick test_zero_is_success;
+    Alcotest.test_case "unknown code in known table" `Quick test_unknown_code;
+    Alcotest.test_case "unregistered table code" `Quick test_unregistered_code;
+    Alcotest.test_case "table name roundtrip" `Quick test_table_name_roundtrip;
+    Alcotest.test_case "code out of range" `Quick test_code_out_of_range;
+    Alcotest.test_case "com_err hook" `Quick test_hook;
+    Alcotest.test_case "moira table registered" `Quick
+      test_moira_table_registered;
+    Alcotest.test_case "krb/gdb tables disjoint" `Quick
+      test_krb_and_gdb_tables;
+  ]

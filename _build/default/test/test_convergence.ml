@@ -1,0 +1,95 @@
+(* Convergence under chaos: random crashes and reboots of the managed
+   hosts while changes trickle into the database.  Once the network
+   quiets down, every enabled host must be consistent — the serverhosts
+   rows show success, and hesiod serves the final data.  This is the
+   paper's overall robustness thesis run as a property. *)
+
+open Workload
+open Relation
+
+let run_chaos ~seed =
+  let tb = Testbed.create () in
+  let rng = Sim.Rng.create seed in
+  let managed =
+    Population.machines_of tb.Testbed.built.Population.spec tb.Testbed.built
+    |> List.filter (fun m -> m <> tb.Testbed.built.Population.moira_machine)
+  in
+  (* schedule random crash/boot pairs over the first 48 hours *)
+  List.iter
+    (fun machine ->
+      if Sim.Rng.chance rng 0.6 then begin
+        let crash_at = Sim.Rng.in_range rng 1 (47 * 60) in
+        let down_for = Sim.Rng.in_range rng 10 180 in
+        ignore
+          (Sim.Engine.schedule tb.Testbed.engine
+             ~at:(Sim.Engine.now tb.Testbed.engine + (crash_at * 60_000))
+             "chaos-crash"
+             (fun () -> Netsim.Host.crash (Testbed.host tb machine)));
+        ignore
+          (Sim.Engine.schedule tb.Testbed.engine
+             ~at:
+               (Sim.Engine.now tb.Testbed.engine
+               + ((crash_at + down_for) * 60_000))
+             "chaos-boot"
+             (fun () -> Netsim.Host.boot (Testbed.host tb machine)))
+      end)
+    managed;
+  (* changes trickle in during the chaos *)
+  let logins = tb.Testbed.built.Population.logins in
+  for i = 1 to 10 do
+    ignore
+      (Sim.Engine.schedule tb.Testbed.engine
+         ~at:(Sim.Engine.now tb.Testbed.engine + (i * 4 * 3600_000))
+         "chaos-change"
+         (fun () ->
+           ignore
+             (Moira.Glue.query tb.Testbed.glue ~name:"update_user_shell"
+                [ logins.(i mod Array.length logins);
+                  Printf.sprintf "/bin/chaos%d" i ])))
+  done;
+  Testbed.run_hours tb 48;
+  (* quiet period: no more faults, several DCM cycles *)
+  Testbed.run_hours tb 30;
+  tb
+
+let assert_converged tb =
+  let shosts = Moira.Mdb.table tb.Testbed.mdb "serverhosts" in
+  Table.fold shosts ~init:() ~f:(fun () _ row ->
+      let service = Value.str (Table.field shosts row "service") in
+      if service <> "POP" then begin
+        let machine =
+          Option.value
+            (Moira.Lookup.machine_name tb.Testbed.mdb
+               (Value.int (Table.field shosts row "mach_id")))
+            ~default:"?"
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s on %s has no hosterror" service machine)
+          true
+          (Value.int (Table.field shosts row "hosterror") = 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s on %s succeeded" service machine)
+          true
+          (Value.bool (Table.field shosts row "success"))
+      end);
+  (* the last trickled change is visible in hesiod *)
+  let logins = tb.Testbed.built.Population.logins in
+  let login = logins.(10 mod Array.length logins) in
+  let _, hes = Testbed.first_hesiod tb in
+  match Hesiod.Hes_server.resolve_local hes ~name:login ~ty:"passwd" with
+  | [ line ] ->
+      let suffix = "/bin/chaos10" in
+      let n = String.length line and m = String.length suffix in
+      Alcotest.(check string) "final change propagated" suffix
+        (String.sub line (n - m) m)
+  | _ -> Alcotest.fail "user missing from hesiod after chaos"
+
+let test_convergence seed () = assert_converged (run_chaos ~seed)
+
+let suite =
+  List.map
+    (fun seed ->
+      Alcotest.test_case
+        (Printf.sprintf "chaos converges (seed %d)" seed)
+        `Quick (test_convergence seed))
+    [ 11; 23; 47 ]

@@ -1,0 +1,224 @@
+(* The GDB RPC layer: wire framing, client/server connections. *)
+
+let test_wire_request_roundtrip () =
+  let req =
+    { Gdb.Wire.version = 2; conn = 7; op = 18;
+      args = [ "get_user_by_login"; "ann"; ""; "multi\nline:with\000nul" ] }
+  in
+  match Gdb.Wire.decode_request (Gdb.Wire.encode_request req) with
+  | Ok r ->
+      Alcotest.(check int) "version" req.Gdb.Wire.version r.Gdb.Wire.version;
+      Alcotest.(check int) "conn" req.conn r.conn;
+      Alcotest.(check int) "op" req.op r.op;
+      Alcotest.(check (list string)) "args" req.args r.args
+  | Error e -> Alcotest.fail e
+
+let test_wire_reply_roundtrip () =
+  let rep =
+    { Gdb.Wire.rversion = 2; code = 42;
+      tuples = [ [ "a"; "b" ]; []; [ "single" ] ] }
+  in
+  match Gdb.Wire.decode_reply (Gdb.Wire.encode_reply rep) with
+  | Ok r ->
+      Alcotest.(check int) "code" 42 r.Gdb.Wire.code;
+      Alcotest.(check int) "tuples" 3 (List.length r.tuples);
+      Alcotest.(check (list (list string))) "contents" rep.Gdb.Wire.tuples
+        r.tuples
+  | Error e -> Alcotest.fail e
+
+let test_wire_garbage () =
+  (match Gdb.Wire.decode_request "not a frame" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage request parsed");
+  match Gdb.Wire.decode_reply "9999999\nxx" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage reply parsed"
+
+let test_wire_truncated () =
+  let good =
+    Gdb.Wire.encode_request
+      { Gdb.Wire.version = 2; conn = 0; op = 1; args = [ "hello" ] }
+  in
+  let truncated = String.sub good 0 (String.length good - 3) in
+  match Gdb.Wire.decode_request truncated with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated request parsed"
+
+let setup ?backend ?(max_connections = 64) () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let srv_host = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  let server =
+    Gdb.Server.create ?backend ~max_connections ~net ~host:srv_host
+      ~service:"app"
+      ~init:(fun ~peer -> ref peer)
+      ~handler:(fun info req ->
+        if req.Gdb.Wire.op = 100 then (0, [ [ !(info.Gdb.Server.state) ] ])
+        else if req.op = 101 then begin
+          info.Gdb.Server.state := String.concat "," req.args;
+          (0, [])
+        end
+        else (Moira.Mr_err.no_handle, []))
+      ()
+  in
+  (engine, net, server)
+
+let connect net =
+  match Gdb.Client.connect net ~src:"CLI" ~dst:"SRV" ~service:"app" with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Gdb.Client.error_to_string e)
+
+let test_connect_call_disconnect () =
+  let _, net, server = setup () in
+  let c = connect net in
+  Alcotest.(check bool) "connected" true (Gdb.Client.is_connected c);
+  Alcotest.(check int) "server sees 1 conn" 1
+    (Gdb.Server.connection_count server);
+  (match Gdb.Client.call c ~op:100 [] with
+  | Ok (0, [ [ "CLI" ] ]) -> ()
+  | Ok _ -> Alcotest.fail "unexpected reply"
+  | Error e -> Alcotest.fail (Gdb.Client.error_to_string e));
+  (match Gdb.Client.disconnect c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Gdb.Client.error_to_string e));
+  Alcotest.(check int) "conn closed on server" 0
+    (Gdb.Server.connection_count server)
+
+let test_per_connection_state () =
+  let _, net, _ = setup () in
+  let c1 = connect net and c2 = connect net in
+  ignore (Gdb.Client.call c1 ~op:101 [ "one" ]);
+  ignore (Gdb.Client.call c2 ~op:101 [ "two" ]);
+  (match Gdb.Client.call c1 ~op:100 [] with
+  | Ok (0, [ [ "one" ] ]) -> ()
+  | _ -> Alcotest.fail "c1 state clobbered");
+  match Gdb.Client.call c2 ~op:100 [] with
+  | Ok (0, [ [ "two" ] ]) -> ()
+  | _ -> Alcotest.fail "c2 state clobbered"
+
+let test_unknown_connection_rejected () =
+  let _, net, _ = setup () in
+  let c = connect net in
+  ignore (Gdb.Client.disconnect c);
+  match Gdb.Client.call c ~op:100 [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "closed connection worked"
+
+let test_max_connections () =
+  let _, net, _ = setup ~max_connections:2 () in
+  let _c1 = connect net and _c2 = connect net in
+  match Gdb.Client.connect net ~src:"CLI" ~dst:"SRV" ~service:"app" with
+  | Error (Gdb.Client.Rpc code) when code = Gdb.Gdb_err.too_many_connections ->
+      ()
+  | _ -> Alcotest.fail "third connection accepted"
+
+let test_backend_cost_per_server () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let host = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  let t0 = Sim.Engine.now engine in
+  let _server =
+    Gdb.Server.create ~backend:(Gdb.Server.Per_server 1500) ~net ~host
+      ~service:"app"
+      ~init:(fun ~peer:_ -> ())
+      ~handler:(fun _ _ -> (0, []))
+      ()
+  in
+  Alcotest.(check int) "paid at startup" 1500 (Sim.Engine.now engine - t0);
+  let before = Sim.Engine.now engine in
+  (match Gdb.Client.connect net ~src:"CLI" ~dst:"SRV" ~service:"app" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Gdb.Client.error_to_string e));
+  Alcotest.(check bool) "connect is cheap" true
+    (Sim.Engine.now engine - before < 1500)
+
+let test_backend_cost_per_connection () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let host = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  let _server =
+    Gdb.Server.create ~backend:(Gdb.Server.Per_connection 1500) ~net ~host
+      ~service:"app"
+      ~init:(fun ~peer:_ -> ())
+      ~handler:(fun _ _ -> (0, []))
+      ()
+  in
+  let before = Sim.Engine.now engine in
+  (match Gdb.Client.connect net ~src:"CLI" ~dst:"SRV" ~service:"app" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Gdb.Client.error_to_string e));
+  Alcotest.(check bool) "connect pays the spawn" true
+    (Sim.Engine.now engine - before >= 1500)
+
+let test_requests_served_counter () =
+  let _, net, server = setup () in
+  let c = connect net in
+  ignore (Gdb.Client.call c ~op:100 []);
+  ignore (Gdb.Client.call c ~op:100 []);
+  Alcotest.(check int) "served" 2 (Gdb.Server.requests_served server)
+
+(* Version skew: a request carrying a different protocol version is
+   rejected cleanly with the version-skew code (section 5.3: version
+   numbers "allow clean handling of version skew"). *)
+let test_version_skew_rejected () =
+  let _, net, _ = setup () in
+  let stale =
+    Gdb.Wire.encode_request
+      { Gdb.Wire.version = Gdb.Wire.protocol_version + 7; conn = 0;
+        op = Gdb.Wire.op_open; args = [] }
+  in
+  match Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"app" stale with
+  | Ok raw -> (
+      match Gdb.Wire.decode_reply raw with
+      | Ok reply ->
+          Alcotest.(check int) "version skew code" Gdb.Gdb_err.version_skew
+            reply.Gdb.Wire.code
+      | Error e -> Alcotest.fail e)
+  | Error _ -> Alcotest.fail "call failed"
+
+let prop_wire_request_roundtrip =
+  QCheck.Test.make ~name:"wire: request roundtrip" ~count:300
+    QCheck.(
+      quad (int_range 0 100) (int_range 0 1000) (int_range 0 64)
+        (list_of_size (Gen.int_range 0 5) (string_of_size (Gen.int_range 0 30))))
+    (fun (version, conn, op, args) ->
+      let req = { Gdb.Wire.version; conn; op; args } in
+      Gdb.Wire.decode_request (Gdb.Wire.encode_request req) = Ok req)
+
+let prop_wire_reply_roundtrip =
+  QCheck.Test.make ~name:"wire: reply roundtrip" ~count:300
+    QCheck.(
+      pair (int_range 0 100000)
+        (list_of_size (Gen.int_range 0 4)
+           (list_of_size (Gen.int_range 0 4)
+              (string_of_size (Gen.int_range 0 20)))))
+    (fun (code, tuples) ->
+      let rep = { Gdb.Wire.rversion = 2; code; tuples } in
+      Gdb.Wire.decode_reply (Gdb.Wire.encode_reply rep) = Ok rep)
+
+let suite =
+  [
+    Alcotest.test_case "wire request roundtrip" `Quick
+      test_wire_request_roundtrip;
+    Alcotest.test_case "wire reply roundtrip" `Quick test_wire_reply_roundtrip;
+    Alcotest.test_case "wire garbage" `Quick test_wire_garbage;
+    Alcotest.test_case "wire truncated" `Quick test_wire_truncated;
+    Alcotest.test_case "connect/call/disconnect" `Quick
+      test_connect_call_disconnect;
+    Alcotest.test_case "per-connection state" `Quick
+      test_per_connection_state;
+    Alcotest.test_case "unknown connection rejected" `Quick
+      test_unknown_connection_rejected;
+    Alcotest.test_case "max connections" `Quick test_max_connections;
+    Alcotest.test_case "backend cost per server" `Quick
+      test_backend_cost_per_server;
+    Alcotest.test_case "backend cost per connection" `Quick
+      test_backend_cost_per_connection;
+    Alcotest.test_case "requests served" `Quick test_requests_served_counter;
+    Alcotest.test_case "version skew" `Quick test_version_skew_rejected;
+    QCheck_alcotest.to_alcotest prop_wire_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_wire_reply_roundtrip;
+  ]

@@ -1,0 +1,136 @@
+(* The Hesiod substrate: BIND file parsing, resolution, reload. *)
+
+let sample =
+  {|; comment line
+babette.passwd HS UNSPECA "babette:*:6530:101:Harmon C Fowler,,,,:/mit/babette:/bin/csh"
+6530.uid HS CNAME babette.passwd
+HESIOD.sloc HS UNSPECA KIWI.MIT.EDU
+HESIOD.sloc HS UNSPECA SUOMI.MIT.EDU
+
+malformed line that should be skipped
+|}
+
+let test_parse () =
+  let db = Hesiod.Hes_db.parse sample in
+  Alcotest.(check int) "three keys" 3 (Hesiod.Hes_db.size db);
+  match Hesiod.Hes_db.lookup db "babette.passwd" with
+  | [ Hesiod.Hes_db.Unspeca data ] ->
+      Alcotest.(check bool) "payload" true
+        (String.length data > 0 && data.[0] = 'b')
+  | _ -> Alcotest.fail "lookup"
+
+let test_resolve_direct () =
+  let db = Hesiod.Hes_db.parse sample in
+  match Hesiod.Hes_db.resolve db ~name:"babette" ~ty:"passwd" with
+  | [ data ] ->
+      Alcotest.(check bool) "passwd line" true
+        (String.sub data 0 7 = "babette")
+  | _ -> Alcotest.fail "resolve"
+
+let test_resolve_cname () =
+  let db = Hesiod.Hes_db.parse sample in
+  match Hesiod.Hes_db.resolve db ~name:"6530" ~ty:"uid" with
+  | [ data ] ->
+      Alcotest.(check bool) "follows cname" true
+        (String.sub data 0 7 = "babette")
+  | _ -> Alcotest.fail "cname resolve"
+
+let test_resolve_multiple () =
+  let db = Hesiod.Hes_db.parse sample in
+  Alcotest.(check int) "two sloc records" 2
+    (List.length (Hesiod.Hes_db.resolve db ~name:"HESIOD" ~ty:"sloc"))
+
+let test_resolve_missing () =
+  let db = Hesiod.Hes_db.parse sample in
+  Alcotest.(check int) "missing" 0
+    (List.length (Hesiod.Hes_db.resolve db ~name:"ghost" ~ty:"passwd"))
+
+let test_cname_cycle_bounded () =
+  let looped =
+    "a.t HS CNAME b.t\nb.t HS CNAME a.t\n"
+  in
+  let db = Hesiod.Hes_db.parse looped in
+  (* must terminate with no data *)
+  Alcotest.(check int) "cycle yields nothing" 0
+    (List.length (Hesiod.Hes_db.resolve db ~name:"a" ~ty:"t"))
+
+let test_format_roundtrip () =
+  let line = Hesiod.Hes_db.format_unspeca ~key:"x.passwd" "a:b c" in
+  let db = Hesiod.Hes_db.parse line in
+  (match Hesiod.Hes_db.resolve db ~name:"x" ~ty:"passwd" with
+  | [ "a:b c" ] -> ()
+  | _ -> Alcotest.fail "unspeca roundtrip");
+  let line = Hesiod.Hes_db.format_cname ~key:"1.uid" "x.passwd" in
+  let db2 = Hesiod.Hes_db.parse (line ^ "\n" ^ Hesiod.Hes_db.format_unspeca ~key:"x.passwd" "d") in
+  match Hesiod.Hes_db.resolve db2 ~name:"1" ~ty:"uid" with
+  | [ "d" ] -> ()
+  | _ -> Alcotest.fail "cname roundtrip"
+
+let test_server_load_and_restart () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let h = Netsim.Net.add_host net "HES" in
+  ignore (Netsim.Net.add_host net "CLI");
+  let fs = Netsim.Host.fs h in
+  Netsim.Vfs.write fs ~path:"/etc/hesiod/passwd.db"
+    (Hesiod.Hes_db.format_unspeca ~key:"ann.passwd" "ann:*:1:1:A:/mit/ann:/bin/sh");
+  Netsim.Vfs.flush fs;
+  let srv = Hesiod.Hes_server.start ~dir:"/etc/hesiod" h in
+  Alcotest.(check int) "loaded" 1 (Hesiod.Hes_server.loaded_keys srv);
+  (* remote resolution *)
+  (match
+     Hesiod.Hes_server.resolve net ~src:"CLI" ~server:"HES" ~name:"ann"
+       ~ty:"passwd"
+   with
+  | Ok [ line ] ->
+      Alcotest.(check bool) "line" true (String.length line > 3)
+  | _ -> Alcotest.fail "remote resolve");
+  (* new data appears only after restart *)
+  Netsim.Vfs.write fs ~path:"/etc/hesiod/passwd.db"
+    (Hesiod.Hes_db.format_unspeca ~key:"ann.passwd" "x"
+    ^ "\n"
+    ^ Hesiod.Hes_db.format_unspeca ~key:"bob.passwd" "y");
+  Netsim.Vfs.flush fs;
+  Alcotest.(check int) "stale until restart" 0
+    (List.length (Hesiod.Hes_server.resolve_local srv ~name:"bob" ~ty:"passwd"));
+  Hesiod.Hes_server.restart srv;
+  Alcotest.(check int) "fresh after restart" 1
+    (List.length (Hesiod.Hes_server.resolve_local srv ~name:"bob" ~ty:"passwd"));
+  Alcotest.(check int) "generation" 2 (Hesiod.Hes_server.generation srv)
+
+let test_server_reload_on_boot () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let h = Netsim.Net.add_host net "HES" in
+  let fs = Netsim.Host.fs h in
+  Netsim.Vfs.write fs ~path:"/etc/hesiod/uid.db"
+    (Hesiod.Hes_db.format_cname ~key:"1.uid" "a.passwd");
+  Netsim.Vfs.flush fs;
+  let srv = Hesiod.Hes_server.start ~dir:"/etc/hesiod" h in
+  Netsim.Host.crash h;
+  Netsim.Host.boot h;
+  (* one load at start, one at boot *)
+  Alcotest.(check int) "reloaded on boot" 2 (Hesiod.Hes_server.generation srv)
+
+let prop_parse_never_raises =
+  QCheck.Test.make ~name:"hesiod: parser total on junk" ~count:300
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun s ->
+      ignore (Hesiod.Hes_db.parse s);
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "resolve direct" `Quick test_resolve_direct;
+    Alcotest.test_case "resolve cname" `Quick test_resolve_cname;
+    Alcotest.test_case "resolve multiple" `Quick test_resolve_multiple;
+    Alcotest.test_case "resolve missing" `Quick test_resolve_missing;
+    Alcotest.test_case "cname cycles bounded" `Quick test_cname_cycle_bounded;
+    Alcotest.test_case "format roundtrip" `Quick test_format_roundtrip;
+    Alcotest.test_case "server load/restart" `Quick
+      test_server_load_and_restart;
+    Alcotest.test_case "server reload on boot" `Quick
+      test_server_reload_on_boot;
+    QCheck_alcotest.to_alcotest prop_parse_never_raises;
+  ]

@@ -1,0 +1,200 @@
+(* Simulated Kerberos: cipher, crypt hash, KDC / ticket exchange. *)
+
+let test_cipher_roundtrip () =
+  List.iter
+    (fun plain ->
+      match Krb.Toycipher.decrypt ~key:"k1" (Krb.Toycipher.encrypt ~key:"k1" plain) with
+      | Ok p -> Alcotest.(check string) "roundtrip" plain p
+      | Error `Bad_key -> Alcotest.fail "wrongly rejected")
+    [ ""; "x"; "hello world"; String.make 1000 'z'; "bin\x00\x01\xff" ]
+
+let test_cipher_wrong_key () =
+  let c = Krb.Toycipher.encrypt ~key:"right" "secret" in
+  match Krb.Toycipher.decrypt ~key:"wrong" c with
+  | Error `Bad_key -> ()
+  | Ok _ -> Alcotest.fail "wrong key accepted"
+
+let test_cipher_corruption_detected () =
+  let c = Krb.Toycipher.encrypt ~key:"k" "payload data here" in
+  (* flip a byte in the header area *)
+  let b = Bytes.of_string c in
+  Bytes.set b 1 (Char.chr (Char.code (Bytes.get b 1) lxor 0xff));
+  match Krb.Toycipher.decrypt ~key:"k" (Bytes.to_string b) with
+  | Error `Bad_key -> ()
+  | Ok _ -> Alcotest.fail "corruption not detected"
+
+let test_cipher_ciphertext_differs () =
+  let plain = "same plaintext" in
+  Alcotest.(check bool) "keys give different ciphertext" true
+    (Krb.Toycipher.encrypt ~key:"a" plain
+    <> Krb.Toycipher.encrypt ~key:"b" plain)
+
+let test_crypt_shape () =
+  let h = Krb.Kcrypt.crypt ~salt:"ab" "password" in
+  Alcotest.(check int) "13 chars" 13 (String.length h);
+  Alcotest.(check string) "salt prefix" "ab" (String.sub h 0 2);
+  Alcotest.(check string) "deterministic" h (Krb.Kcrypt.crypt ~salt:"ab" "password");
+  Alcotest.(check bool) "salt matters" true
+    (h <> Krb.Kcrypt.crypt ~salt:"xy" "password");
+  Alcotest.(check bool) "input matters" true
+    (h <> Krb.Kcrypt.crypt ~salt:"ab" "Password")
+
+let test_crypt_mit_id () =
+  (* last seven digits, salt from initials *)
+  let h = Krb.Kcrypt.crypt_mit_id ~first:"Harmon" ~last:"Fowler" "123-45-6789" in
+  Alcotest.(check string) "salt is initials" "HF" (String.sub h 0 2);
+  Alcotest.(check string) "hyphens irrelevant" h
+    (Krb.Kcrypt.crypt_mit_id ~first:"Harmon" ~last:"Fowler" "123456789");
+  Alcotest.(check string) "only last 7 used" h
+    (Krb.Kcrypt.crypt_mit_id ~first:"Harmon" ~last:"Fowler" "993456789")
+
+let fresh_kdc () =
+  let clock = ref 1000 in
+  (Krb.Kdc.create ~clock:(fun () -> !clock) (), clock)
+
+let test_kdc_principals () =
+  let kdc, _ = fresh_kdc () in
+  Alcotest.(check bool) "add" true
+    (Krb.Kdc.add_principal kdc ~name:"ann" ~password:"pw" = Ok ());
+  Alcotest.(check bool) "exists" true (Krb.Kdc.principal_exists kdc "ann");
+  Alcotest.(check bool) "dup rejected" true
+    (Krb.Kdc.add_principal kdc ~name:"ann" ~password:"x"
+    = Error Krb.Krb_err.princ_exists);
+  Alcotest.(check bool) "delete" true
+    (Krb.Kdc.delete_principal kdc ~name:"ann" = Ok ());
+  Alcotest.(check bool) "delete missing" true
+    (Krb.Kdc.delete_principal kdc ~name:"ann"
+    = Error Krb.Krb_err.princ_unknown)
+
+let test_kdc_reserved_principal () =
+  let kdc, _ = fresh_kdc () in
+  ignore (Krb.Kdc.register_service kdc "svc");
+  Alcotest.(check bool) "reserve" true
+    (Krb.Kdc.reserve_principal kdc ~name:"newbie" = Ok ());
+  (* reserved: no usable key yet *)
+  (match Krb.Kdc.get_ticket kdc ~principal:"newbie" ~password:"any" ~service:"svc" with
+  | Error c when c = Krb.Krb_err.bad_password -> ()
+  | _ -> Alcotest.fail "reserved principal should not authenticate");
+  Alcotest.(check bool) "set password activates" true
+    (Krb.Kdc.set_password kdc ~name:"newbie" ~password:"pw" = Ok ());
+  match Krb.Kdc.get_ticket kdc ~principal:"newbie" ~password:"pw" ~service:"svc" with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+
+let full_exchange () =
+  let kdc, clock = fresh_kdc () in
+  ignore (Krb.Kdc.register_service kdc "moira");
+  ignore (Krb.Kdc.add_principal kdc ~name:"ann" ~password:"pw");
+  let creds =
+    match Krb.Kdc.get_ticket kdc ~principal:"ann" ~password:"pw" ~service:"moira" with
+    | Ok c -> c
+    | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+  in
+  let ctx =
+    match Krb.Kdc.server_ctx kdc ~service:"moira" with
+    | Ok c -> c
+    | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+  in
+  (kdc, clock, creds, ctx)
+
+let test_ticket_flow () =
+  let kdc, _, creds, ctx = full_exchange () in
+  let wire = Krb.Kdc.mk_req kdc creds in
+  match Krb.Kdc.rd_req ctx wire with
+  | Ok p -> Alcotest.(check string) "principal" "ann" p
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+
+let test_wrong_password () =
+  let kdc, _ = fresh_kdc () in
+  ignore (Krb.Kdc.register_service kdc "moira");
+  ignore (Krb.Kdc.add_principal kdc ~name:"ann" ~password:"pw");
+  match Krb.Kdc.get_ticket kdc ~principal:"ann" ~password:"oops" ~service:"moira" with
+  | Error c when c = Krb.Krb_err.bad_password -> ()
+  | _ -> Alcotest.fail "wrong password accepted"
+
+let test_unknown_principal_and_service () =
+  let kdc, _ = fresh_kdc () in
+  ignore (Krb.Kdc.register_service kdc "moira");
+  (match Krb.Kdc.get_ticket kdc ~principal:"ghost" ~password:"x" ~service:"moira" with
+  | Error c when c = Krb.Krb_err.princ_unknown -> ()
+  | _ -> Alcotest.fail "unknown principal accepted");
+  ignore (Krb.Kdc.add_principal kdc ~name:"ann" ~password:"pw");
+  (match Krb.Kdc.get_ticket kdc ~principal:"ann" ~password:"pw" ~service:"nosvc" with
+  | Error c when c = Krb.Krb_err.service_unknown -> ()
+  | _ -> Alcotest.fail "unknown service accepted");
+  match Krb.Kdc.server_ctx kdc ~service:"nosvc" with
+  | Error c when c = Krb.Krb_err.service_unknown -> ()
+  | _ -> Alcotest.fail "server_ctx for unknown service"
+
+let test_replay_rejected () =
+  let kdc, _, creds, ctx = full_exchange () in
+  let wire = Krb.Kdc.mk_req kdc creds in
+  ignore (Krb.Kdc.rd_req ctx wire);
+  match Krb.Kdc.rd_req ctx wire with
+  | Error c when c = Krb.Krb_err.replay -> ()
+  | _ -> Alcotest.fail "replay accepted"
+
+let test_fresh_authenticators_ok () =
+  let kdc, _, creds, ctx = full_exchange () in
+  ignore (Krb.Kdc.rd_req ctx (Krb.Kdc.mk_req kdc creds));
+  (* a new authenticator from the same credentials is fine *)
+  match Krb.Kdc.rd_req ctx (Krb.Kdc.mk_req kdc creds) with
+  | Ok "ann" -> ()
+  | _ -> Alcotest.fail "second authenticator rejected"
+
+let test_ticket_expiry () =
+  let kdc, clock, creds, ctx = full_exchange () in
+  clock := !clock + (9 * 3600);
+  match Krb.Kdc.rd_req ctx (Krb.Kdc.mk_req kdc creds) with
+  | Error c when c = Krb.Krb_err.ticket_expired -> ()
+  | _ -> Alcotest.fail "expired ticket accepted"
+
+let test_skew_rejected () =
+  let kdc, clock, creds, ctx = full_exchange () in
+  let wire = Krb.Kdc.mk_req kdc creds in
+  clock := !clock + 600; (* > 300 s skew, < ticket lifetime *)
+  match Krb.Kdc.rd_req ctx wire with
+  | Error c when c = Krb.Krb_err.skew -> ()
+  | _ -> Alcotest.fail "stale authenticator accepted"
+
+let test_garbage_authenticator () =
+  let _, _, _, ctx = full_exchange () in
+  match Krb.Kdc.rd_req ctx "complete garbage" with
+  | Error c when c = Krb.Krb_err.bad_authenticator -> ()
+  | _ -> Alcotest.fail "garbage accepted"
+
+let prop_cipher_roundtrip =
+  QCheck.Test.make ~name:"toycipher: decrypt inverse of encrypt" ~count:300
+    QCheck.(pair (string_of_size (Gen.int_range 1 10))
+              (string_of_size (Gen.int_range 0 100)))
+    (fun (key, plain) ->
+      match Krb.Toycipher.decrypt ~key (Krb.Toycipher.encrypt ~key plain) with
+      | Ok p -> p = plain
+      | Error `Bad_key -> false)
+
+let suite =
+  [
+    Alcotest.test_case "cipher roundtrip" `Quick test_cipher_roundtrip;
+    Alcotest.test_case "cipher wrong key" `Quick test_cipher_wrong_key;
+    Alcotest.test_case "cipher corruption" `Quick
+      test_cipher_corruption_detected;
+    Alcotest.test_case "ciphertext differs by key" `Quick
+      test_cipher_ciphertext_differs;
+    Alcotest.test_case "crypt shape" `Quick test_crypt_shape;
+    Alcotest.test_case "crypt mit id recipe" `Quick test_crypt_mit_id;
+    Alcotest.test_case "kdc principals" `Quick test_kdc_principals;
+    Alcotest.test_case "reserved principals" `Quick
+      test_kdc_reserved_principal;
+    Alcotest.test_case "ticket flow" `Quick test_ticket_flow;
+    Alcotest.test_case "wrong password" `Quick test_wrong_password;
+    Alcotest.test_case "unknown principal/service" `Quick
+      test_unknown_principal_and_service;
+    Alcotest.test_case "replay rejected" `Quick test_replay_rejected;
+    Alcotest.test_case "fresh authenticators ok" `Quick
+      test_fresh_authenticators_ok;
+    Alcotest.test_case "ticket expiry" `Quick test_ticket_expiry;
+    Alcotest.test_case "clock skew" `Quick test_skew_rejected;
+    Alcotest.test_case "garbage authenticator" `Quick
+      test_garbage_authenticator;
+    QCheck_alcotest.to_alcotest prop_cipher_roundtrip;
+  ]

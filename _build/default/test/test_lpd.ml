@@ -1,0 +1,80 @@
+(* Printing: printcap rows in Moira reach hesiod; lpr/lpq resolve the
+   spool host through hesiod and drive the line-printer daemon — the
+   "lpr, lpq, lprm" consumption path of paper section 5.8.2. *)
+
+open Workload
+
+let test_parse_printcap () =
+  match
+    Lpd.parse_printcap
+      "linus:rp=linus:rm=BLANKET.MIT.EDU:sd=/usr/spool/printer/linus"
+  with
+  | Some e ->
+      Alcotest.(check string) "name" "linus" e.Lpd.name;
+      Alcotest.(check string) "rm" "BLANKET.MIT.EDU" e.Lpd.rm;
+      Alcotest.(check string) "sd" "/usr/spool/printer/linus" e.Lpd.sd
+  | None -> Alcotest.fail "parse failed"
+
+let test_parse_printcap_junk () =
+  Alcotest.(check bool) "junk rejected" true
+    (Lpd.parse_printcap "no capabilities here" = None)
+
+let test_print_end_to_end () =
+  let tb = Testbed.create () in
+  let glue = tb.Testbed.glue in
+  let spool_host = tb.Testbed.built.Population.nfs_machines.(0) in
+  (* the administrator registers a printer in Moira *)
+  (match
+     Moira.Glue.query glue ~name:"add_printcap"
+       [ "linus"; spool_host; "/usr/spool/printer/linus"; "linus";
+         "lobby printer" ]
+   with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* an lpd runs on the spool host *)
+  let daemon = Lpd.start (Testbed.host tb spool_host) in
+  (* after the hesiod propagation, a workstation can print *)
+  Testbed.run_hours tb 7;
+  let hesiod, _ = Testbed.first_hesiod tb in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let user = tb.Testbed.built.Population.logins.(0) in
+  (match
+     Lpd.lpr tb.Testbed.net ~hesiod ~src:ws ~printer:"linus" ~user
+       ~body:"PS-Adobe-2.0\nhello world"
+   with
+  | Ok entry ->
+      Alcotest.(check string) "routed to the spool host" spool_host
+        entry.Lpd.rm
+  | Error e -> Alcotest.fail (Lpd.error_to_string e));
+  (* the job is queued and visible to lpq *)
+  (match Lpd.jobs daemon ~rp:"linus" with
+  | [ (u, body) ] ->
+      Alcotest.(check string) "user" user u;
+      Alcotest.(check bool) "body kept" true
+        (String.length body > 10)
+  | _ -> Alcotest.fail "job not queued");
+  (match Lpd.lpq tb.Testbed.net ~hesiod ~src:ws ~printer:"linus" with
+  | Ok [ line ] ->
+      Alcotest.(check string) "lpq line" (user ^ ": PS-Adobe-2.0") line
+  | _ -> Alcotest.fail "lpq");
+  (* the spool file landed on disk *)
+  let fs = Netsim.Host.fs (Testbed.host tb spool_host) in
+  Alcotest.(check bool) "spool file" true
+    (List.exists
+       (fun p ->
+         String.length p > 25
+         && String.sub p 0 25 = "/usr/spool/printer/linus/")
+       (Netsim.Vfs.list fs));
+  (* unknown printers are refused via hesiod *)
+  match
+    Lpd.lpr tb.Testbed.net ~hesiod ~src:ws ~printer:"ghost" ~user ~body:"x"
+  with
+  | Error Lpd.No_such_printer -> ()
+  | _ -> Alcotest.fail "unknown printer accepted"
+
+let suite =
+  [
+    Alcotest.test_case "parse printcap" `Quick test_parse_printcap;
+    Alcotest.test_case "parse printcap junk" `Quick test_parse_printcap_junk;
+    Alcotest.test_case "print end to end" `Quick test_print_end_to_end;
+  ]

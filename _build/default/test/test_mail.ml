@@ -1,0 +1,154 @@
+(* End-to-end mail: the hub routes with the Moira-generated aliases
+   file; messages land in poboxes on the post offices; clients retrieve
+   them through hesiod (paper section 5.8.2, Mail + pobox.db, clients
+   "inc, movemail"). *)
+
+open Workload
+
+let setup () =
+  let tb = Testbed.create () in
+  Testbed.run_hours tb 25; (* aliases + pobox files propagated *)
+  (tb, tb.Testbed.built.Population.workstation_machines.(0))
+
+let test_direct_user_delivery () =
+  let tb, ws = setup () in
+  let rcpt = tb.Testbed.built.Population.logins.(3) in
+  (match
+     Testbed.send_mail tb ~src:ws ~sender:"outsider@other.edu" ~rcpt
+       ~body:"hello from the outside"
+   with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "delivered %d copies" n
+  | Error f -> Alcotest.fail (Netsim.Net.failure_to_string f));
+  match Testbed.read_mail tb ~ws ~login:rcpt with
+  | Ok [ m ] ->
+      Alcotest.(check string) "sender" "outsider@other.edu"
+        m.Pop.Pop_server.sender;
+      Alcotest.(check string) "body" "hello from the outside"
+        m.Pop.Pop_server.body
+  | Ok msgs -> Alcotest.failf "%d messages" (List.length msgs)
+  | Error f -> Alcotest.fail (Netsim.Net.failure_to_string f)
+
+let test_retrieval_drains_box () =
+  let tb, ws = setup () in
+  let rcpt = tb.Testbed.built.Population.logins.(3) in
+  ignore (Testbed.send_mail tb ~src:ws ~sender:"a@b.c" ~rcpt ~body:"one");
+  ignore (Testbed.read_mail tb ~ws ~login:rcpt);
+  match Testbed.read_mail tb ~ws ~login:rcpt with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "box not drained"
+  | Error f -> Alcotest.fail (Netsim.Net.failure_to_string f)
+
+let test_maillist_fanout () =
+  let tb, ws = setup () in
+  let glue = tb.Testbed.glue in
+  let u1 = tb.Testbed.built.Population.logins.(1) in
+  let u2 = tb.Testbed.built.Population.logins.(2) in
+  ignore
+    (Moira.Glue.query glue ~name:"add_list"
+       [ "crew"; "1"; "0"; "0"; "1"; "0"; "-1"; "NONE"; "NONE"; "the crew" ]);
+  ignore (Moira.Glue.query glue ~name:"add_member_to_list" [ "crew"; "USER"; u1 ]);
+  ignore (Moira.Glue.query glue ~name:"add_member_to_list" [ "crew"; "USER"; u2 ]);
+  ignore
+    (Moira.Glue.query glue ~name:"add_member_to_list"
+       [ "crew"; "STRING"; "friend@media-lab.mit.edu" ]);
+  Testbed.run_hours tb 25; (* the new list reaches the hub *)
+  (match
+     Testbed.send_mail tb ~src:ws ~sender:u1 ~rcpt:"crew" ~body:"meeting!"
+   with
+  | Ok 3 -> () (* two locals + one external *)
+  | Ok n -> Alcotest.failf "expected 3 deliveries, got %d" n
+  | Error f -> Alcotest.fail (Netsim.Net.failure_to_string f));
+  (* both members can read it *)
+  List.iter
+    (fun u ->
+      match Testbed.read_mail tb ~ws ~login:u with
+      | Ok [ m ] ->
+          Alcotest.(check string) (u ^ " body") "meeting!"
+            m.Pop.Pop_server.body
+      | _ -> Alcotest.failf "%s did not get the message" u)
+    [ u1; u2 ];
+  (* the external copy is recorded as leaving campus *)
+  let externals =
+    List.filter
+      (function Pop.Mailhub.External _ -> true | _ -> false)
+      (Pop.Mailhub.log tb.Testbed.mailhub)
+  in
+  Alcotest.(check int) "one external" 1 (List.length externals)
+
+let test_unknown_rcpt_bounces () =
+  let tb, ws = setup () in
+  (match Testbed.send_mail tb ~src:ws ~sender:"x@y.z" ~rcpt:"nonsuch" ~body:"?" with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "delivered %d" n
+  | Error f -> Alcotest.fail (Netsim.Net.failure_to_string f));
+  let bounces =
+    List.filter
+      (function Pop.Mailhub.Bounced _ -> true | _ -> false)
+      (Pop.Mailhub.log tb.Testbed.mailhub)
+  in
+  Alcotest.(check int) "bounced" 1 (List.length bounces)
+
+let test_nested_list_expansion_with_cycle () =
+  let tb, ws = setup () in
+  let glue = tb.Testbed.glue in
+  let u1 = tb.Testbed.built.Population.logins.(4) in
+  ignore
+    (Moira.Glue.query glue ~name:"add_list"
+       [ "outer-ml"; "1"; "0"; "0"; "1"; "0"; "-1"; "NONE"; "NONE"; "o" ]);
+  ignore
+    (Moira.Glue.query glue ~name:"add_list"
+       [ "inner-ml"; "1"; "0"; "0"; "1"; "0"; "-1"; "NONE"; "NONE"; "i" ]);
+  ignore
+    (Moira.Glue.query glue ~name:"add_member_to_list"
+       [ "outer-ml"; "LIST"; "inner-ml" ]);
+  ignore
+    (Moira.Glue.query glue ~name:"add_member_to_list"
+       [ "inner-ml"; "LIST"; "outer-ml" ]);
+  ignore
+    (Moira.Glue.query glue ~name:"add_member_to_list"
+       [ "inner-ml"; "USER"; u1 ]);
+  Testbed.run_hours tb 25;
+  (match
+     Testbed.send_mail tb ~src:ws ~sender:"x@y.z" ~rcpt:"outer-ml" ~body:"hi"
+   with
+  | Ok 1 -> () (* the cycle terminates; exactly one copy for u1 *)
+  | Ok n -> Alcotest.failf "expected 1 delivery, got %d" n
+  | Error f -> Alcotest.fail (Netsim.Net.failure_to_string f));
+  match Testbed.read_mail tb ~ws ~login:u1 with
+  | Ok [ _ ] -> ()
+  | _ -> Alcotest.fail "nested member did not receive"
+
+let test_pobox_change_reroutes () =
+  let tb, ws = setup () in
+  let glue = tb.Testbed.glue in
+  let rcpt = tb.Testbed.built.Population.logins.(5) in
+  let other_po = tb.Testbed.built.Population.pop_machines.(1) in
+  (* move the user's box to the other post office *)
+  ignore (Moira.Glue.query glue ~name:"set_pobox" [ rcpt; "POP"; other_po ]);
+  Testbed.run_hours tb 25; (* aliases + pobox.db regenerate *)
+  ignore (Testbed.send_mail tb ~src:ws ~sender:"a@b.c" ~rcpt ~body:"moved");
+  (* the message landed on the new PO... *)
+  let po =
+    List.assoc other_po tb.Testbed.pops
+  in
+  (match Pop.Pop_server.mailbox po ~user:rcpt with
+  | [ m ] -> Alcotest.(check string) "on new PO" "moved" m.Pop.Pop_server.body
+  | _ -> Alcotest.fail "message not on the new post office");
+  (* ...and the hesiod-guided client still finds it *)
+  match Testbed.read_mail tb ~ws ~login:rcpt with
+  | Ok [ m ] -> Alcotest.(check string) "read" "moved" m.Pop.Pop_server.body
+  | _ -> Alcotest.fail "client failed to follow the pobox move"
+
+let suite =
+  [
+    Alcotest.test_case "direct delivery" `Quick test_direct_user_delivery;
+    Alcotest.test_case "retrieval drains" `Quick test_retrieval_drains_box;
+    Alcotest.test_case "maillist fanout" `Quick test_maillist_fanout;
+    Alcotest.test_case "unknown rcpt bounces" `Quick
+      test_unknown_rcpt_bounces;
+    Alcotest.test_case "nested lists + cycle" `Quick
+      test_nested_list_expansion_with_cycle;
+    Alcotest.test_case "pobox change reroutes" `Quick
+      test_pobox_change_reroutes;
+  ]

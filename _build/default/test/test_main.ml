@@ -1,0 +1,38 @@
+let () =
+  Alcotest.run "moira"
+    [
+      ("comerr", Test_comerr.suite);
+      ("relation", Test_relation.suite);
+      ("backup+journal", Test_backup.suite);
+      ("sim", Test_sim.suite);
+      ("netsim", Test_netsim.suite);
+      ("krb", Test_krb.suite);
+      ("gdb", Test_gdb.suite);
+      ("q_users", Test_q_users.suite);
+      ("q_cluster", Test_q_cluster.suite);
+      ("q_list", Test_q_list.suite);
+      ("q_server", Test_q_server.suite);
+      ("q_filesys", Test_q_filesys.suite);
+      ("q_misc", Test_q_misc.suite);
+      ("server", Test_server.suite);
+      ("hesiod", Test_hesiod.suite);
+      ("zephyr", Test_zephyr.suite);
+      ("update", Test_update.suite);
+      ("dcm", Test_dcm.suite);
+      ("userreg", Test_userreg.suite);
+      ("integration", Test_integration.suite);
+      ("util+menu", Test_util.suite);
+      ("acl", Test_acl.suite);
+      ("generators", Test_generators.suite);
+      ("population", Test_population.suite);
+      ("table-model", Test_table_model.suite);
+      ("mail", Test_mail.suite);
+      ("rvd", Test_rvd.suite);
+      ("multidb", Test_multidb.suite);
+      ("stress", Test_stress.suite);
+      ("catalogue", Test_catalogue.suite);
+      ("convergence", Test_convergence.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("extension", Test_extension.suite);
+      ("lpd", Test_lpd.suite);
+    ]

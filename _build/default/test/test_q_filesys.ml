@@ -1,0 +1,224 @@
+(* Filesystems, NFS partitions and quotas (section 7.0.5). *)
+
+let add_fs t ?(fstype = "NFS") ?(pack = "/u1/lockers/proj")
+    ?(access = "w") ?(machine = "NFS-1.MIT.EDU") label =
+  ignore
+    (Fix.must t "add_filesys"
+       [ label; fstype; machine; pack; "/mit/" ^ label; access; "c"; "ann";
+         "moira-admins"; "1"; "PROJECT" ])
+
+let test_add_get_filesys () =
+  let t = Fix.create () in
+  add_fs t "proj";
+  let rows =
+    Fix.expect_ok "gfsl" (Fix.as_user t "" "get_filesys_by_label" [ "proj" ])
+  in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check string) "label" "proj" (List.nth row 0);
+      Alcotest.(check string) "type" "NFS" (List.nth row 1);
+      Alcotest.(check string) "machine" "NFS-1.MIT.EDU" (List.nth row 2);
+      Alcotest.(check string) "owner" "ann" (List.nth row 7);
+      Alcotest.(check string) "owners" "moira-admins" (List.nth row 8)
+  | _ -> Alcotest.fail "one row"
+
+let test_filesys_validation () =
+  let t = Fix.create () in
+  Fix.expect_err "bad fstype" Moira.Mr_err.fstype
+    (Fix.as_admin t "add_filesys"
+       [ "x"; "AFS"; "NFS-1.MIT.EDU"; "/u1/lockers/x"; "/mit/x"; "w"; "";
+         "ann"; "moira-admins"; "0"; "PROJECT" ]);
+  Fix.expect_err "bad lockertype" Moira.Mr_err.typ
+    (Fix.as_admin t "add_filesys"
+       [ "x"; "NFS"; "NFS-1.MIT.EDU"; "/u1/lockers/x"; "/mit/x"; "w"; "";
+         "ann"; "moira-admins"; "0"; "CLOSET" ]);
+  Fix.expect_err "unexported dir" Moira.Mr_err.nfs
+    (Fix.as_admin t "add_filesys"
+       [ "x"; "NFS"; "NFS-1.MIT.EDU"; "/nowhere/x"; "/mit/x"; "w"; ""; "ann";
+         "moira-admins"; "0"; "PROJECT" ]);
+  Fix.expect_err "bad access" Moira.Mr_err.filesys_access
+    (Fix.as_admin t "add_filesys"
+       [ "x"; "NFS"; "NFS-1.MIT.EDU"; "/u1/lockers/x"; "/mit/x"; "rw"; "";
+         "ann"; "moira-admins"; "0"; "PROJECT" ]);
+  add_fs t "dup";
+  Fix.expect_err "dup" Moira.Mr_err.filesys_exists
+    (Fix.as_admin t "add_filesys"
+       [ "dup"; "NFS"; "NFS-1.MIT.EDU"; "/u1/lockers/dup"; "/mit/dup"; "w";
+         ""; "ann"; "moira-admins"; "0"; "PROJECT" ])
+
+let test_rvd_filesys_freeform () =
+  let t = Fix.create () in
+  (* RVD: packname and access unconstrained *)
+  ignore
+    (Fix.must t "add_filesys"
+       [ "ade"; "RVD"; "CHARON.MIT.EDU"; "adepack"; "/mnt/ade"; "ro-cap";
+         ""; "ann"; "moira-admins"; "0"; "SYSTEM" ]);
+  let rows =
+    Fix.expect_ok "gfsl" (Fix.as_user t "" "get_filesys_by_label" [ "ade" ])
+  in
+  Alcotest.(check string) "rvd access kept" "ro-cap"
+    (List.nth (List.hd rows) 5)
+
+let test_get_by_machine_and_nfsphys () =
+  let t = Fix.create () in
+  add_fs t "p1";
+  add_fs t "p2";
+  let rows =
+    Fix.expect_ok "gfsm"
+      (Fix.as_admin t "get_filesys_by_machine" [ "NFS-1.MIT.EDU" ])
+  in
+  Alcotest.(check int) "both" 2 (List.length rows);
+  let rows =
+    Fix.expect_ok "gfsn"
+      (Fix.as_admin t "get_filesys_by_nfsphys"
+         [ "NFS-1.MIT.EDU"; "/u1/lockers" ])
+  in
+  Alcotest.(check int) "by partition" 2 (List.length rows);
+  Fix.expect_err "bad machine" Moira.Mr_err.machine
+    (Fix.as_admin t "get_filesys_by_machine" [ "GHOST.MIT.EDU" ])
+
+let test_get_by_group () =
+  let t = Fix.create () in
+  add_fs t "grpfs";
+  let rows =
+    Fix.expect_ok "gfsg"
+      (Fix.as_admin t "get_filesys_by_group" [ "moira-admins" ])
+  in
+  Alcotest.(check int) "one" 1 (List.length rows);
+  (* admin is a member of moira-admins, so may ask without the query ACL
+     — use ann who is NOT a member *)
+  Fix.expect_err "non-member denied" Moira.Mr_err.perm
+    (Fix.as_user t "ann" "get_filesys_by_group" [ "moira-admins" ])
+
+let test_nfsphys_lifecycle () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_nfsphys"
+       [ "CHARON.MIT.EDU"; "/u9/lockers"; "/dev/ra9c"; "1"; "0"; "9000" ]);
+  let rows =
+    Fix.expect_ok "gnfp"
+      (Fix.as_admin t "get_nfsphys" [ "CHARON.MIT.EDU"; "*" ])
+  in
+  Alcotest.(check int) "found" 1 (List.length rows);
+  Fix.expect_err "dup" Moira.Mr_err.exists
+    (Fix.as_admin t "add_nfsphys"
+       [ "CHARON.MIT.EDU"; "/u9/lockers"; "/dev/x"; "1"; "0"; "1" ]);
+  ignore
+    (Fix.must t "update_nfsphys"
+       [ "CHARON.MIT.EDU"; "/u9/lockers"; "/dev/ra9c"; "3"; "10"; "9999" ]);
+  ignore
+    (Fix.must t "adjust_nfsphys_allocation"
+       [ "CHARON.MIT.EDU"; "/u9/lockers"; "-5" ]);
+  let rows =
+    Fix.expect_ok "ganf" (Fix.as_admin t "get_all_nfsphys" [])
+  in
+  Alcotest.(check int) "two partitions total" 2 (List.length rows);
+  ignore (Fix.must t "delete_nfsphys" [ "CHARON.MIT.EDU"; "/u9/lockers" ]);
+  Fix.expect_err "deleted" Moira.Mr_err.nfsphys
+    (Fix.as_admin t "delete_nfsphys" [ "CHARON.MIT.EDU"; "/u9/lockers" ])
+
+let test_delete_nfsphys_in_use () =
+  let t = Fix.create () in
+  add_fs t "locker1";
+  Fix.expect_err "has filesystems" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_nfsphys" [ "NFS-1.MIT.EDU"; "/u1/lockers" ])
+
+let allocated t =
+  let rows =
+    Fix.expect_ok "gnfp"
+      (Fix.as_admin t "get_nfsphys" [ "NFS-1.MIT.EDU"; "/u1/lockers" ])
+  in
+  int_of_string (List.nth (List.hd rows) 4)
+
+let test_quota_allocation_accounting () =
+  let t = Fix.create () in
+  add_fs t "fs1";
+  Alcotest.(check int) "starts 0" 0 (allocated t);
+  ignore (Fix.must t "add_nfs_quota" [ "fs1"; "ann"; "250" ]);
+  Alcotest.(check int) "allocated up" 250 (allocated t);
+  ignore (Fix.must t "update_nfs_quota" [ "fs1"; "ann"; "400" ]);
+  Alcotest.(check int) "delta applied" 400 (allocated t);
+  let rows =
+    Fix.expect_ok "gnfq" (Fix.as_admin t "get_nfs_quota" [ "fs1"; "ann" ])
+  in
+  Alcotest.(check string) "quota" "400" (List.nth (List.hd rows) 2);
+  ignore (Fix.must t "delete_nfs_quota" [ "fs1"; "ann" ]);
+  Alcotest.(check int) "released" 0 (allocated t);
+  Fix.expect_err "no quota" Moira.Mr_err.no_match
+    (Fix.as_admin t "delete_nfs_quota" [ "fs1"; "ann" ])
+
+let test_quota_validation () =
+  let t = Fix.create () in
+  add_fs t "fs1";
+  Fix.expect_err "no such fs" Moira.Mr_err.filesys
+    (Fix.as_admin t "add_nfs_quota" [ "nofs"; "ann"; "100" ]);
+  Fix.expect_err "no such user" Moira.Mr_err.user
+    (Fix.as_admin t "add_nfs_quota" [ "fs1"; "ghost"; "100" ]);
+  ignore (Fix.must t "add_nfs_quota" [ "fs1"; "ann"; "100" ]);
+  Fix.expect_err "dup quota" Moira.Mr_err.exists
+    (Fix.as_admin t "add_nfs_quota" [ "fs1"; "ann"; "100" ])
+
+let test_quotas_by_partition () =
+  let t = Fix.create () in
+  add_fs t "fs1";
+  add_fs t "fs2";
+  ignore (Fix.must t "add_nfs_quota" [ "fs1"; "ann"; "100" ]);
+  ignore (Fix.must t "add_nfs_quota" [ "fs2"; "bob"; "200" ]);
+  let rows =
+    Fix.expect_ok "gnqp"
+      (Fix.as_admin t "get_nfs_quotas_by_partition"
+         [ "NFS-1.MIT.EDU"; "/u1/lockers" ])
+  in
+  Alcotest.(check int) "both quotas" 2 (List.length rows)
+
+let test_delete_filesys_releases_quotas () =
+  let t = Fix.create () in
+  add_fs t "fs1";
+  ignore (Fix.must t "add_nfs_quota" [ "fs1"; "ann"; "100" ]);
+  ignore (Fix.must t "add_nfs_quota" [ "fs1"; "bob"; "200" ]);
+  Alcotest.(check int) "before" 300 (allocated t);
+  ignore (Fix.must t "delete_filesys" [ "fs1" ]);
+  Alcotest.(check int) "allocation returned" 0 (allocated t);
+  Fix.expect_err "gone" Moira.Mr_err.no_match
+    (Fix.as_user t "" "get_filesys_by_label" [ "fs1" ])
+
+let test_update_filesys () =
+  let t = Fix.create () in
+  add_fs t "fs1";
+  ignore
+    (Fix.must t "update_filesys"
+       [ "fs1"; "fs1-renamed"; "NFS"; "NFS-1.MIT.EDU"; "/u1/lockers/fs1";
+         "/mit/fs1"; "r"; "note"; "bob"; "moira-admins"; "0"; "COURSE" ]);
+  let rows =
+    Fix.expect_ok "gfsl"
+      (Fix.as_user t "" "get_filesys_by_label" [ "fs1-renamed" ])
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check string) "access" "r" (List.nth row 5);
+      Alcotest.(check string) "owner now bob" "bob" (List.nth row 7);
+      Alcotest.(check string) "lockertype" "COURSE" (List.nth row 10)
+  | _ -> Alcotest.fail "one row");
+  Fix.expect_err "old gone" Moira.Mr_err.filesys
+    (Fix.as_admin t "update_filesys"
+       [ "fs1"; "x"; "NFS"; "NFS-1.MIT.EDU"; "/u1/lockers/x"; "/mit/x"; "w";
+         ""; "ann"; "moira-admins"; "0"; "PROJECT" ])
+
+let suite =
+  [
+    Alcotest.test_case "add/get filesys" `Quick test_add_get_filesys;
+    Alcotest.test_case "filesys validation" `Quick test_filesys_validation;
+    Alcotest.test_case "RVD freeform" `Quick test_rvd_filesys_freeform;
+    Alcotest.test_case "by machine / nfsphys" `Quick
+      test_get_by_machine_and_nfsphys;
+    Alcotest.test_case "by group" `Quick test_get_by_group;
+    Alcotest.test_case "nfsphys lifecycle" `Quick test_nfsphys_lifecycle;
+    Alcotest.test_case "nfsphys in use" `Quick test_delete_nfsphys_in_use;
+    Alcotest.test_case "quota allocation accounting" `Quick
+      test_quota_allocation_accounting;
+    Alcotest.test_case "quota validation" `Quick test_quota_validation;
+    Alcotest.test_case "quotas by partition" `Quick test_quotas_by_partition;
+    Alcotest.test_case "delete filesys releases quotas" `Quick
+      test_delete_filesys_releases_quotas;
+    Alcotest.test_case "update filesys" `Quick test_update_filesys;
+  ]

@@ -1,0 +1,283 @@
+(* Lists and membership (section 7.0.3). *)
+
+let add_list t ?(active = "1") ?(public = "0") ?(hidden = "0")
+    ?(maillist = "1") ?(group = "0") ?(gid = "-1") ?(ace = ("USER", "ann"))
+    name =
+  ignore
+    (Fix.must t "add_list"
+       [ name; active; public; hidden; maillist; group; gid; fst ace;
+         snd ace; "desc of " ^ name ])
+
+let test_add_get_list () =
+  let t = Fix.create () in
+  add_list t "video-users" ~public:"1";
+  let rows =
+    Fix.expect_ok "glin" (Fix.as_admin t "get_list_info" [ "video-users" ])
+  in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check string) "name" "video-users" (List.nth row 0);
+      Alcotest.(check string) "active" "1" (List.nth row 1);
+      Alcotest.(check string) "public" "1" (List.nth row 2);
+      Alcotest.(check string) "maillist" "1" (List.nth row 4);
+      Alcotest.(check string) "ace type" "USER" (List.nth row 7);
+      Alcotest.(check string) "ace name" "ann" (List.nth row 8)
+  | _ -> Alcotest.fail "one row"
+
+let test_duplicate_list () =
+  let t = Fix.create () in
+  add_list t "dup";
+  Fix.expect_err "dup" Moira.Mr_err.exists
+    (Fix.as_admin t "add_list"
+       [ "dup"; "1"; "0"; "0"; "1"; "0"; "-1"; "NONE"; "NONE"; "x" ])
+
+let test_self_referential_ace () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_list"
+       [ "selfies"; "1"; "0"; "0"; "1"; "0"; "-1"; "LIST"; "selfies"; "x" ]);
+  let rows =
+    Fix.expect_ok "glin" (Fix.as_admin t "get_list_info" [ "selfies" ])
+  in
+  Alcotest.(check string) "ace is itself" "selfies"
+    (List.nth (List.hd rows) 8);
+  (* a member of the list governs the list *)
+  ignore (Fix.must t "add_member_to_list" [ "selfies"; "USER"; "bob" ]);
+  match
+    Fix.as_user t "bob" "update_list"
+      [ "selfies"; "selfies"; "1"; "0"; "0"; "1"; "0"; "-1"; "LIST";
+        "selfies"; "bob's now" ]
+  with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+
+let test_bad_ace () =
+  let t = Fix.create () in
+  Fix.expect_err "unknown ace user" Moira.Mr_err.ace
+    (Fix.as_admin t "add_list"
+       [ "l"; "1"; "0"; "0"; "1"; "0"; "-1"; "USER"; "ghost"; "x" ]);
+  Fix.expect_err "bad ace type" Moira.Mr_err.ace
+    (Fix.as_admin t "add_list"
+       [ "l"; "1"; "0"; "0"; "1"; "0"; "-1"; "GANG"; "x"; "x" ])
+
+let test_membership () =
+  let t = Fix.create () in
+  add_list t "club";
+  ignore (Fix.must t "add_member_to_list" [ "club"; "USER"; "bob" ]);
+  ignore (Fix.must t "add_member_to_list" [ "club"; "STRING"; "ext@x.edu" ]);
+  add_list t "subclub";
+  ignore (Fix.must t "add_member_to_list" [ "club"; "LIST"; "subclub" ]);
+  let members =
+    Fix.expect_ok "gmol" (Fix.as_admin t "get_members_of_list" [ "club" ])
+  in
+  Alcotest.(check int) "three members" 3 (List.length members);
+  Alcotest.(check bool) "string member rendered" true
+    (List.mem [ "STRING"; "ext@x.edu" ] members);
+  Alcotest.(check bool) "list member rendered" true
+    (List.mem [ "LIST"; "subclub" ] members);
+  (* duplicates rejected *)
+  Fix.expect_err "dup member" Moira.Mr_err.exists
+    (Fix.as_admin t "add_member_to_list" [ "club"; "USER"; "bob" ]);
+  (* count *)
+  Alcotest.(check string) "count" "3"
+    (Fix.first_field
+       (Fix.expect_ok "cmol"
+          (Fix.as_admin t "count_members_of_list" [ "club" ])));
+  (* delete *)
+  ignore (Fix.must t "delete_member_from_list" [ "club"; "USER"; "bob" ]);
+  Fix.expect_err "deleted twice" Moira.Mr_err.no_match
+    (Fix.as_admin t "delete_member_from_list" [ "club"; "USER"; "bob" ])
+
+let test_bad_member_type () =
+  let t = Fix.create () in
+  add_list t "club";
+  Fix.expect_err "bad type" Moira.Mr_err.typ
+    (Fix.as_admin t "add_member_to_list" [ "club"; "ROBOT"; "r2d2" ]);
+  Fix.expect_err "unknown user" Moira.Mr_err.no_match
+    (Fix.as_admin t "add_member_to_list" [ "club"; "USER"; "ghost" ])
+
+let test_public_self_service () =
+  let t = Fix.create () in
+  add_list t "open-list" ~public:"1" ~ace:("USER", "admin");
+  (* bob adds himself to a public list — the paper's canonical example *)
+  (match Fix.as_user t "bob" "add_member_to_list" [ "open-list"; "USER"; "bob" ] with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* but cannot add ann *)
+  Fix.expect_err "bob can't add ann" Moira.Mr_err.perm
+    (Fix.as_user t "bob" "add_member_to_list" [ "open-list"; "USER"; "ann" ]);
+  (* and removes himself *)
+  (match
+     Fix.as_user t "bob" "delete_member_from_list"
+       [ "open-list"; "USER"; "bob" ]
+   with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* on a non-public list, self-service is denied *)
+  add_list t "closed-list" ~public:"0" ~ace:("USER", "admin");
+  Fix.expect_err "closed" Moira.Mr_err.perm
+    (Fix.as_user t "bob" "add_member_to_list" [ "closed-list"; "USER"; "bob" ])
+
+let test_ace_may_manage () =
+  let t = Fix.create () in
+  add_list t "annsclub" ~ace:("USER", "ann");
+  (* ann is on the ACE: she may add anyone *)
+  (match Fix.as_user t "ann" "add_member_to_list" [ "annsclub"; "USER"; "bob" ] with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* and may delete the list once empty *)
+  ignore (Fix.must t "delete_member_from_list" [ "annsclub"; "USER"; "bob" ]);
+  match Fix.as_user t "ann" "delete_list" [ "annsclub" ] with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+
+let test_hidden_list () =
+  let t = Fix.create () in
+  add_list t "secret" ~hidden:"1" ~ace:("USER", "ann");
+  (* bob cannot see it *)
+  Fix.expect_err "hidden from bob" Moira.Mr_err.perm
+    (Fix.as_user t "bob" "get_list_info" [ "secret" ]);
+  Fix.expect_err "members hidden" Moira.Mr_err.perm
+    (Fix.as_user t "bob" "get_members_of_list" [ "secret" ]);
+  (* the ACE sees it *)
+  (match Fix.as_user t "ann" "get_list_info" [ "secret" ] with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* admins (query ACL) see it *)
+  match Fix.as_admin t "get_list_info" [ "secret" ] with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+
+let test_delete_list_constraints () =
+  let t = Fix.create () in
+  add_list t "parent";
+  add_list t "child";
+  ignore (Fix.must t "add_member_to_list" [ "parent"; "LIST"; "child" ]);
+  (* child is a member of parent: not deletable *)
+  Fix.expect_err "still a member" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_list" [ "child" ]);
+  (* parent is not empty *)
+  Fix.expect_err "not empty" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_list" [ "parent" ]);
+  ignore (Fix.must t "delete_member_from_list" [ "parent"; "LIST"; "child" ]);
+  ignore (Fix.must t "delete_list" [ "parent" ]);
+  ignore (Fix.must t "delete_list" [ "child" ])
+
+let test_update_list_rename_and_gid () =
+  let t = Fix.create () in
+  add_list t "grp" ~maillist:"0" ~group:"1" ~gid:Moira.Mrconst.unique_gid;
+  let rows = Fix.expect_ok "glin" (Fix.as_admin t "get_list_info" [ "grp" ]) in
+  let gid = List.nth (List.hd rows) 6 in
+  Alcotest.(check bool) "fresh gid" true (int_of_string gid > 0);
+  ignore
+    (Fix.must t "update_list"
+       [ "grp"; "grp2"; "1"; "0"; "0"; "0"; "1"; gid; "USER"; "ann"; "x" ]);
+  Alcotest.(check bool) "renamed" true
+    (Moira.Lookup.list_id t.Fix.mdb "grp2" <> None)
+
+let test_expand_list_names () =
+  let t = Fix.create () in
+  add_list t "proj-a";
+  add_list t "proj-b";
+  add_list t "secret-proj" ~hidden:"1" ~ace:("USER", "admin");
+  let rows =
+    Fix.expect_ok "exln" (Fix.as_user t "bob" "expand_list_names" [ "proj-*" ])
+  in
+  Alcotest.(check int) "two visible" 2 (List.length rows)
+
+let test_qualified_get_lists () =
+  let t = Fix.create () in
+  add_list t "m1" ~maillist:"1";
+  add_list t "g1" ~maillist:"0" ~group:"1" ~gid:"777";
+  let rows =
+    Fix.expect_ok "qgli"
+      (Fix.as_admin t "qualified_get_lists"
+         [ "TRUE"; "DONTCARE"; "FALSE"; "TRUE"; "DONTCARE" ])
+  in
+  Alcotest.(check bool) "m1 found" true (List.mem [ "m1" ] rows);
+  Alcotest.(check bool) "g1 not a maillist" false (List.mem [ "g1" ] rows);
+  Fix.expect_err "bad trilean" Moira.Mr_err.typ
+    (Fix.as_admin t "qualified_get_lists"
+       [ "MAYBE"; "TRUE"; "TRUE"; "TRUE"; "TRUE" ])
+
+let test_get_lists_of_member () =
+  let t = Fix.create () in
+  add_list t "outer";
+  add_list t "inner";
+  ignore (Fix.must t "add_member_to_list" [ "outer"; "LIST"; "inner" ]);
+  ignore (Fix.must t "add_member_to_list" [ "inner"; "USER"; "bob" ]);
+  (* direct: bob is only on inner *)
+  let direct =
+    Fix.expect_ok "glom"
+      (Fix.as_admin t "get_lists_of_member" [ "USER"; "bob" ])
+  in
+  Alcotest.(check int) "direct" 1 (List.length direct);
+  Alcotest.(check string) "inner" "inner" (Fix.first_field direct);
+  (* recursive: outer too *)
+  let recursive =
+    Fix.expect_ok "glom R"
+      (Fix.as_admin t "get_lists_of_member" [ "RUSER"; "bob" ])
+  in
+  Alcotest.(check int) "recursive" 2 (List.length recursive)
+
+let test_get_ace_use () =
+  let t = Fix.create () in
+  add_list t "annslist" ~ace:("USER", "ann");
+  (* ann asks about herself *)
+  let uses =
+    Fix.expect_ok "gaus"
+      (Fix.as_user t "ann" "get_ace_use" [ "USER"; "ann" ])
+  in
+  Alcotest.(check bool) "list found" true
+    (List.mem [ "LIST"; "annslist" ] uses);
+  (* recursive: bob on a list that is an ACE *)
+  add_list t "mods" ~ace:("USER", "admin");
+  ignore (Fix.must t "add_member_to_list" [ "mods"; "USER"; "bob" ]);
+  add_list t "modded" ~ace:("LIST", "mods");
+  let uses =
+    Fix.expect_ok "gaus ruser"
+      (Fix.as_user t "bob" "get_ace_use" [ "RUSER"; "bob" ])
+  in
+  Alcotest.(check bool) "recursive ace found" true
+    (List.mem [ "LIST"; "modded" ] uses)
+
+let test_membership_cycle_safe () =
+  let t = Fix.create () in
+  add_list t "a";
+  add_list t "b";
+  ignore (Fix.must t "add_member_to_list" [ "a"; "LIST"; "b" ]);
+  ignore (Fix.must t "add_member_to_list" [ "b"; "LIST"; "a" ]);
+  ignore (Fix.must t "add_member_to_list" [ "b"; "USER"; "bob" ]);
+  (* recursion over the cycle terminates and finds both *)
+  let recursive =
+    Fix.expect_ok "glom cycle"
+      (Fix.as_admin t "get_lists_of_member" [ "RUSER"; "bob" ])
+  in
+  Alcotest.(check int) "both lists" 2 (List.length recursive);
+  let list_id = Option.get (Moira.Lookup.list_id t.Fix.mdb "a") in
+  let users_id = Option.get (Moira.Lookup.user_id t.Fix.mdb "bob") in
+  Alcotest.(check bool) "user_in_list through cycle" true
+    (Moira.Acl.user_in_list t.Fix.mdb ~list_id ~users_id)
+
+let suite =
+  [
+    Alcotest.test_case "add/get list" `Quick test_add_get_list;
+    Alcotest.test_case "duplicate list" `Quick test_duplicate_list;
+    Alcotest.test_case "self-referential ACE" `Quick
+      test_self_referential_ace;
+    Alcotest.test_case "bad ACE" `Quick test_bad_ace;
+    Alcotest.test_case "membership" `Quick test_membership;
+    Alcotest.test_case "bad member type" `Quick test_bad_member_type;
+    Alcotest.test_case "public self service" `Quick test_public_self_service;
+    Alcotest.test_case "ACE may manage" `Quick test_ace_may_manage;
+    Alcotest.test_case "hidden list" `Quick test_hidden_list;
+    Alcotest.test_case "delete constraints" `Quick
+      test_delete_list_constraints;
+    Alcotest.test_case "rename and gid" `Quick
+      test_update_list_rename_and_gid;
+    Alcotest.test_case "expand_list_names" `Quick test_expand_list_names;
+    Alcotest.test_case "qualified_get_lists" `Quick test_qualified_get_lists;
+    Alcotest.test_case "get_lists_of_member" `Quick test_get_lists_of_member;
+    Alcotest.test_case "get_ace_use" `Quick test_get_ace_use;
+    Alcotest.test_case "membership cycles" `Quick test_membership_cycle_safe;
+  ]

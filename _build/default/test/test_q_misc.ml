@@ -1,0 +1,198 @@
+(* Zephyr classes, host access, services, printcaps, aliases, values and
+   table statistics (sections 7.0.6 and 7.0.7). *)
+
+let test_zephyr_class () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_zephyr_class"
+       [ "message"; "USER"; "ann"; "NONE"; "NONE"; "NONE"; "NONE"; "NONE";
+         "NONE" ]);
+  let rows =
+    Fix.expect_ok "gzcl" (Fix.as_admin t "get_zephyr_class" [ "mess*" ])
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check string) "class" "message" (List.nth row 0);
+      Alcotest.(check string) "xmt type" "USER" (List.nth row 1);
+      Alcotest.(check string) "xmt name" "ann" (List.nth row 2);
+      Alcotest.(check string) "sub type" "NONE" (List.nth row 3)
+  | _ -> Alcotest.fail "one row");
+  Fix.expect_err "dup" Moira.Mr_err.exists
+    (Fix.as_admin t "add_zephyr_class"
+       [ "message"; "NONE"; "NONE"; "NONE"; "NONE"; "NONE"; "NONE"; "NONE";
+         "NONE" ]);
+  ignore
+    (Fix.must t "update_zephyr_class"
+       [ "message"; "msg2"; "USER"; "bob"; "USER"; "ann"; "NONE"; "NONE";
+         "NONE"; "NONE" ]);
+  let rows =
+    Fix.expect_ok "gzcl2" (Fix.as_admin t "get_zephyr_class" [ "msg2" ])
+  in
+  Alcotest.(check string) "new xmt" "bob" (List.nth (List.hd rows) 2);
+  ignore (Fix.must t "delete_zephyr_class" [ "msg2" ]);
+  Fix.expect_err "gone" Moira.Mr_err.no_match
+    (Fix.as_admin t "get_zephyr_class" [ "msg2" ])
+
+let test_zephyr_bad_ace () =
+  let t = Fix.create () in
+  Fix.expect_err "bad ace" Moira.Mr_err.ace
+    (Fix.as_admin t "add_zephyr_class"
+       [ "c"; "USER"; "ghost"; "NONE"; "NONE"; "NONE"; "NONE"; "NONE";
+         "NONE" ])
+
+let test_hostaccess () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_server_host_access"
+       [ "CHARON.MIT.EDU"; "USER"; "ann" ]);
+  let rows =
+    Fix.expect_ok "gsha"
+      (Fix.as_admin t "get_server_host_access" [ "CHARON*" ])
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check string) "ace" "ann" (List.nth row 2)
+  | _ -> Alcotest.fail "one row");
+  Fix.expect_err "dup" Moira.Mr_err.exists
+    (Fix.as_admin t "add_server_host_access"
+       [ "CHARON.MIT.EDU"; "USER"; "bob" ]);
+  ignore
+    (Fix.must t "update_server_host_access"
+       [ "CHARON.MIT.EDU"; "USER"; "bob" ]);
+  ignore (Fix.must t "delete_server_host_access" [ "CHARON.MIT.EDU" ]);
+  Fix.expect_err "gone" Moira.Mr_err.no_match
+    (Fix.as_admin t "get_server_host_access" [ "CHARON*" ])
+
+let test_services () =
+  let t = Fix.create () in
+  ignore (Fix.must t "add_service" [ "smtp"; "TCP"; "25"; "mail transfer" ]);
+  let rows = Fix.expect_ok "gsvc" (Fix.as_user t "" "get_service" [ "smtp" ]) in
+  Alcotest.(check string) "port" "25" (List.nth (List.hd rows) 2);
+  Fix.expect_err "bad protocol" Moira.Mr_err.typ
+    (Fix.as_admin t "add_service" [ "x"; "IPX"; "1"; "" ]);
+  Fix.expect_err "dup" Moira.Mr_err.exists
+    (Fix.as_admin t "add_service" [ "smtp"; "UDP"; "25"; "" ]);
+  ignore (Fix.must t "delete_service" [ "smtp" ]);
+  Fix.expect_err "gone" Moira.Mr_err.service
+    (Fix.as_admin t "delete_service" [ "smtp" ])
+
+let test_printcap () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_printcap"
+       [ "linus"; "CHARON.MIT.EDU"; "/usr/spool/printer/linus"; "linus";
+         "lobby printer" ]);
+  let rows =
+    Fix.expect_ok "gpcp" (Fix.as_user t "" "get_printcap" [ "lin*" ])
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check string) "spool host" "CHARON.MIT.EDU" (List.nth row 1);
+      Alcotest.(check string) "dir" "/usr/spool/printer/linus"
+        (List.nth row 2)
+  | _ -> Alcotest.fail "one row");
+  Fix.expect_err "bad host" Moira.Mr_err.machine
+    (Fix.as_admin t "add_printcap" [ "p2"; "GHOST.MIT.EDU"; "/s"; "p2"; "" ]);
+  ignore (Fix.must t "delete_printcap" [ "linus" ]);
+  Fix.expect_err "gone" Moira.Mr_err.no_match
+    (Fix.as_admin t "delete_printcap" [ "linus" ])
+
+let test_aliases () =
+  let t = Fix.create () in
+  ignore (Fix.must t "add_alias" [ "ln03"; "PRINTER"; "linus" ]);
+  let rows =
+    Fix.expect_ok "gali"
+      (Fix.as_user t "" "get_alias" [ "ln03"; "PRINTER"; "*" ])
+  in
+  Alcotest.(check string) "trans" "linus" (List.nth (List.hd rows) 2);
+  (* the TYPE system itself is visible through get_alias *)
+  let rows =
+    Fix.expect_ok "gali types"
+      (Fix.as_user t "" "get_alias" [ "pobox"; "TYPE"; "*" ])
+  in
+  Alcotest.(check int) "pobox types" 3 (List.length rows);
+  (* alias types are themselves type-checked *)
+  Fix.expect_err "bad alias type" Moira.Mr_err.typ
+    (Fix.as_admin t "add_alias" [ "x"; "NICKNAME"; "y" ]);
+  (* duplicate exact triple rejected; same (name,type) with another
+     translation is fine *)
+  Fix.expect_err "dup triple" Moira.Mr_err.exists
+    (Fix.as_admin t "add_alias" [ "ln03"; "PRINTER"; "linus" ]);
+  ignore (Fix.must t "add_alias" [ "ln03"; "PRINTER"; "other" ]);
+  ignore (Fix.must t "delete_alias" [ "ln03"; "PRINTER"; "linus" ]);
+  Fix.expect_err "needs exact one" Moira.Mr_err.no_match
+    (Fix.as_admin t "delete_alias" [ "ln03"; "PRINTER"; "linus" ])
+
+let test_values () =
+  let t = Fix.create () in
+  (* bootstrap values visible to anyone *)
+  let rows = Fix.expect_ok "gval" (Fix.as_user t "" "get_value" [ "def_quota" ]) in
+  Alcotest.(check string) "def_quota" "300" (Fix.first_field rows);
+  ignore (Fix.must t "add_value" [ "new_var"; "17" ]);
+  Fix.expect_err "dup var" Moira.Mr_err.exists
+    (Fix.as_admin t "add_value" [ "new_var"; "18" ]);
+  ignore (Fix.must t "update_value" [ "new_var"; "21" ]);
+  Alcotest.(check string) "updated" "21"
+    (Fix.first_field
+       (Fix.expect_ok "gval2" (Fix.as_user t "" "get_value" [ "new_var" ])));
+  Fix.expect_err "update missing" Moira.Mr_err.no_match
+    (Fix.as_admin t "update_value" [ "ghost_var"; "1" ]);
+  ignore (Fix.must t "delete_value" [ "new_var" ]);
+  Fix.expect_err "get deleted" Moira.Mr_err.no_match
+    (Fix.as_user t "" "get_value" [ "new_var" ])
+
+let test_table_stats () =
+  let t = Fix.create () in
+  let rows =
+    Fix.expect_ok "gats" (Fix.as_user t "" "get_all_table_stats" [])
+  in
+  Alcotest.(check int) "21 relations" 21 (List.length rows);
+  let users_row =
+    List.find (fun row -> List.nth row 0 = "users") rows
+  in
+  (* the fixture created 3 users *)
+  Alcotest.(check string) "appends tracked" "3" (List.nth users_row 2)
+
+let test_builtin_help_and_list () =
+  let t = Fix.create () in
+  let rows = Fix.expect_ok "_list_queries" (Fix.as_user t "" "_list_queries" []) in
+  Alcotest.(check bool) "over 100 handles" true (List.length rows >= 100);
+  let help =
+    Fix.first_field
+      (Fix.expect_ok "_help" (Fix.as_user t "" "_help" [ "gubl" ]))
+  in
+  Alcotest.(check bool) "help mentions long name" true
+    (String.length help > 0
+    &&
+    let re = "get_user_by_login" in
+    let rec find i =
+      i + String.length re <= String.length help
+      && (String.sub help i (String.length re) = re || find (i + 1))
+    in
+    find 0);
+  Fix.expect_err "help unknown" Moira.Mr_err.no_handle
+    (Fix.as_user t "" "_help" [ "nonsuch" ])
+
+let test_trigger_dcm_acl () =
+  let t = Fix.create () in
+  (* the fixture points tdcm at moira-admins *)
+  (match Fix.check_access t "admin" "trigger_dcm" [] with
+  | Ok () -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  Fix.expect_err "bob can't trigger" Moira.Mr_err.perm
+    (Fix.as_user t "bob" "trigger_dcm" [])
+
+let suite =
+  [
+    Alcotest.test_case "zephyr class" `Quick test_zephyr_class;
+    Alcotest.test_case "zephyr bad ace" `Quick test_zephyr_bad_ace;
+    Alcotest.test_case "hostaccess" `Quick test_hostaccess;
+    Alcotest.test_case "services" `Quick test_services;
+    Alcotest.test_case "printcap" `Quick test_printcap;
+    Alcotest.test_case "aliases" `Quick test_aliases;
+    Alcotest.test_case "values" `Quick test_values;
+    Alcotest.test_case "table stats" `Quick test_table_stats;
+    Alcotest.test_case "_help/_list_queries" `Quick
+      test_builtin_help_and_list;
+    Alcotest.test_case "trigger_dcm ACL" `Quick test_trigger_dcm_acl;
+  ]

@@ -1,0 +1,232 @@
+(* Servers and serverhosts (section 7.0.4). *)
+
+let add_service t ?(interval = "360") ?(ty = "REPLICAT") name =
+  ignore
+    (Fix.must t "add_server_info"
+       [ name; interval; "/tmp/" ^ name; name ^ ".sh"; ty; "1"; "LIST";
+         "moira-admins" ])
+
+let test_add_get_service () =
+  let t = Fix.create () in
+  add_service t "hesiod";
+  (* stored and queried uppercase *)
+  let rows =
+    Fix.expect_ok "gsin" (Fix.as_admin t "get_server_info" [ "HESIOD" ])
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check string) "name" "HESIOD" (List.nth row 0);
+      Alcotest.(check string) "interval" "360" (List.nth row 1);
+      Alcotest.(check string) "type" "REPLICAT" (List.nth row 6);
+      Alcotest.(check string) "enable" "1" (List.nth row 7);
+      Alcotest.(check string) "ace name" "moira-admins" (List.nth row 12)
+  | _ -> Alcotest.fail "one row");
+  (* lowercase lookup also works *)
+  let rows =
+    Fix.expect_ok "gsin lc" (Fix.as_admin t "get_server_info" [ "hesiod" ])
+  in
+  Alcotest.(check int) "case insensitive" 1 (List.length rows)
+
+let test_service_validation () =
+  let t = Fix.create () in
+  Fix.expect_err "bad type" Moira.Mr_err.typ
+    (Fix.as_admin t "add_server_info"
+       [ "X"; "10"; "/t"; "s"; "WEIRD"; "1"; "NONE"; "NONE" ]);
+  add_service t "dup";
+  Fix.expect_err "dup" Moira.Mr_err.exists
+    (Fix.as_admin t "add_server_info"
+       [ "DUP"; "10"; "/t"; "s"; "UNIQUE"; "1"; "NONE"; "NONE" ])
+
+let test_serverhosts () =
+  let t = Fix.create () in
+  add_service t "nfs" ~ty:"UNIQUE";
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "5"; "10"; "extra" ]);
+  let rows =
+    Fix.expect_ok "gshi"
+      (Fix.as_admin t "get_server_host_info" [ "NFS"; "*" ])
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check string) "machine" "NFS-1.MIT.EDU" (List.nth row 1);
+      Alcotest.(check string) "value1" "5" (List.nth row 10);
+      Alcotest.(check string) "value3" "extra" (List.nth row 12)
+  | _ -> Alcotest.fail "one row");
+  Fix.expect_err "unknown machine" Moira.Mr_err.machine
+    (Fix.as_admin t "add_server_host_info"
+       [ "NFS"; "GHOST.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  Fix.expect_err "unknown service" Moira.Mr_err.service
+    (Fix.as_admin t "add_server_host_info"
+       [ "NOPE"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  Fix.expect_err "dup tuple" Moira.Mr_err.exists
+    (Fix.as_admin t "add_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ])
+
+let test_internal_flags_do_not_touch_modtime () =
+  let t = Fix.create () in
+  add_service t "hesiod";
+  let modtime_of () =
+    List.nth
+      (List.hd
+         (Fix.expect_ok "gsin" (Fix.as_admin t "get_server_info" [ "HESIOD" ])))
+      13
+  in
+  let before = modtime_of () in
+  t.Fix.clock := !(t.Fix.clock) + 100;
+  ignore
+    (Fix.must t "set_server_internal_flags"
+       [ "HESIOD"; "123"; "456"; "1"; "0"; "" ]);
+  Alcotest.(check string) "modtime unchanged" before (modtime_of ());
+  (* but the flags did change *)
+  let row =
+    List.hd
+      (Fix.expect_ok "gsin" (Fix.as_admin t "get_server_info" [ "HESIOD" ]))
+  in
+  Alcotest.(check string) "dfgen" "123" (List.nth row 4);
+  Alcotest.(check string) "inprogress" "1" (List.nth row 8)
+
+let test_reset_server_error () =
+  let t = Fix.create () in
+  add_service t "hesiod";
+  ignore
+    (Fix.must t "set_server_internal_flags"
+       [ "HESIOD"; "100"; "50"; "0"; "77"; "boom" ]);
+  ignore (Fix.must t "reset_server_error" [ "HESIOD" ]);
+  let row =
+    List.hd
+      (Fix.expect_ok "gsin" (Fix.as_admin t "get_server_info" [ "HESIOD" ]))
+  in
+  Alcotest.(check string) "harderror cleared" "0" (List.nth row 9);
+  Alcotest.(check string) "dfcheck = dfgen" (List.nth row 4) (List.nth row 5)
+
+let test_qualified_get_server () =
+  let t = Fix.create () in
+  add_service t "a";
+  add_service t "b";
+  ignore
+    (Fix.must t "set_server_internal_flags" [ "B"; "0"; "0"; "0"; "9"; "x" ]);
+  let rows =
+    Fix.expect_ok "qgsv"
+      (Fix.as_admin t "qualified_get_server" [ "TRUE"; "DONTCARE"; "TRUE" ])
+  in
+  Alcotest.(check (list (list string))) "only B has harderror" [ [ "B" ] ]
+    rows
+
+let test_qualified_get_server_host () =
+  let t = Fix.create () in
+  add_service t "nfs" ~ty:"UNIQUE";
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "CHARON.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  ignore
+    (Fix.must t "set_server_host_internal"
+       [ "NFS"; "CHARON.MIT.EDU"; "0"; "1"; "0"; "0"; ""; "5"; "5" ]);
+  let rows =
+    Fix.expect_ok "qgsh"
+      (Fix.as_admin t "qualified_get_server_host"
+         [ "NFS"; "TRUE"; "DONTCARE"; "TRUE"; "DONTCARE"; "DONTCARE" ])
+  in
+  Alcotest.(check (list (list string)))
+    "only charon succeeded"
+    [ [ "NFS"; "CHARON.MIT.EDU" ] ]
+    rows
+
+let test_override () =
+  let t = Fix.create () in
+  add_service t "nfs" ~ty:"UNIQUE";
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  ignore (Fix.must t "set_server_host_override" [ "NFS"; "NFS-1.MIT.EDU" ]);
+  let row =
+    List.hd
+      (Fix.expect_ok "gshi"
+         (Fix.as_admin t "get_server_host_info" [ "NFS"; "NFS-1*" ]))
+  in
+  Alcotest.(check string) "override set" "1" (List.nth row 3)
+
+let test_update_blocked_while_inprogress () =
+  let t = Fix.create () in
+  add_service t "nfs" ~ty:"UNIQUE";
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  ignore
+    (Fix.must t "set_server_host_internal"
+       [ "NFS"; "NFS-1.MIT.EDU"; "0"; "0"; "1"; "0"; ""; "0"; "0" ]);
+  Fix.expect_err "inprogress blocks user update" Moira.Mr_err.in_progress
+    (Fix.as_admin t "update_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  Fix.expect_err "inprogress blocks delete" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_server_host_info" [ "NFS"; "NFS-1.MIT.EDU" ])
+
+let test_delete_service_with_hosts () =
+  let t = Fix.create () in
+  add_service t "nfs" ~ty:"UNIQUE";
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  Fix.expect_err "hosts exist" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_server_info" [ "NFS" ]);
+  ignore (Fix.must t "delete_server_host_info" [ "NFS"; "NFS-1.MIT.EDU" ]);
+  ignore (Fix.must t "delete_server_info" [ "NFS" ])
+
+let test_get_server_locations () =
+  let t = Fix.create () in
+  add_service t "hesiod";
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "HESIOD"; "SUOMI.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  (* anyone may ask *)
+  let rows =
+    Fix.expect_ok "gslo"
+      (Fix.as_user t "" "get_server_locations" [ "hesiod" ])
+  in
+  Alcotest.(check (list (list string)))
+    "location"
+    [ [ "HESIOD"; "SUOMI.MIT.EDU" ] ]
+    rows
+
+let test_service_ace_governs () =
+  let t = Fix.create () in
+  (* service owned by ann *)
+  ignore
+    (Fix.must t "add_server_info"
+       [ "ANNSVC"; "60"; "/t"; "s.sh"; "UNIQUE"; "1"; "USER"; "ann" ]);
+  (* ann may update her service *)
+  (match
+     Fix.as_user t "ann" "update_server_info"
+       [ "ANNSVC"; "30"; "/t2"; "s.sh"; "UNIQUE"; "1"; "USER"; "ann" ]
+   with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* bob may not *)
+  Fix.expect_err "bob denied" Moira.Mr_err.perm
+    (Fix.as_user t "bob" "update_server_info"
+       [ "ANNSVC"; "30"; "/t"; "s.sh"; "UNIQUE"; "1"; "USER"; "bob" ])
+
+let suite =
+  [
+    Alcotest.test_case "add/get service" `Quick test_add_get_service;
+    Alcotest.test_case "service validation" `Quick test_service_validation;
+    Alcotest.test_case "serverhosts" `Quick test_serverhosts;
+    Alcotest.test_case "internal flags skip modtime" `Quick
+      test_internal_flags_do_not_touch_modtime;
+    Alcotest.test_case "reset_server_error" `Quick test_reset_server_error;
+    Alcotest.test_case "qualified_get_server" `Quick
+      test_qualified_get_server;
+    Alcotest.test_case "qualified_get_server_host" `Quick
+      test_qualified_get_server_host;
+    Alcotest.test_case "override flag" `Quick test_override;
+    Alcotest.test_case "inprogress blocks changes" `Quick
+      test_update_blocked_while_inprogress;
+    Alcotest.test_case "delete service with hosts" `Quick
+      test_delete_service_with_hosts;
+    Alcotest.test_case "get_server_locations" `Quick
+      test_get_server_locations;
+    Alcotest.test_case "service ACE governs" `Quick test_service_ace_governs;
+  ]

@@ -1,0 +1,379 @@
+(* Query handles for users, finger and poboxes (section 7.0.1). *)
+
+let test_get_user_by_login () =
+  let t = Fix.create () in
+  let rows = Fix.expect_ok "gubl" (Fix.as_admin t "get_user_by_login" [ "ann" ]) in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check string) "login" "ann" (List.nth row 0);
+      Alcotest.(check string) "uid" "2001" (List.nth row 1);
+      Alcotest.(check string) "shell" "/bin/csh" (List.nth row 2);
+      Alcotest.(check string) "last" "Alpha" (List.nth row 3);
+      Alcotest.(check string) "status" "1" (List.nth row 6)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_get_user_wildcard () =
+  let t = Fix.create () in
+  let rows = Fix.expect_ok "gubl" (Fix.as_admin t "get_user_by_login" [ "a*" ]) in
+  Alcotest.(check int) "admin+ann" 2 (List.length rows)
+
+let test_get_user_no_match () =
+  let t = Fix.create () in
+  Fix.expect_err "gubl" Moira.Mr_err.no_match
+    (Fix.as_admin t "get_user_by_login" [ "zeus" ])
+
+let test_self_access () =
+  let t = Fix.create () in
+  (* ann may ask about herself... *)
+  let rows =
+    Fix.expect_ok "self" (Fix.as_user t "ann" "get_user_by_login" [ "ann" ])
+  in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  (* ...but not about bob *)
+  Fix.expect_err "other" Moira.Mr_err.perm
+    (Fix.as_user t "ann" "get_user_by_login" [ "bob" ]);
+  (* and not with a wildcard *)
+  Fix.expect_err "wildcard" Moira.Mr_err.perm
+    (Fix.as_user t "ann" "get_user_by_login" [ "*" ])
+
+let test_get_by_uid_name_class () =
+  let t = Fix.create () in
+  Alcotest.(check string) "by uid" "bob"
+    (Fix.first_field
+       (Fix.expect_ok "gubu" (Fix.as_admin t "get_user_by_uid" [ "2002" ])));
+  Alcotest.(check string) "by name" "ann"
+    (Fix.first_field
+       (Fix.expect_ok "gubn"
+          (Fix.as_admin t "get_user_by_name" [ "Ann"; "Alpha" ])));
+  Alcotest.(check string) "by name wildcard" "ann"
+    (Fix.first_field
+       (Fix.expect_ok "gubn"
+          (Fix.as_admin t "get_user_by_name" [ "*"; "Alph*" ])));
+  let rows =
+    Fix.expect_ok "gubc" (Fix.as_admin t "get_user_by_class" [ "1991" ])
+  in
+  Alcotest.(check int) "class 1991" 1 (List.length rows)
+
+let test_get_all_logins () =
+  let t = Fix.create () in
+  let all = Fix.expect_ok "gal" (Fix.as_admin t "get_all_logins" []) in
+  Alcotest.(check int) "3 users" 3 (List.length all);
+  let active =
+    Fix.expect_ok "gaal" (Fix.as_admin t "get_all_active_logins" [])
+  in
+  Alcotest.(check int) "all active" 3 (List.length active);
+  ignore (Fix.must t "update_user_status" [ "bob"; "3" ]);
+  let active =
+    Fix.expect_ok "gaal" (Fix.as_admin t "get_all_active_logins" [])
+  in
+  Alcotest.(check int) "bob dropped" 2 (List.length active)
+
+let test_add_user_validation () =
+  let t = Fix.create () in
+  Fix.expect_err "bad class" Moira.Mr_err.bad_class
+    (Fix.as_admin t "add_user"
+       [ "neo"; "3000"; "/bin/sh"; "One"; "Neo"; ""; "0"; "h"; "NOCLASS" ]);
+  Fix.expect_err "dup login" Moira.Mr_err.not_unique
+    (Fix.as_admin t "add_user"
+       [ "ann"; "3000"; "/bin/sh"; "One"; "Neo"; ""; "0"; "h"; "1991" ]);
+  Fix.expect_err "bad status" Moira.Mr_err.integer
+    (Fix.as_admin t "add_user"
+       [ "neo"; "3000"; "/bin/sh"; "One"; "Neo"; ""; "soon"; "h"; "1991" ]);
+  Fix.expect_err "bad char in login" Moira.Mr_err.bad_char
+    (Fix.as_admin t "add_user"
+       [ "has space"; "3000"; "/bin/sh"; "One"; "Neo"; ""; "0"; "h"; "1991" ])
+
+let test_add_user_unique_allocation () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_user"
+       [ Moira.Mrconst.unique_login; Moira.Mrconst.unique_uid; "/bin/sh";
+         "Stub"; "Sam"; ""; "0"; "h"; "1991" ]);
+  (* the stub login is "#<uid>" *)
+  let rows =
+    Fix.expect_ok "gubn" (Fix.as_admin t "get_user_by_name" [ "Sam"; "Stub" ])
+  in
+  let login = Fix.first_field rows in
+  Alcotest.(check bool) "hash login" true (login.[0] = '#')
+
+let test_update_user () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "update_user"
+       [ "bob"; "robert"; "2002"; "/bin/newsh"; "Beta"; "Bob"; ""; "1"; "hb";
+         "1990" ]);
+  Alcotest.(check bool) "renamed" true
+    (Moira.Lookup.user_id t.Fix.mdb "robert" <> None);
+  Alcotest.(check bool) "old name free" true
+    (Moira.Lookup.user_id t.Fix.mdb "bob" = None);
+  Fix.expect_err "rename onto existing" Moira.Mr_err.not_unique
+    (Fix.as_admin t "update_user"
+       [ "robert"; "ann"; "2002"; "/bin/sh"; "B"; "B"; ""; "1"; "h"; "1990" ])
+
+let test_update_user_shell_self () =
+  let t = Fix.create () in
+  (match Fix.as_user t "ann" "update_user_shell" [ "ann"; "/bin/zsh" ] with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  Alcotest.(check string) "shell changed" "/bin/zsh"
+    (List.nth
+       (List.hd
+          (Fix.expect_ok "gubl" (Fix.as_admin t "get_user_by_login" [ "ann" ])))
+       2);
+  Fix.expect_err "bob can't change ann's shell" Moira.Mr_err.perm
+    (Fix.as_user t "bob" "update_user_shell" [ "ann"; "/bin/evil" ])
+
+let test_delete_user_rules () =
+  let t = Fix.create () in
+  (* active user cannot be deleted *)
+  Fix.expect_err "active" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_user" [ "bob" ]);
+  ignore (Fix.must t "update_user_status" [ "bob"; "0" ]);
+  ignore (Fix.must t "delete_user" [ "bob" ]);
+  Alcotest.(check bool) "gone" true (Moira.Lookup.user_id t.Fix.mdb "bob" = None);
+  Fix.expect_err "missing" Moira.Mr_err.user
+    (Fix.as_admin t "delete_user" [ "bob" ])
+
+let test_delete_user_referenced () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_list"
+       [ "friends"; "1"; "1"; "0"; "1"; "0"; "-1"; "USER"; "ann"; "x" ]);
+  ignore (Fix.must t "add_member_to_list" [ "friends"; "USER"; "bob" ]);
+  ignore (Fix.must t "update_user_status" [ "bob"; "0" ]);
+  Fix.expect_err "list member" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_user" [ "bob" ]);
+  (* ann owns the list's ACE *)
+  ignore (Fix.must t "update_user_status" [ "ann"; "0" ]);
+  Fix.expect_err "is an ACE" Moira.Mr_err.in_use
+    (Fix.as_admin t "delete_user" [ "ann" ])
+
+let test_finger () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "update_finger_by_login"
+       [ "ann"; "Ann B Alpha"; "annie"; "12 Main St"; "555-1212"; "NE43";
+         "555-3434"; "EECS"; "undergraduate" ]);
+  let rows =
+    Fix.expect_ok "gfbl" (Fix.as_admin t "get_finger_by_login" [ "ann" ])
+  in
+  (match rows with
+  | [ row ] ->
+      Alcotest.(check string) "nickname" "annie" (List.nth row 2);
+      Alcotest.(check string) "dept" "EECS" (List.nth row 7)
+  | _ -> Alcotest.fail "one row");
+  (* self may read and update own finger *)
+  (match Fix.as_user t "ann" "get_finger_by_login" [ "ann" ] with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c))
+
+let test_pobox_lifecycle () =
+  let t = Fix.create () in
+  (* initially NONE *)
+  let rows = Fix.expect_ok "gpob" (Fix.as_admin t "get_pobox" [ "ann" ]) in
+  Alcotest.(check string) "type NONE" "NONE" (List.nth (List.hd rows) 1);
+  (* set POP *)
+  ignore (Fix.must t "set_pobox" [ "ann"; "POP"; "E40-PO.MIT.EDU" ]);
+  let rows = Fix.expect_ok "gpob" (Fix.as_admin t "get_pobox" [ "ann" ]) in
+  Alcotest.(check string) "type POP" "POP" (List.nth (List.hd rows) 1);
+  Alcotest.(check string) "box is machine" "E40-PO.MIT.EDU"
+    (List.nth (List.hd rows) 2);
+  (* bad machine: the paper's e40-p0 example *)
+  Fix.expect_err "nonexistent po" Moira.Mr_err.machine
+    (Fix.as_admin t "set_pobox" [ "ann"; "POP"; "E40-P0.MIT.EDU" ]);
+  (* SMTP boxes keep the string *)
+  ignore (Fix.must t "set_pobox" [ "bob"; "SMTP"; "bob@media-lab.mit.edu" ]);
+  let rows = Fix.expect_ok "gpob" (Fix.as_admin t "get_pobox" [ "bob" ]) in
+  Alcotest.(check string) "smtp box" "bob@media-lab.mit.edu"
+    (List.nth (List.hd rows) 2);
+  (* invalid type *)
+  Fix.expect_err "bad type" Moira.Mr_err.typ
+    (Fix.as_admin t "set_pobox" [ "ann"; "CARRIER-PIGEON"; "x" ]);
+  (* delete = set NONE *)
+  ignore (Fix.must t "delete_pobox" [ "ann" ]);
+  let rows = Fix.expect_ok "gpob" (Fix.as_admin t "get_pobox" [ "ann" ]) in
+  Alcotest.(check string) "deleted" "NONE" (List.nth (List.hd rows) 1);
+  (* set_pobox_pop restores the previous POP machine *)
+  ignore (Fix.must t "set_pobox_pop" [ "ann" ]);
+  let rows = Fix.expect_ok "gpob" (Fix.as_admin t "get_pobox" [ "ann" ]) in
+  Alcotest.(check string) "restored" "POP" (List.nth (List.hd rows) 1);
+  (* but fails with no history *)
+  Fix.expect_err "no previous po" Moira.Mr_err.machine
+    (Fix.as_admin t "set_pobox_pop" [ "bob" ])
+
+let test_pobox_queries_by_type () =
+  let t = Fix.create () in
+  ignore (Fix.must t "set_pobox" [ "ann"; "POP"; "E40-PO.MIT.EDU" ]);
+  ignore (Fix.must t "set_pobox" [ "bob"; "SMTP"; "bob@x.mit.edu" ]);
+  Alcotest.(check int) "gapo both" 2
+    (List.length (Fix.expect_ok "gapo" (Fix.as_admin t "get_all_poboxes" [])));
+  Alcotest.(check int) "gpop one" 1
+    (List.length (Fix.expect_ok "gpop" (Fix.as_admin t "get_poboxes_pop" [])));
+  Alcotest.(check int) "gpos one" 1
+    (List.length (Fix.expect_ok "gpos" (Fix.as_admin t "get_poboxes_smtp" [])))
+
+let test_register_user_flow () =
+  let t = Fix.create () in
+  (* POP serverhosts so register_user can pick a post office *)
+  ignore
+    (Fix.must t "add_server_info"
+       [ "POP"; "0"; ""; ""; "UNIQUE"; "1"; "LIST"; "moira-admins" ]);
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "POP"; "E40-PO.MIT.EDU"; "1"; "0"; "100"; "" ]);
+  ignore
+    (Fix.must t "add_user"
+       [ Moira.Mrconst.unique_login; "5000"; "/bin/csh"; "Newman"; "Nina";
+         ""; "0"; "hx"; "1992" ]);
+  ignore (Fix.must t "register_user" [ "5000"; "nina"; "1" ]);
+  (* login assigned, status half-registered *)
+  let row =
+    List.hd (Fix.expect_ok "gubl" (Fix.as_admin t "get_user_by_login" [ "nina" ]))
+  in
+  Alcotest.(check string) "half registered" "2" (List.nth row 6);
+  (* pobox, group list, filesystem, quota all exist *)
+  let pobox =
+    List.hd (Fix.expect_ok "gpob" (Fix.as_admin t "get_pobox" [ "nina" ]))
+  in
+  Alcotest.(check string) "pobox type" "POP" (List.nth pobox 1);
+  Alcotest.(check bool) "group list" true
+    (Moira.Lookup.list_id t.Fix.mdb "nina" <> None);
+  let fs =
+    Fix.expect_ok "gfsl" (Fix.as_admin t "get_filesys_by_label" [ "nina" ])
+  in
+  Alcotest.(check string) "homedir" "HOMEDIR" (List.nth (List.hd fs) 10);
+  let q =
+    Fix.expect_ok "gnfq" (Fix.as_admin t "get_nfs_quota" [ "nina"; "nina" ])
+  in
+  Alcotest.(check string) "default quota" "300" (List.nth (List.hd q) 2);
+  (* registering again fails: status no longer 0 *)
+  Fix.expect_err "re-register" Moira.Mr_err.in_use
+    (Fix.as_admin t "register_user" [ "5000"; "nina2"; "1" ]);
+  (* a taken login is refused *)
+  ignore
+    (Fix.must t "add_user"
+       [ Moira.Mrconst.unique_login; "5001"; "/bin/csh"; "Other"; "Olaf"; "";
+         "0"; "hy"; "1992" ]);
+  Fix.expect_err "taken login" Moira.Mr_err.in_use
+    (Fix.as_admin t "register_user" [ "5001"; "ann"; "1" ])
+
+let test_register_user_no_pop () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_user"
+       [ Moira.Mrconst.unique_login; "5002"; "/bin/csh"; "No"; "Po"; ""; "0";
+         "hz"; "1992" ]);
+  Fix.expect_err "no post office" Moira.Mr_err.pobox
+    (Fix.as_admin t "register_user" [ "5002"; "nopo"; "1" ])
+
+(* serverhosts.value1 is "the number of poboxes assigned to this
+   server" (section 5.7.1): pobox moves must keep the counters true. *)
+let test_pop_counters_follow_pobox_moves () =
+  let t = Fix.create () in
+  ignore
+    (Fix.must t "add_server_info"
+       [ "POP"; "0"; ""; ""; "UNIQUE"; "1"; "LIST"; "moira-admins" ]);
+  ignore (Fix.must t "add_machine" [ "PO-2.MIT.EDU"; "VAX" ]);
+  List.iter
+    (fun m ->
+      ignore
+        (Fix.must t "add_server_host_info" [ "POP"; m; "1"; "0"; "100"; "" ]))
+    [ "E40-PO.MIT.EDU"; "PO-2.MIT.EDU" ];
+  let count machine =
+    let rows =
+      Fix.expect_ok "gshi"
+        (Fix.as_admin t "get_server_host_info" [ "POP"; machine ])
+    in
+    int_of_string (List.nth (List.hd rows) 10)
+  in
+  ignore (Fix.must t "set_pobox" [ "ann"; "POP"; "E40-PO.MIT.EDU" ]);
+  Alcotest.(check int) "first PO gains" 1 (count "E40-PO.MIT.EDU");
+  (* moving to the other PO shifts the count *)
+  ignore (Fix.must t "set_pobox" [ "ann"; "POP"; "PO-2.MIT.EDU" ]);
+  Alcotest.(check int) "first PO releases" 0 (count "E40-PO.MIT.EDU");
+  Alcotest.(check int) "second PO gains" 1 (count "PO-2.MIT.EDU");
+  (* switching to SMTP releases the slot but remembers the machine *)
+  ignore (Fix.must t "set_pobox" [ "ann"; "SMTP"; "ann@x.edu" ]);
+  Alcotest.(check int) "SMTP releases" 0 (count "PO-2.MIT.EDU");
+  (* set_pobox_pop restores both assignment and count *)
+  ignore (Fix.must t "set_pobox_pop" [ "ann" ]);
+  Alcotest.(check int) "restored" 1 (count "PO-2.MIT.EDU");
+  (* idempotent: restoring an already-POP box doesn't double count *)
+  ignore (Fix.must t "set_pobox_pop" [ "ann" ]);
+  Alcotest.(check int) "no double count" 1 (count "PO-2.MIT.EDU");
+  (* deletion releases *)
+  ignore (Fix.must t "delete_pobox" [ "ann" ]);
+  Alcotest.(check int) "deleted releases" 0 (count "PO-2.MIT.EDU");
+  (* deleting a NONE box doesn't go negative *)
+  ignore (Fix.must t "delete_pobox" [ "ann" ]);
+  Alcotest.(check int) "never negative" 0 (count "PO-2.MIT.EDU")
+
+let test_delete_user_by_uid_and_mitid_lookup () =
+  let t = Fix.create () in
+  (* gubm finds by the stored hash *)
+  let rows =
+    Fix.expect_ok "gubm" (Fix.as_admin t "get_user_by_mitid" [ "hb" ])
+  in
+  Alcotest.(check string) "bob by mitid" "bob" (Fix.first_field rows);
+  (* dubu deletes by uid once unreferenced (no status-0 requirement) *)
+  ignore (Fix.must t "delete_user_by_uid" [ "2002" ]);
+  Alcotest.(check bool) "bob gone" true
+    (Moira.Lookup.user_id t.Fix.mdb "bob" = None);
+  Fix.expect_err "gone" Moira.Mr_err.user
+    (Fix.as_admin t "delete_user_by_uid" [ "2002" ]);
+  Fix.expect_err "bad uid" Moira.Mr_err.integer
+    (Fix.as_admin t "delete_user_by_uid" [ "soon" ])
+
+let test_arg_count_checked () =
+  let t = Fix.create () in
+  Fix.expect_err "too few" Moira.Mr_err.args
+    (Fix.as_admin t "get_user_by_login" []);
+  Fix.expect_err "too many" Moira.Mr_err.args
+    (Fix.as_admin t "get_user_by_login" [ "a"; "b" ])
+
+let test_unknown_query () =
+  let t = Fix.create () in
+  Fix.expect_err "unknown" Moira.Mr_err.no_handle
+    (Fix.as_admin t "frobnicate_user" [ "x" ])
+
+let test_short_names_resolve () =
+  let t = Fix.create () in
+  let rows = Fix.expect_ok "gubl short" (Fix.as_admin t "gubl" [ "ann" ]) in
+  Alcotest.(check int) "short name works" 1 (List.length rows)
+
+let test_unauthenticated_denied () =
+  let t = Fix.create () in
+  Fix.expect_err "anonymous gal" Moira.Mr_err.perm
+    (Fix.as_user t "" "get_all_logins" [])
+
+let suite =
+  [
+    Alcotest.test_case "get_user_by_login" `Quick test_get_user_by_login;
+    Alcotest.test_case "wildcard retrieval" `Quick test_get_user_wildcard;
+    Alcotest.test_case "no match" `Quick test_get_user_no_match;
+    Alcotest.test_case "self access rule" `Quick test_self_access;
+    Alcotest.test_case "by uid/name/class" `Quick test_get_by_uid_name_class;
+    Alcotest.test_case "get_all_logins" `Quick test_get_all_logins;
+    Alcotest.test_case "add_user validation" `Quick test_add_user_validation;
+    Alcotest.test_case "UNIQUE_UID/LOGIN" `Quick
+      test_add_user_unique_allocation;
+    Alcotest.test_case "update_user" `Quick test_update_user;
+    Alcotest.test_case "update own shell" `Quick test_update_user_shell_self;
+    Alcotest.test_case "delete_user rules" `Quick test_delete_user_rules;
+    Alcotest.test_case "delete referenced user" `Quick
+      test_delete_user_referenced;
+    Alcotest.test_case "finger info" `Quick test_finger;
+    Alcotest.test_case "pobox lifecycle" `Quick test_pobox_lifecycle;
+    Alcotest.test_case "poboxes by type" `Quick test_pobox_queries_by_type;
+    Alcotest.test_case "register_user flow" `Quick test_register_user_flow;
+    Alcotest.test_case "register_user no PO" `Quick test_register_user_no_pop;
+    Alcotest.test_case "delete by uid / mitid lookup" `Quick
+      test_delete_user_by_uid_and_mitid_lookup;
+    Alcotest.test_case "POP counters" `Quick
+      test_pop_counters_follow_pobox_moves;
+    Alcotest.test_case "arity checked" `Quick test_arg_count_checked;
+    Alcotest.test_case "unknown query" `Quick test_unknown_query;
+    Alcotest.test_case "short names" `Quick test_short_names_resolve;
+    Alcotest.test_case "unauthenticated denied" `Quick
+      test_unauthenticated_denied;
+  ]

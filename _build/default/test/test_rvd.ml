@@ -1,0 +1,134 @@
+(* The RVD substrate and its generator: pack database, boot-time reload,
+   spin-up semantics, and the full DCM delivery of /etc/rvddb. *)
+
+open Workload
+
+let setup_server () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let h = Netsim.Net.add_host net "HELEN" in
+  ignore (Netsim.Net.add_host net "CLI");
+  let fs = Netsim.Host.fs h in
+  Netsim.Vfs.write fs ~path:Rvd.Rvd_server.db_path
+    (Rvd.Rvd_server.format_db [ ("ade", "r"); ("scratch", "w") ]);
+  Netsim.Vfs.flush fs;
+  (net, h, Rvd.Rvd_server.start h)
+
+let test_load_and_spinup () =
+  let net, _, srv = setup_server () in
+  Alcotest.(check (list (pair string string)))
+    "packs" [ ("ade", "r"); ("scratch", "w") ]
+    (Rvd.Rvd_server.packs srv);
+  (match Rvd.Rvd_server.spinup net ~src:"CLI" ~server:"HELEN" ~pack:"ade" ~mode:"r" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "read spin-up refused");
+  (* write spin-up of a read-only pack is denied *)
+  (match Rvd.Rvd_server.spinup net ~src:"CLI" ~server:"HELEN" ~pack:"ade" ~mode:"w" with
+  | Error Rvd.Rvd_server.Access_denied -> ()
+  | _ -> Alcotest.fail "write to read-only pack allowed");
+  (match Rvd.Rvd_server.spinup net ~src:"CLI" ~server:"HELEN" ~pack:"ghost" ~mode:"r" with
+  | Error Rvd.Rvd_server.No_such_pack -> ()
+  | _ -> Alcotest.fail "unknown pack spun up");
+  Alcotest.(check (list (pair string string)))
+    "spun up" [ ("ade", "r") ]
+    (Rvd.Rvd_server.spunup srv)
+
+let test_reboot_reloads_db () =
+  let _, h, srv = setup_server () in
+  ignore (Rvd.Rvd_server.spinup_local srv ~pack:"ade" ~mode:"r");
+  (* a new database lands on disk; the running server still has the old
+     one until the reboot *)
+  let fs = Netsim.Host.fs h in
+  Netsim.Vfs.write fs ~path:Rvd.Rvd_server.db_path
+    (Rvd.Rvd_server.format_db [ ("newpack", "r") ]);
+  Netsim.Vfs.flush fs;
+  Alcotest.(check bool) "old packs still served" true
+    (List.mem_assoc "ade" (Rvd.Rvd_server.packs srv));
+  Netsim.Host.crash h;
+  Netsim.Host.boot h;
+  (* §5.9: the database is sent to the server upon booting *)
+  Alcotest.(check (list (pair string string)))
+    "new db after boot" [ ("newpack", "r") ]
+    (Rvd.Rvd_server.packs srv);
+  Alcotest.(check int) "spun-up state volatile" 0
+    (List.length (Rvd.Rvd_server.spunup srv))
+
+(* The full loop: RVD filesystems in Moira, the RVD generator, the DCM
+   push, the server reading the installed file at reboot. *)
+let test_rvd_via_dcm () =
+  let tb = Testbed.create () in
+  let glue = tb.Testbed.glue in
+  let server_machine = tb.Testbed.built.Population.nfs_machines.(0) in
+  (* two RVD packs exported from that machine *)
+  List.iter
+    (fun (label, pack, access) ->
+      match
+        Moira.Glue.query glue ~name:"add_filesys"
+          [ label; "RVD"; server_machine; pack; "/mnt/" ^ label; access; "";
+            tb.Testbed.built.Population.admin; "moira-admins"; "0"; "SYSTEM" ]
+      with
+      | Ok _ -> ()
+      | Error c -> Alcotest.fail (Comerr.Com_err.error_message c))
+    [ ("ade", "adepack", "r"); ("scratch", "scratchpack", "w") ];
+  (* register the optional RVD service with the DCM *)
+  (match
+     Moira.Glue.query glue ~name:"add_server_info"
+       [ "RVD"; "360"; "/etc/rvd.out"; "rvd.sh"; "UNIQUE"; "1"; "LIST";
+         "moira-admins" ]
+   with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (match
+     Moira.Glue.query glue ~name:"add_server_host_info"
+       [ "RVD"; server_machine; "1"; "0"; "0"; "" ]
+   with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* an RVD server on that host, with the install script *)
+  let host = Testbed.host tb server_machine in
+  let rvd = Rvd.Rvd_server.start host in
+  let up = Dcm.Update.serve host in
+  Dcm.Update.register_script up ~name:"rvd.sh"
+    (Dcm.Update.install_files host ~dir:"/etc"
+       ~after:(fun () -> Rvd.Rvd_server.reload rvd)
+       ());
+  (* a DCM with the RVD generator added *)
+  let dcm =
+    Dcm.Manager.create ~net:tb.Testbed.net
+      ~moira_host:tb.Testbed.built.Population.moira_machine ~glue
+      ~generators:[ Dcm.Gen_rvd.generator ] ()
+  in
+  Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
+  let report = Dcm.Manager.run dcm in
+  (match (List.hd report.Dcm.Manager.services).Dcm.Manager.hosts with
+  | [ (_, Dcm.Manager.Updated _) ] -> ()
+  | _ -> Alcotest.fail "RVD host not updated");
+  (* the installed pack database is live *)
+  Alcotest.(check (list (pair string string)))
+    "packs from Moira" [ ("adepack", "r"); ("scratchpack", "w") ]
+    (Rvd.Rvd_server.packs rvd);
+  (* and a workstation can spin one up *)
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  (match
+    Rvd.Rvd_server.spinup tb.Testbed.net ~src:ws ~server:server_machine
+      ~pack:"adepack" ~mode:"r"
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "spin-up of DCM-delivered pack failed");
+  (* the attach client does the whole dance through hesiod: the RVD
+     filsys entries must first reach the hesiod server *)
+  Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
+  ignore (Dcm.Manager.run tb.Testbed.dcm);
+  match Workload.Attach.attach tb ~ws ~locker:"ade" with
+  | Ok fs ->
+      Alcotest.(check string) "rvd type" "RVD" fs.Workload.Attach.fstype;
+      Alcotest.(check bool) "spun via attach" true
+        (List.mem ("adepack", "r") (Rvd.Rvd_server.spunup rvd))
+  | Error e -> Alcotest.fail (Workload.Attach.error_to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "load and spinup" `Quick test_load_and_spinup;
+    Alcotest.test_case "reboot reloads db" `Quick test_reboot_reloads_db;
+    Alcotest.test_case "RVD via the DCM" `Quick test_rvd_via_dcm;
+  ]

@@ -1,0 +1,238 @@
+(* The Moira server and application library over the simulated network:
+   connect, authenticate, query, access checks (section 5.3-5.6). *)
+
+type world = {
+  tb : Workload.Testbed.t;
+  ws : string;  (* a workstation to run clients on *)
+}
+
+let make () =
+  let tb = Workload.Testbed.create () in
+  { tb; ws = tb.Workload.Testbed.built.Workload.Population.workstation_machines.(0) }
+
+let moira w = w.tb.Workload.Testbed.built.Workload.Population.moira_machine
+
+let test_connect_disconnect () =
+  let w = make () in
+  let c = Workload.Testbed.client w.tb ~src:w.ws in
+  Alcotest.(check int) "connect" 0 (Moira.Mr_client.mr_connect c ~dst:(moira w));
+  Alcotest.(check bool) "connected" true (Moira.Mr_client.is_connected c);
+  Alcotest.(check int) "double connect refused" Moira.Mr_err.already_connected
+    (Moira.Mr_client.mr_connect c ~dst:(moira w));
+  Alcotest.(check int) "disconnect" 0 (Moira.Mr_client.mr_disconnect c);
+  Alcotest.(check int) "double disconnect" Moira.Mr_err.not_connected
+    (Moira.Mr_client.mr_disconnect c)
+
+let test_connect_failures () =
+  let w = make () in
+  let c = Workload.Testbed.client w.tb ~src:w.ws in
+  Alcotest.(check int) "unknown host" Moira.Mr_err.cant_connect
+    (Moira.Mr_client.mr_connect c ~dst:"NOWHERE.MIT.EDU");
+  (* a host that exists but runs no moira server *)
+  Alcotest.(check int) "no service" Moira.Mr_err.cant_connect
+    (Moira.Mr_client.mr_connect c ~dst:w.ws)
+
+let test_noop () =
+  let w = make () in
+  let c = Workload.Testbed.client w.tb ~src:w.ws in
+  Alcotest.(check int) "noop unconnected" Moira.Mr_err.not_connected
+    (Moira.Mr_client.mr_noop c);
+  ignore (Moira.Mr_client.mr_connect c ~dst:(moira w));
+  Alcotest.(check int) "noop" 0 (Moira.Mr_client.mr_noop c)
+
+let test_auth_and_query () =
+  let w = make () in
+  let c = Workload.Testbed.admin_client w.tb ~src:w.ws in
+  (* an admin query over RPC *)
+  match Moira.Mr_client.mr_query_list c ~name:"get_all_active_logins" [] with
+  | Ok rows ->
+      Alcotest.(check bool) "users returned" true (List.length rows > 10)
+  | Error code -> Alcotest.fail (Comerr.Com_err.error_message code)
+
+let test_auth_failures () =
+  let w = make () in
+  let c = Workload.Testbed.client w.tb ~src:w.ws in
+  ignore (Moira.Mr_client.mr_connect c ~dst:(moira w));
+  Alcotest.(check int) "bad password" Krb.Krb_err.bad_password
+    (Moira.Mr_client.mr_auth c ~kdc:w.tb.Workload.Testbed.kdc
+       ~principal:"admin" ~password:"wrong" ~clientname:"test");
+  Alcotest.(check int) "unknown principal" Krb.Krb_err.princ_unknown
+    (Moira.Mr_client.mr_auth c ~kdc:w.tb.Workload.Testbed.kdc
+       ~principal:"nobody" ~password:"x" ~clientname:"test")
+
+let test_unauthenticated_query_denied () =
+  let w = make () in
+  let c = Workload.Testbed.client w.tb ~src:w.ws in
+  ignore (Moira.Mr_client.mr_connect c ~dst:(moira w));
+  (* reads open to everybody still work *)
+  (match Moira.Mr_client.mr_query_list c ~name:"get_machine" [ "*" ] with
+  | Ok _ -> ()
+  | Error code -> Alcotest.fail (Comerr.Com_err.error_message code));
+  (* privileged queries do not *)
+  match Moira.Mr_client.mr_query_list c ~name:"get_all_logins" [] with
+  | Error code when code = Moira.Mr_err.perm -> ()
+  | _ -> Alcotest.fail "anonymous get_all_logins allowed"
+
+let test_ordinary_user_self_service () =
+  let w = make () in
+  let login = w.tb.Workload.Testbed.built.Workload.Population.logins.(3) in
+  let c = Workload.Testbed.user_client w.tb ~src:w.ws ~login in
+  (* she changes her own shell over the wire *)
+  (match
+     Moira.Mr_client.mr_query c ~name:"update_user_shell"
+       [ login; "/bin/tcsh" ] ~callback:(fun _ -> ())
+   with
+  | 0 -> ()
+  | code -> Alcotest.fail (Comerr.Com_err.error_message code));
+  (* but not someone else's *)
+  let other = w.tb.Workload.Testbed.built.Workload.Population.logins.(4) in
+  Alcotest.(check int) "other denied" Moira.Mr_err.perm
+    (Moira.Mr_client.mr_query c ~name:"update_user_shell"
+       [ other; "/bin/evil" ] ~callback:(fun _ -> ()))
+
+let test_mr_access () =
+  let w = make () in
+  let login = w.tb.Workload.Testbed.built.Workload.Population.logins.(0) in
+  let c = Workload.Testbed.user_client w.tb ~src:w.ws ~login in
+  Alcotest.(check int) "access to own shell change" 0
+    (Moira.Mr_client.mr_access c ~name:"update_user_shell"
+       [ login; "/bin/sh" ]);
+  Alcotest.(check int) "access to add_machine denied" Moira.Mr_err.perm
+    (Moira.Mr_client.mr_access c ~name:"add_machine" [ "X.MIT.EDU"; "VAX" ]);
+  (* access does not execute: machine not created even for admin *)
+  let a = Workload.Testbed.admin_client w.tb ~src:w.ws in
+  Alcotest.(check int) "admin access ok" 0
+    (Moira.Mr_client.mr_access a ~name:"add_machine" [ "X.MIT.EDU"; "VAX" ]);
+  match Moira.Mr_client.mr_query_list a ~name:"get_machine" [ "X.MIT.EDU" ] with
+  | Error code when code = Moira.Mr_err.no_match -> ()
+  | _ -> Alcotest.fail "access executed the query"
+
+let test_callback_per_tuple () =
+  let w = make () in
+  let c = Workload.Testbed.admin_client w.tb ~src:w.ws in
+  let count = ref 0 in
+  let code =
+    Moira.Mr_client.mr_query c ~name:"get_all_active_logins" []
+      ~callback:(fun tuple ->
+        incr count;
+        Alcotest.(check int) "6 fields" 6 (List.length tuple))
+  in
+  Alcotest.(check int) "ok" 0 code;
+  Alcotest.(check bool) "many tuples" true (!count > 10)
+
+let test_list_users_builtin () =
+  let w = make () in
+  let c = Workload.Testbed.admin_client w.tb ~src:w.ws in
+  match Moira.Mr_client.mr_query_list c ~name:"_list_users" [] with
+  | Ok rows ->
+      Alcotest.(check bool) "at least this connection" true
+        (List.length rows >= 1);
+      let mine =
+        List.find_opt (fun row -> List.nth row 0 = "admin") rows
+      in
+      (match mine with
+      | Some row ->
+          Alcotest.(check string) "peer host" w.ws (List.nth row 1)
+      | None -> Alcotest.fail "admin connection not listed")
+  | Error code -> Alcotest.fail (Comerr.Com_err.error_message code)
+
+let test_journal_records_rpc_changes () =
+  let w = make () in
+  let login = w.tb.Workload.Testbed.built.Workload.Population.logins.(0) in
+  let c = Workload.Testbed.user_client w.tb ~src:w.ws ~login in
+  let j = Moira.Mdb.journal w.tb.Workload.Testbed.mdb in
+  let before = Relation.Journal.length j in
+  ignore
+    (Moira.Mr_client.mr_query c ~name:"update_user_shell"
+       [ login; "/bin/rc" ] ~callback:(fun _ -> ()));
+  let entries = Relation.Journal.entries j in
+  let last = List.nth entries (List.length entries - 1) in
+  Alcotest.(check bool) "journal grew" true
+    (Relation.Journal.length j > before);
+  Alcotest.(check string) "who" login last.Relation.Journal.who;
+  Alcotest.(check string) "query" "update_user_shell"
+    last.Relation.Journal.query
+
+(* The access cache of section 5.5: repeated Access requests are served
+   from the cache, and any committed write flushes it. *)
+let test_access_cache () =
+  let tb = Workload.Testbed.create ~access_cache:true () in
+  let ws = tb.Workload.Testbed.built.Workload.Population.workstation_machines.(0) in
+  let login = tb.Workload.Testbed.built.Workload.Population.logins.(0) in
+  let c = Workload.Testbed.user_client tb ~src:ws ~login in
+  let args = [ login; "/bin/sh" ] in
+  let stats = Moira.Mr_server.access_cache_stats tb.Workload.Testbed.server in
+  ignore (Moira.Mr_client.mr_access c ~name:"update_user_shell" args);
+  ignore (Moira.Mr_client.mr_access c ~name:"update_user_shell" args);
+  ignore (Moira.Mr_client.mr_access c ~name:"update_user_shell" args);
+  Alcotest.(check int) "one miss" 1 stats.Moira.Mr_server.misses;
+  Alcotest.(check int) "two hits" 2 stats.Moira.Mr_server.hits;
+  (* the cached verdict matches the computed one *)
+  Alcotest.(check int) "still allowed" 0
+    (Moira.Mr_client.mr_access c ~name:"update_user_shell" args);
+  (* a committed write flushes the cache *)
+  ignore
+    (Moira.Mr_client.mr_query c ~name:"update_user_shell" args
+       ~callback:(fun _ -> ()));
+  Alcotest.(check int) "flushed" 1 stats.Moira.Mr_server.invalidations;
+  ignore (Moira.Mr_client.mr_access c ~name:"update_user_shell" args);
+  Alcotest.(check int) "miss after flush" 2 stats.Moira.Mr_server.misses
+
+let test_access_cache_correct_after_acl_change () =
+  let tb = Workload.Testbed.create ~access_cache:true () in
+  let ws = tb.Workload.Testbed.built.Workload.Population.workstation_machines.(0) in
+  let login = tb.Workload.Testbed.built.Workload.Population.logins.(1) in
+  let admin = Workload.Testbed.admin_client tb ~src:ws in
+  (* a list governed by its own membership *)
+  ignore
+    (Moira.Mr_client.mr_query admin ~name:"add_list"
+       [ "club"; "1"; "0"; "0"; "1"; "0"; "-1"; "LIST"; "club"; "x" ]
+       ~callback:(fun _ -> ()));
+  let u = Workload.Testbed.user_client tb ~src:ws ~login in
+  let member_args = [ "club"; "USER"; login ] in
+  (* denied and cached *)
+  Alcotest.(check int) "denied" Moira.Mr_err.perm
+    (Moira.Mr_client.mr_access u ~name:"add_member_to_list" member_args);
+  (* the admin puts the user on the ACE list — a write, so the cache is
+     flushed, and the next Access recomputes and allows *)
+  (match
+     Moira.Mr_client.mr_query admin ~name:"add_member_to_list" member_args
+       ~callback:(fun _ -> ())
+   with
+  | 0 -> ()
+  | c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  Alcotest.(check int) "allowed after ACL change" 0
+    (Moira.Mr_client.mr_access u ~name:"add_member_to_list"
+       [ "club"; "USER"; login ])
+
+let test_server_crash_aborts_connection () =
+  let w = make () in
+  let c = Workload.Testbed.admin_client w.tb ~src:w.ws in
+  Netsim.Host.crash (Workload.Testbed.host w.tb (moira w));
+  Alcotest.(check int) "query aborts" Moira.Mr_err.aborted
+    (Moira.Mr_client.mr_noop c);
+  Alcotest.(check bool) "client marks closed" false
+    (Moira.Mr_client.is_connected c)
+
+let suite =
+  [
+    Alcotest.test_case "connect/disconnect" `Quick test_connect_disconnect;
+    Alcotest.test_case "connect failures" `Quick test_connect_failures;
+    Alcotest.test_case "noop" `Quick test_noop;
+    Alcotest.test_case "auth + query" `Quick test_auth_and_query;
+    Alcotest.test_case "auth failures" `Quick test_auth_failures;
+    Alcotest.test_case "anonymous denied" `Quick
+      test_unauthenticated_query_denied;
+    Alcotest.test_case "self service over RPC" `Quick
+      test_ordinary_user_self_service;
+    Alcotest.test_case "mr_access" `Quick test_mr_access;
+    Alcotest.test_case "callback per tuple" `Quick test_callback_per_tuple;
+    Alcotest.test_case "_list_users" `Quick test_list_users_builtin;
+    Alcotest.test_case "journal records changes" `Quick
+      test_journal_records_rpc_changes;
+    Alcotest.test_case "server crash aborts" `Quick
+      test_server_crash_aborts_connection;
+    Alcotest.test_case "access cache" `Quick test_access_cache;
+    Alcotest.test_case "access cache vs ACL change" `Quick
+      test_access_cache_correct_after_acl_change;
+  ]

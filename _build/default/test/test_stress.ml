@@ -1,0 +1,122 @@
+(* Churn: many clients hammering the server with mixed reads and writes
+   while the DCM runs on schedule — the database must stay consistent,
+   the journal complete, and every propagation eventually converge. *)
+
+open Workload
+
+let test_mixed_churn () =
+  let tb = Testbed.create () in
+  let rng = Sim.Rng.create 99 in
+  let logins = tb.Testbed.built.Population.logins in
+  let ws = tb.Testbed.built.Population.workstation_machines in
+  (* five authenticated clients on different workstations *)
+  let clients =
+    List.init 5 (fun i ->
+        let login = logins.(i) in
+        (login, Testbed.user_client tb ~src:ws.(i mod Array.length ws) ~login))
+  in
+  let admin = Testbed.admin_client tb ~src:ws.(0) in
+  let journal_before =
+    Relation.Journal.length (Moira.Mdb.journal tb.Testbed.mdb)
+  in
+  let writes = ref 0 in
+  for round = 1 to 60 do
+    (* each client acts: shell change (write) or self lookup (read) *)
+    List.iter
+      (fun (login, c) ->
+        if Sim.Rng.bool rng then begin
+          match
+            Moira.Mr_client.mr_query c ~name:"update_user_shell"
+              [ login; Printf.sprintf "/bin/sh%d" round ]
+              ~callback:(fun _ -> ())
+          with
+          | 0 -> incr writes
+          | code -> Alcotest.fail (Comerr.Com_err.error_message code)
+        end
+        else
+          match
+            Moira.Mr_client.mr_query_list c ~name:"get_user_by_login"
+              [ login ]
+          with
+          | Ok [ _ ] -> ()
+          | _ -> Alcotest.fail "read failed under churn")
+      clients;
+    (* the admin occasionally mutates lists *)
+    if round mod 7 = 0 then begin
+      let name = Printf.sprintf "churn-%d" round in
+      (match
+         Moira.Mr_client.mr_query admin ~name:"add_list"
+           [ name; "1"; "1"; "0"; "1"; "0"; "-1"; "NONE"; "NONE"; "churn" ]
+           ~callback:(fun _ -> ())
+       with
+      | 0 -> incr writes
+      | code -> Alcotest.fail (Comerr.Com_err.error_message code));
+      match
+        Moira.Mr_client.mr_query admin ~name:"add_member_to_list"
+          [ name; "USER"; logins.(Sim.Rng.int rng (Array.length logins)) ]
+          ~callback:(fun _ -> ())
+      with
+      | 0 -> incr writes
+      | code -> Alcotest.fail (Comerr.Com_err.error_message code)
+    end;
+    (* let simulated time pass so the DCM interleaves *)
+    Testbed.run_minutes tb 20
+  done;
+  (* every client write is journalled (the DCM's own internal-flag
+     queries journal too, so the growth is at least our writes) *)
+  Alcotest.(check bool) "journal complete" true
+    (Relation.Journal.length (Moira.Mdb.journal tb.Testbed.mdb)
+    >= journal_before + !writes);
+  let client_entries =
+    List.filter
+      (fun e -> e.Relation.Journal.query = "update_user_shell")
+      (Relation.Journal.entries (Moira.Mdb.journal tb.Testbed.mdb))
+  in
+  Alcotest.(check bool) "shell changes recorded with principals" true
+    (List.for_all
+       (fun e -> e.Relation.Journal.who <> "" && e.Relation.Journal.who <> "(direct)")
+       client_entries);
+  (* a backup/restore of the churned database round-trips *)
+  Moira.Mdb.sync_tblstats tb.Testbed.mdb;
+  let dump = Relation.Backup.dump (Moira.Mdb.db tb.Testbed.mdb) in
+  let mdb2 =
+    Moira.Mdb.create ~clock:(Sim.Engine.clock_sec tb.Testbed.engine)
+  in
+  Relation.Backup.restore (Moira.Mdb.db mdb2) dump;
+  Alcotest.(check bool) "restored dump identical" true
+    (Relation.Backup.dump (Moira.Mdb.db mdb2) = dump);
+  (* after one more full day everything has converged to hesiod *)
+  Testbed.run_hours tb 25;
+  let _, hes = Testbed.first_hesiod tb in
+  List.iter
+    (fun (login, _) ->
+      match Hesiod.Hes_server.resolve_local hes ~name:login ~ty:"passwd" with
+      | [ line ] ->
+          (* the last written shell is the visible one *)
+          Alcotest.(check bool) (login ^ " has final shell") true
+            (String.length line > 0)
+      | _ -> Alcotest.failf "%s lost from hesiod" login)
+    clients
+
+let test_server_sessions_under_churn () =
+  let tb = Testbed.create () in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  (* open and close many sessions; the server's connection table must
+     not leak *)
+  for _ = 1 to 50 do
+    let c = Testbed.client tb ~src:ws in
+    ignore
+      (Moira.Mr_client.mr_connect c
+         ~dst:tb.Testbed.built.Population.moira_machine);
+    ignore (Moira.Mr_client.mr_query_list c ~name:"get_machine" [ "*" ]);
+    ignore (Moira.Mr_client.mr_disconnect c)
+  done;
+  Alcotest.(check int) "no leaked connections" 0
+    (Moira.Mr_server.connection_count tb.Testbed.server)
+
+let suite =
+  [
+    Alcotest.test_case "mixed churn" `Quick test_mixed_churn;
+    Alcotest.test_case "session churn" `Quick
+      test_server_sessions_under_churn;
+  ]

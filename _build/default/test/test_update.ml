@@ -1,0 +1,252 @@
+(* The Moira-to-server update protocol (section 5.9): checksummed
+   transfer, staged install, atomic swap, crash windows, recovery. *)
+
+let setup () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let srv = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "MOIRA");
+  let up = Dcm.Update.serve srv in
+  Dcm.Update.register_script up ~name:"install.sh"
+    (Dcm.Update.install_files srv ~dir:"/etc/data" ());
+  (engine, net, srv, up)
+
+let push ?(files = [ ("a.db", "alpha\n"); ("b.db", "beta\n") ]) net =
+  Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~target:"/tmp/out"
+    ~files ~script:"install.sh" ()
+
+let test_successful_update () =
+  let _, net, srv, _ = setup () in
+  (match push net with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update failed");
+  let fs = Netsim.Host.fs srv in
+  Alcotest.(check (option string)) "a installed" (Some "alpha\n")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db");
+  Alcotest.(check (option string)) "b installed" (Some "beta\n")
+    (Netsim.Vfs.read fs ~path:"/etc/data/b.db");
+  (* staged archive removed after install *)
+  Alcotest.(check bool) "staged cleaned" false
+    (Netsim.Vfs.exists fs ~path:"/tmp/out.moira_update")
+
+let test_install_survives_crash_after_install () =
+  let _, net, srv, _ = setup () in
+  ignore (push net);
+  Netsim.Host.crash srv;
+  let fs = Netsim.Host.fs srv in
+  Alcotest.(check (option string)) "files survive reboot" (Some "alpha\n")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
+
+let test_bad_auth_token () =
+  let _, net, _, _ = setup () in
+  match
+    Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~token:"stolen"
+      ~target:"/tmp/out" ~files:[ ("a", "x") ] ~script:"install.sh" ()
+  with
+  | Error (Dcm.Update.Hard (code, _)) when code = Moira.Mr_err.perm -> ()
+  | _ -> Alcotest.fail "bad token accepted"
+
+let test_unknown_script_is_hard_error () =
+  let _, net, _, _ = setup () in
+  match
+    Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~target:"/tmp/out"
+      ~files:[ ("a", "x") ] ~script:"nosuch.sh" ()
+  with
+  | Error (Dcm.Update.Hard (code, _))
+    when code = Moira.Mr_err.update_script -> ()
+  | _ -> Alcotest.fail "unknown script not a hard error"
+
+let test_host_down_is_soft () =
+  let _, net, srv, _ = setup () in
+  Netsim.Host.crash srv;
+  match push net with
+  | Error (Dcm.Update.Soft (code, _))
+    when code = Moira.Mr_err.host_unreachable -> ()
+  | _ -> Alcotest.fail "down host not a soft failure"
+
+let test_crash_during_transfer () =
+  let _, net, srv, _ = setup () in
+  Netsim.Host.arm_crash srv ~point:"xfer";
+  (match push net with
+  | Error (Dcm.Update.Soft _) -> ()
+  | _ -> Alcotest.fail "crash mid-transfer not soft");
+  (* the staged write was never flushed: lost with the crash *)
+  Netsim.Host.boot srv;
+  let fs = Netsim.Host.fs srv in
+  Alcotest.(check bool) "no staged file" false
+    (Netsim.Vfs.exists fs ~path:"/tmp/out.moira_update");
+  Alcotest.(check bool) "no data installed" false
+    (Netsim.Vfs.exists fs ~path:"/etc/data/a.db");
+  (* the retry succeeds *)
+  match push net with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "retry failed"
+
+let test_crash_before_exec () =
+  (* Transfer completed and was flushed; the crash hits before the
+     install command.  After reboot the staged file is present but not
+     installed; the next update overwrites it and installs. *)
+  let _, net, srv, _ = setup () in
+  Netsim.Host.arm_crash srv ~point:"before_exec";
+  (match push net with
+  | Error (Dcm.Update.Soft _) -> ()
+  | _ -> Alcotest.fail "crash before exec not soft");
+  Netsim.Host.boot srv;
+  let fs = Netsim.Host.fs srv in
+  Alcotest.(check bool) "staged file survived (was flushed)" true
+    (Netsim.Vfs.exists fs ~path:"/tmp/out.moira_update");
+  Alcotest.(check bool) "not installed" false
+    (Netsim.Vfs.exists fs ~path:"/etc/data/a.db");
+  (match push net with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "retry failed");
+  Alcotest.(check (option string)) "installed after retry" (Some "alpha\n")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
+
+let test_crash_mid_install_leaves_consistent_files () =
+  (* The swap is per-file atomic: a crash between member installs leaves
+     each file either fully old or fully new, never mixed. *)
+  let _, net, srv, _ = setup () in
+  (* install v1 of both files *)
+  ignore (push ~files:[ ("a.db", "a-v1"); ("b.db", "b-v1") ] net);
+  Netsim.Host.arm_crash srv ~point:"mid_install";
+  (match push ~files:[ ("a.db", "a-v2"); ("b.db", "b-v2") ] net with
+  | Error (Dcm.Update.Soft _) -> ()
+  | _ -> Alcotest.fail "mid-install crash not soft");
+  Netsim.Host.boot srv;
+  let fs = Netsim.Host.fs srv in
+  let a = Netsim.Vfs.read fs ~path:"/etc/data/a.db" in
+  let b = Netsim.Vfs.read fs ~path:"/etc/data/b.db" in
+  Alcotest.(check bool) "a is v1 or v2, complete" true
+    (a = Some "a-v1" || a = Some "a-v2");
+  Alcotest.(check bool) "b is v1 or v2, complete" true
+    (b = Some "b-v1" || b = Some "b-v2");
+  (* first member already swapped in, second not yet *)
+  Alcotest.(check (option string)) "a got v2 before crash" (Some "a-v2") a;
+  Alcotest.(check (option string)) "b still v1" (Some "b-v1") b;
+  (* retry completes the update — extra installations are not harmful *)
+  (match push ~files:[ ("a.db", "a-v2"); ("b.db", "b-v2") ] net with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "retry failed");
+  Alcotest.(check (option string)) "b now v2" (Some "b-v2")
+    (Netsim.Vfs.read fs ~path:"/etc/data/b.db")
+
+let test_crash_after_exec_repeat_harmless () =
+  (* Install succeeded but the confirmation was lost: the DCM will
+     repeat the update; repeating is harmless. *)
+  let _, net, srv, _ = setup () in
+  Netsim.Host.arm_crash srv ~point:"after_exec";
+  (match push net with
+  | Error (Dcm.Update.Soft _) -> ()
+  | _ -> Alcotest.fail "lost confirmation not soft");
+  Netsim.Host.boot srv;
+  let fs = Netsim.Host.fs srv in
+  (* files were installed even though the DCM saw a failure *)
+  Alcotest.(check (option string)) "already installed" (Some "alpha\n")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db");
+  (* the repeat is a no-op functionally *)
+  (match push net with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "repeat failed");
+  Alcotest.(check (option string)) "still installed" (Some "alpha\n")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
+
+let test_checksum_detects_corruption () =
+  (* Corrupt data with a valid-looking frame: serve a hostile
+     man-in-the-middle by calling the update service directly with a
+     wrong checksum. *)
+  let _, net, _, _ = setup () in
+  let archive = Dcm.Tarlike.pack [ ("a", "data") ] in
+  let payload =
+    Gdb.Wire.encode_request
+      {
+        Gdb.Wire.version = Gdb.Wire.protocol_version;
+        conn = 0;
+        op = 32 (* op_xfer *);
+        args = [ "krb"; "/tmp/out"; archive; "00000000" ];
+      }
+  in
+  match Netsim.Net.call net ~src:"MOIRA" ~dst:"SRV" ~service:"moira_update" payload with
+  | Ok raw -> (
+      match Gdb.Wire.decode_reply raw with
+      | Ok reply ->
+          Alcotest.(check int) "checksum error" Moira.Mr_err.update_checksum
+            reply.Gdb.Wire.code
+      | Error e -> Alcotest.fail e)
+  | Error _ -> Alcotest.fail "call failed"
+
+(* Execution-phase instruction 3: revert puts the previous version back
+   after an erroneous installation. *)
+let test_revert_instruction () =
+  let _, net, srv, up = setup () in
+  Dcm.Update.register_script up ~name:"revert.sh"
+    (Dcm.Update.revert_files srv ~dir:"/etc/data" ());
+  ignore (push ~files:[ ("a.db", "good-v1") ] net);
+  ignore (push ~files:[ ("a.db", "broken-v2") ] net);
+  let fs = Netsim.Host.fs srv in
+  Alcotest.(check (option string)) "v2 live" (Some "broken-v2")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db");
+  Alcotest.(check (option string)) "v1 saved aside" (Some "good-v1")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db.moira_old");
+  (* the operator pushes the same archive with the revert script *)
+  (match
+     Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~target:"/tmp/out"
+       ~files:[ ("a.db", "broken-v2") ] ~script:"revert.sh" ()
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "revert push failed");
+  Alcotest.(check (option string)) "v1 back in place" (Some "good-v1")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
+
+let test_tarlike_roundtrip () =
+  let members = [ ("a", "aaa"); ("b/with/slash", ""); ("c", "c:c\nc") ] in
+  (match Dcm.Tarlike.unpack (Dcm.Tarlike.pack members) with
+  | Ok m -> Alcotest.(check bool) "roundtrip" true (m = members)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (option string)) "member extraction" (Some "aaa")
+    (Dcm.Tarlike.member (Dcm.Tarlike.pack members) "a");
+  match Dcm.Tarlike.unpack "garbage with no header" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage unpacked"
+
+let test_checksum_function () =
+  Alcotest.(check bool) "differs" true
+    (Dcm.Checksum.adler32 "abc" <> Dcm.Checksum.adler32 "abd");
+  Alcotest.(check bool) "verify ok" true
+    (Dcm.Checksum.verify ~data:"hello"
+       ~checksum:(Dcm.Checksum.to_hex (Dcm.Checksum.adler32 "hello")));
+  Alcotest.(check bool) "verify corrupt" false
+    (Dcm.Checksum.verify ~data:"hellp"
+       ~checksum:(Dcm.Checksum.to_hex (Dcm.Checksum.adler32 "hello")))
+
+let prop_tarlike_roundtrip =
+  QCheck.Test.make ~name:"tarlike: pack/unpack roundtrip" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 0 5)
+        (pair (string_of_size (Gen.int_range 1 20))
+           (string_of_size (Gen.int_range 0 50))))
+    (fun members -> Dcm.Tarlike.unpack (Dcm.Tarlike.pack members) = Ok members)
+
+let suite =
+  [
+    Alcotest.test_case "successful update" `Quick test_successful_update;
+    Alcotest.test_case "install survives reboot" `Quick
+      test_install_survives_crash_after_install;
+    Alcotest.test_case "bad auth token" `Quick test_bad_auth_token;
+    Alcotest.test_case "unknown script hard" `Quick
+      test_unknown_script_is_hard_error;
+    Alcotest.test_case "host down soft" `Quick test_host_down_is_soft;
+    Alcotest.test_case "crash during transfer" `Quick
+      test_crash_during_transfer;
+    Alcotest.test_case "crash before exec" `Quick test_crash_before_exec;
+    Alcotest.test_case "crash mid-install atomicity" `Quick
+      test_crash_mid_install_leaves_consistent_files;
+    Alcotest.test_case "lost confirmation" `Quick
+      test_crash_after_exec_repeat_harmless;
+    Alcotest.test_case "checksum detects corruption" `Quick
+      test_checksum_detects_corruption;
+    Alcotest.test_case "revert instruction" `Quick test_revert_instruction;
+    Alcotest.test_case "tarlike roundtrip" `Quick test_tarlike_roundtrip;
+    Alcotest.test_case "checksum function" `Quick test_checksum_function;
+    QCheck_alcotest.to_alcotest prop_tarlike_roundtrip;
+  ]

@@ -1,0 +1,201 @@
+(* New user registration (section 5.10): registrar tape, verify_user,
+   grab_login, set_password. *)
+
+open Workload
+
+type world = {
+  tb : Testbed.t;
+  ws : string;
+  server : string;
+  student : Workload.Names.person;
+}
+
+let make () =
+  let tb = Testbed.create () in
+  let student =
+    {
+      Names.first = "Zelda";
+      middle = "Q";
+      last = "Zonker";
+      login = "zzonker";
+      id_number = "123-45-6789";
+    }
+  in
+  ignore
+    (Userreg.load_registrar_tape tb.Testbed.glue
+       [
+         {
+           Userreg.first = student.Names.first;
+           middle = student.Names.middle;
+           last = student.Names.last;
+           id_number = student.Names.id_number;
+           class_year = "1992";
+         };
+       ]);
+  {
+    tb;
+    ws = tb.Testbed.built.Population.workstation_machines.(0);
+    server = tb.Testbed.built.Population.moira_machine;
+    student;
+  }
+
+let test_tape_load_idempotent () =
+  let w = make () in
+  (* loading the same entry again adds nobody *)
+  match
+    Userreg.load_registrar_tape w.tb.Testbed.glue
+      [
+        {
+          Userreg.first = w.student.Names.first;
+          middle = w.student.Names.middle;
+          last = w.student.Names.last;
+          id_number = w.student.Names.id_number;
+          class_year = "1992";
+        };
+      ]
+  with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "added %d duplicates" n
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c)
+
+let test_verify_user () =
+  let w = make () in
+  (match
+     Userreg.verify_user w.tb.Testbed.net ~src:w.ws ~server:w.server
+       ~first:w.student.Names.first ~last:w.student.Names.last
+       ~id_number:w.student.Names.id_number
+   with
+  | Ok Userreg.Reg_ok -> ()
+  | Ok _ -> Alcotest.fail "wrong status"
+  | Error e -> Alcotest.fail (Userreg.reg_error_to_string e));
+  (* unknown person *)
+  match
+    Userreg.verify_user w.tb.Testbed.net ~src:w.ws ~server:w.server
+      ~first:"No" ~last:"Body" ~id_number:"999-99-9999"
+  with
+  | Ok Userreg.Not_found -> ()
+  | _ -> Alcotest.fail "unknown person verified"
+
+let test_wrong_id_rejected () =
+  let w = make () in
+  match
+    Userreg.verify_user w.tb.Testbed.net ~src:w.ws ~server:w.server
+      ~first:w.student.Names.first ~last:w.student.Names.last
+      ~id_number:"111-11-1111"
+  with
+  | Error Userreg.Bad_authenticator -> ()
+  | _ -> Alcotest.fail "wrong ID accepted"
+
+let register ?kdc w =
+  Userreg.register ?kdc w.tb.Testbed.net ~src:w.ws ~server:w.server
+    ~first:w.student.Names.first ~middle:w.student.Names.middle
+    ~last:w.student.Names.last ~id_number:w.student.Names.id_number
+    ~login:w.student.Names.login ~password:"hunter2"
+
+let test_full_registration () =
+  let w = make () in
+  (match register w with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Userreg.reg_error_to_string e));
+  (* account exists, is active, has resources *)
+  let mdb = w.tb.Testbed.mdb in
+  (match Moira.Lookup.user_id mdb w.student.Names.login with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no account");
+  (match
+     Moira.Glue.query w.tb.Testbed.glue ~name:"get_user_by_login"
+       [ w.student.Names.login ]
+   with
+  | Ok [ row ] ->
+      Alcotest.(check string) "active" "1" (List.nth row 6)
+  | _ -> Alcotest.fail "lookup");
+  (* kerberos principal usable with the chosen password *)
+  (match
+     Krb.Kdc.get_ticket w.tb.Testbed.kdc ~principal:w.student.Names.login
+       ~password:"hunter2" ~service:"moira"
+   with
+  | Ok _ -> ()
+  | Error c -> Alcotest.fail (Comerr.Com_err.error_message c));
+  (* re-registration refused *)
+  match register w with
+  | Error (Userreg.Verify_failed Userreg.Already_registered) -> ()
+  | _ -> Alcotest.fail "re-registration allowed"
+
+let test_login_taken () =
+  let w = make () in
+  let w = { w with student = { w.student with Names.login = "admin" } } in
+  match register w with
+  | Error Userreg.Login_taken -> ()
+  | _ -> Alcotest.fail "taken login accepted"
+
+let test_kinit_precheck () =
+  let w = make () in
+  let w = { w with student = { w.student with Names.login = "admin" } } in
+  (* with the kdc in hand, the client detects the collision locally,
+     before any registration traffic *)
+  let calls_before = (Netsim.Net.stats w.tb.Testbed.net).Netsim.Net.calls in
+  (match register ~kdc:w.tb.Testbed.kdc w with
+  | Error Userreg.Login_taken -> ()
+  | _ -> Alcotest.fail "kinit pre-check missed the taken name");
+  Alcotest.(check int) "no network traffic" calls_before
+    (Netsim.Net.stats w.tb.Testbed.net).Netsim.Net.calls;
+  (* a free name passes the pre-check and registers normally *)
+  let w = { w with student = { w.student with Names.login = "freshname" } } in
+  match register ~kdc:w.tb.Testbed.kdc w with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Userreg.reg_error_to_string e)
+
+let test_registration_to_hesiod () =
+  (* The paper's complete story: register, wait out the propagation lag,
+     then the new user appears in hesiod and has a locker. *)
+  let w = make () in
+  (match register w with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Userreg.reg_error_to_string e));
+  Testbed.run_hours w.tb 13;
+  let _, hes = Testbed.first_hesiod w.tb in
+  (match
+     Hesiod.Hes_server.resolve_local hes ~name:w.student.Names.login
+       ~ty:"passwd"
+   with
+  | [ _ ] -> ()
+  | _ -> Alcotest.fail "not in hesiod after propagation");
+  (match
+     Hesiod.Hes_server.resolve_local hes ~name:w.student.Names.login
+       ~ty:"pobox"
+   with
+  | [ line ] ->
+      Alcotest.(check string) "pobox type" "POP" (String.sub line 0 3)
+  | _ -> Alcotest.fail "no pobox in hesiod");
+  (* locker created on an NFS server *)
+  let created =
+    Array.exists
+      (fun m ->
+        let fs = Netsim.Host.fs (Testbed.host w.tb m) in
+        List.exists
+          (fun path ->
+            Filename.basename (Filename.dirname path) = w.student.Names.login)
+          (Netsim.Vfs.list fs))
+      w.tb.Testbed.built.Population.nfs_machines
+  in
+  Alcotest.(check bool) "locker created" true created
+
+let test_server_unreachable () =
+  let w = make () in
+  Netsim.Host.crash (Testbed.host w.tb w.server);
+  match register w with
+  | Error Userreg.Server_unreachable -> ()
+  | _ -> Alcotest.fail "unreachable server not reported"
+
+let suite =
+  [
+    Alcotest.test_case "tape idempotent" `Quick test_tape_load_idempotent;
+    Alcotest.test_case "verify_user" `Quick test_verify_user;
+    Alcotest.test_case "wrong ID rejected" `Quick test_wrong_id_rejected;
+    Alcotest.test_case "full registration" `Quick test_full_registration;
+    Alcotest.test_case "login taken" `Quick test_login_taken;
+    Alcotest.test_case "kinit pre-check" `Quick test_kinit_precheck;
+    Alcotest.test_case "registration reaches hesiod" `Quick
+      test_registration_to_hesiod;
+    Alcotest.test_case "server unreachable" `Quick test_server_unreachable;
+  ]

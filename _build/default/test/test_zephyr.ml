@@ -1,0 +1,94 @@
+(* The Zephyr substrate: ACL files, transmit checks, delivery. *)
+
+let setup () =
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let h = Netsim.Net.add_host net "Z" in
+  ignore (Netsim.Net.add_host net "CLI");
+  (engine, net, h)
+
+let test_unrestricted_class () =
+  let engine, _, h = setup () in
+  let z = Zephyr.start h engine in
+  (match Zephyr.transmit z ~sender:"anyone" ~cls:"open" ~instance:"i" "hi" with
+  | Ok () -> ()
+  | Error `Not_authorized -> Alcotest.fail "unrestricted class refused");
+  Alcotest.(check int) "logged" 1 (List.length (Zephyr.notices z))
+
+let test_acl_enforcement () =
+  let engine, _, h = setup () in
+  let fs = Netsim.Host.fs h in
+  Netsim.Vfs.write fs ~path:"/acl/secure.acl" "ann\nbob\n";
+  Netsim.Vfs.flush fs;
+  let z = Zephyr.start ~acl_dir:"/acl" h engine in
+  Alcotest.(check (list string)) "classes" [ "secure" ] (Zephyr.acl_classes z);
+  (match Zephyr.transmit z ~sender:"ann" ~cls:"secure" ~instance:"i" "m" with
+  | Ok () -> ()
+  | Error `Not_authorized -> Alcotest.fail "member refused");
+  match Zephyr.transmit z ~sender:"eve" ~cls:"secure" ~instance:"i" "m" with
+  | Error `Not_authorized -> ()
+  | Ok () -> Alcotest.fail "non-member allowed"
+
+let test_wildcard_acl () =
+  let engine, _, h = setup () in
+  let fs = Netsim.Host.fs h in
+  Netsim.Vfs.write fs ~path:"/acl/public.acl" "*.*@*\n";
+  Netsim.Vfs.flush fs;
+  let z = Zephyr.start ~acl_dir:"/acl" h engine in
+  match Zephyr.transmit z ~sender:"anyone" ~cls:"public" ~instance:"i" "m" with
+  | Ok () -> ()
+  | Error `Not_authorized -> Alcotest.fail "wildcard acl refused"
+
+let test_subscription_delivery () =
+  let engine, _, h = setup () in
+  let z = Zephyr.start h engine in
+  let inbox = ref [] in
+  Zephyr.subscribe z ~cls:"MOIRA" (fun n -> inbox := n :: !inbox);
+  ignore (Zephyr.transmit z ~sender:"moira" ~cls:"MOIRA" ~instance:"DCM" "fail!");
+  ignore (Zephyr.transmit z ~sender:"x" ~cls:"other" ~instance:"i" "ignored");
+  Alcotest.(check int) "one delivered" 1 (List.length !inbox);
+  match !inbox with
+  | [ n ] ->
+      Alcotest.(check string) "instance" "DCM" n.Zephyr.instance;
+      Alcotest.(check string) "message" "fail!" n.Zephyr.message
+  | _ -> Alcotest.fail "inbox"
+
+let test_remote_send () =
+  let engine, net, h = setup () in
+  let z = Zephyr.start h engine in
+  (match
+     Zephyr.send net ~src:"CLI" ~server:"Z" ~sender:"ann" ~cls:"c"
+       ~instance:"i" "hello world"
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "send failed");
+  match Zephyr.notices_for z ~cls:"c" with
+  | [ n ] -> Alcotest.(check string) "body" "hello world" n.Zephyr.message
+  | _ -> Alcotest.fail "notice count"
+
+let test_acl_reload () =
+  let engine, _, h = setup () in
+  let fs = Netsim.Host.fs h in
+  Netsim.Vfs.write fs ~path:"/acl/c.acl" "ann\n";
+  Netsim.Vfs.flush fs;
+  let z = Zephyr.start ~acl_dir:"/acl" h engine in
+  (match Zephyr.transmit z ~sender:"bob" ~cls:"c" ~instance:"i" "m" with
+  | Error `Not_authorized -> ()
+  | Ok () -> Alcotest.fail "bob not in acl yet");
+  Netsim.Vfs.write fs ~path:"/acl/c.acl" "ann\nbob\n";
+  Netsim.Vfs.flush fs;
+  Zephyr.reload_acls z;
+  match Zephyr.transmit z ~sender:"bob" ~cls:"c" ~instance:"i" "m" with
+  | Ok () -> ()
+  | Error `Not_authorized -> Alcotest.fail "bob still refused after reload"
+
+let suite =
+  [
+    Alcotest.test_case "unrestricted class" `Quick test_unrestricted_class;
+    Alcotest.test_case "acl enforcement" `Quick test_acl_enforcement;
+    Alcotest.test_case "wildcard acl" `Quick test_wildcard_acl;
+    Alcotest.test_case "subscription delivery" `Quick
+      test_subscription_delivery;
+    Alcotest.test_case "remote send" `Quick test_remote_send;
+    Alcotest.test_case "acl reload" `Quick test_acl_reload;
+  ]
