@@ -623,11 +623,316 @@ let bench_scale () =
     \ generators are exactly the thing later incremental Moira replaced)\n"
 
 (* ------------------------------------------------------------------ *)
+(* gen: incremental extraction -- membership closure vs the naive       *)
+(* per-user ACL walk, file-grain rebuilds, and delta-push wire bytes.   *)
+
+(* machine-readable results land in BENCH_dcm.json *)
+type jv = I of int | F of float | S of string | L of string list
+
+let json_entries : (string * (string * jv) list) list ref = ref []
+let json_add name fields = json_entries := (name, fields) :: !json_entries
+
+let json_write path =
+  let b = Buffer.create 4096 in
+  let jstr s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\"" in
+  let field (k, v) =
+    Printf.sprintf "      %s: %s" (jstr k)
+      (match v with
+      | I i -> string_of_int i
+      | F f -> Printf.sprintf "%.3f" f
+      | S s -> jstr s
+      | L ss -> "[" ^ String.concat ", " (List.map jstr ss) ^ "]")
+  in
+  Buffer.add_string b "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, fields) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "    {\n";
+      Buffer.add_string b
+        (String.concat ",\n"
+           (field ("name", S name) :: List.map field fields));
+      Buffer.add_string b "\n    }")
+    (List.rev !json_entries);
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let part_of gen name =
+  List.find (fun p -> p.Dcm.Gen.pname = name) gen.Dcm.Gen.parts
+
+(* The old [Gen_util.ufield]: users-table resolution plus column lookup
+   repeated on every field access, exactly as the pre-closure generators
+   paid it. *)
+let ufield mdb row col =
+  Relation.Table.field (Moira.Mdb.table mdb "users") row col
+
+(* The pre-closure grplist build, verbatim: a full reverse-BFS over the
+   members relation for every active user. *)
+let naive_grplist mdb =
+  let lines = ref [] in
+  List.iter
+    (fun (_, row) ->
+      let login = Relation.Value.str (ufield mdb row "login") in
+      let users_id = Relation.Value.int (ufield mdb row "users_id") in
+      let pairs = Dcm.Gen_util.group_pairs_naive mdb ~users_id ~login in
+      if pairs <> [] then begin
+        let rendered =
+          String.concat ":"
+            (List.map (fun (n, g) -> Printf.sprintf "%s:%d" n g) pairs)
+        in
+        lines :=
+          Hesiod.Hes_db.format_unspeca ~key:(login ^ ".grplist") rendered
+          :: !lines
+      end)
+    (Relation.Table.select (Moira.Mdb.table mdb "users")
+       (Relation.Pred.eq_int "status" 1));
+  ("grplist.db", Dcm.Gen_util.sorted_lines !lines)
+
+(* The pre-closure aliases build: per-list member select with per-member
+   name lookups and per-row Table.field column resolution. *)
+let naive_aliases mdb =
+  let open Relation in
+  let render_member mtype mid =
+    match mtype with
+    | "USER" -> Moira.Lookup.user_login mdb mid
+    | "LIST" -> Moira.Lookup.list_name mdb mid
+    | _ -> Moira.Mdb.string_of_id mdb mid
+  in
+  let lists = Moira.Mdb.table mdb "list" in
+  let members = Moira.Mdb.table mdb "members" in
+  let buf = Buffer.create 65536 in
+  let maillists =
+    Table.select lists
+      (Pred.conj [ Pred.eq_bool "maillist" true; Pred.eq_bool "active" true ])
+    |> List.sort (fun (_, a) (_, b) ->
+           String.compare
+             (Value.str (Table.field lists a "name"))
+             (Value.str (Table.field lists b "name")))
+  in
+  List.iter
+    (fun (_, row) ->
+      let name = Value.str (Table.field lists row "name") in
+      let list_id = Value.int (Table.field lists row "list_id") in
+      (match Value.str (Table.field lists row "acl_type") with
+      | "USER" | "LIST" -> (
+          let ace_id = Value.int (Table.field lists row "acl_id") in
+          match
+            render_member (Value.str (Table.field lists row "acl_type")) ace_id
+          with
+          | Some owner ->
+              Buffer.add_string buf (Printf.sprintf "owner-%s: %s\n" name owner)
+          | None -> ())
+      | _ -> ());
+      let ms =
+        Table.select members (Pred.eq_int "list_id" list_id)
+        |> List.filter_map (fun (_, m) ->
+               render_member (Value.str m.(1)) (Value.int m.(2)))
+        |> List.sort String.compare
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %s\n" name (String.concat ", " ms)))
+    maillists;
+  let pobox_lines = ref [] in
+  List.iter
+    (fun (_, row) ->
+      if Value.str (ufield mdb row "potype") = "POP" then begin
+        let login = Value.str (ufield mdb row "login") in
+        match
+          Moira.Lookup.machine_name mdb (Value.int (ufield mdb row "pop_id"))
+        with
+        | Some machine ->
+            pobox_lines :=
+              Printf.sprintf "%s: %s@%s.LOCAL" login login
+                (String.uppercase_ascii (Dcm.Gen_util.short_host machine))
+              :: !pobox_lines
+        | None -> ()
+      end)
+    (Table.select (Moira.Mdb.table mdb "users") (Pred.eq_int "status" 1));
+  Buffer.add_string buf (Dcm.Gen_util.sorted_lines !pobox_lines);
+  ("aliases", Buffer.contents buf)
+
+let hesiod_report report =
+  List.find
+    (fun s -> s.Dcm.Manager.service = "HESIOD")
+    report.Dcm.Manager.services
+
+let first_updated_bytes srep =
+  List.fold_left
+    (fun acc (_, h) ->
+      match (acc, h) with
+      | None, Dcm.Manager.Updated { bytes; _ } -> Some bytes
+      | _ -> acc)
+    None srep.Dcm.Manager.hosts
+
+let bench_gen () =
+  header
+    "gen: incremental extraction -- closure vs naive ACL walk, file-grain\n\
+     rebuilds, delta-push wire bytes (BENCH_dcm.json)";
+
+  (* -- part A: grplist/aliases extraction, naive vs closure, at 1x -- *)
+  Printf.printf "building paper-scale population (1x)...\n%!";
+  let spec1 = Population.scaled Population.default 1.0 in
+  let tb = Testbed.create ~spec:spec1 ~dcm_every_min:1_000_000 () in
+  let glue = tb.Testbed.glue in
+  let mdb = tb.Testbed.mdb in
+  let users1 = Relation.Table.cardinal (Moira.Mdb.table mdb "users") in
+  let best_of ?(prep = fun () -> ()) n f =
+    prep ();
+    let result = ref (f ()) in
+    let best = ref infinity in
+    for _ = 1 to n do
+      prep ();
+      Gc.full_major ();
+      let r, t = time_ms f in
+      result := r;
+      if t < !best then best := t
+    done;
+    (!result, !best)
+  in
+  (* Every timed run is preceded by a one-user shell edit, so the numbers
+     answer the acceptance question directly: how long does grplist and
+     aliases extraction take after a single-user change?  The edit
+     dirties the users relation -- invalidating every users-keyed memo --
+     but not members, so the membership closure stays memoized, which is
+     exactly the steady state the incremental design targets. *)
+  let utbl = Moira.Mdb.table mdb "users" in
+  let flip = ref false in
+  let touch_user () =
+    flip := not !flip;
+    let shell = if !flip then "/bin/csh" else "/bin/sh" in
+    ignore
+      (Relation.Table.set_fields utbl
+         (Relation.Pred.eq_str "login" tb.Testbed.built.Population.logins.(0))
+         [ ("shell", Relation.Value.Str shell) ])
+  in
+  let ((_, n_grp_out), n_grp) =
+    best_of ~prep:touch_user 5 (fun () -> naive_grplist mdb)
+  in
+  let ((_, n_ali_out), n_ali) =
+    best_of ~prep:touch_user 5 (fun () -> naive_aliases mdb)
+  in
+  let grp_part = part_of Dcm.Gen_hesiod.generator "grplist" in
+  let ali_part = part_of Dcm.Gen_mail.generator "aliases" in
+  (* the one-pass closure is rebuilt only when members changes and is
+     shared by every part (grplist, aliases, ...); measure it apart *)
+  let (_, t_closure) = best_of 3 (fun () -> Moira.Closure.build mdb) in
+  let (c_grp_out, c_grp) =
+    best_of ~prep:touch_user 9 (fun () -> grp_part.Dcm.Gen.pbuild glue)
+  in
+  let (c_ali_out, c_ali) =
+    best_of ~prep:touch_user 9 (fun () -> ali_part.Dcm.Gen.pbuild glue)
+  in
+  let file out name = List.assoc name out.Dcm.Gen.common in
+  let identical =
+    file c_grp_out "grplist.db" = n_grp_out && file c_ali_out "aliases" = n_ali_out
+  in
+  let speedup = (n_grp +. n_ali) /. (c_grp +. c_ali) in
+  let speedup_cold = (n_grp +. n_ali) /. (c_grp +. c_ali +. t_closure) in
+  Printf.printf
+    "%-36s %10.1f ms\n%-36s %10.1f ms\n%-36s %10.1f ms\n%-36s %10.1f ms\n\
+     %-36s %10.1f ms\n%-36s %9.1fx\n%-36s %9.1fx\n%-36s %10b\n"
+    "naive grplist (per-user BFS)" n_grp "naive aliases (per-member selects)"
+    n_ali "closure build (shared, memoized)" t_closure "closure grplist"
+    c_grp "closure aliases" c_ali "grplist+aliases speedup" speedup
+    "  incl. one-off closure build" speedup_cold
+    "outputs byte-identical" identical;
+  if not identical then failwith "closure output diverges from naive";
+  json_add "closure_vs_naive"
+    [
+      ("users", I users1);
+      ("protocol",
+       S "one-user shell edit before every timed run; members unchanged \
+          so the closure memo stays warm");
+      ("naive_grplist_ms", F n_grp);
+      ("naive_aliases_ms", F n_ali);
+      ("closure_build_ms", F t_closure);
+      ("closure_grplist_ms", F c_grp);
+      ("closure_aliases_ms", F c_ali);
+      ("speedup", F speedup);
+      ("speedup_incl_closure_build", F speedup_cold);
+      ("outputs_identical", S (string_of_bool identical));
+    ];
+
+  (* -- part B: full vs incremental DCM pass and wire bytes, 1x/2x/4x -- *)
+  Printf.printf
+    "\n%8s %8s | %12s %12s | %10s %10s %7s | %s\n" "scale" "users"
+    "full (ms)" "incr (ms)" "full-push" "delta-push" "ratio"
+    "rebuilt (spliced)";
+  List.iter
+    (fun scale ->
+      let tb =
+        if scale = 1.0 then tb
+        else
+          Testbed.create
+            ~spec:(Population.scaled Population.default scale)
+            ~dcm_every_min:1_000_000 ()
+      in
+      let users =
+        Relation.Table.cardinal (Moira.Mdb.table tb.Testbed.mdb "users")
+      in
+      (* first-ever pass: every service generates in full, every host
+         gets a full-archive push *)
+      Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
+      let (full_report, full_ms) =
+        time_ms (fun () -> Dcm.Manager.run tb.Testbed.dcm)
+      in
+      let hes_full = hesiod_report full_report in
+      let full_bytes = Option.value (first_updated_bytes hes_full) ~default:0 in
+      (* one user changes their shell; at +14h only HESIOD (6h interval)
+         is due again *)
+      (match
+         Moira.Glue.query tb.Testbed.glue ~name:"update_user_shell"
+           [ tb.Testbed.built.Population.logins.(0); "/bin/newshell" ]
+       with
+      | Ok _ -> ()
+      | Error c -> failwith (Comerr.Com_err.error_message c));
+      Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
+      let (incr_report, incr_ms) =
+        time_ms (fun () -> Dcm.Manager.run tb.Testbed.dcm)
+      in
+      let hes_incr = hesiod_report incr_report in
+      let delta_bytes =
+        Option.value (first_updated_bytes hes_incr) ~default:0
+      in
+      let ratio = float_of_int delta_bytes /. float_of_int (max 1 full_bytes) in
+      Printf.printf "%8.0fx %8d | %12.1f %12.1f | %10d %10d %6.1f%% | %s (%d)\n%!"
+        scale users full_ms incr_ms full_bytes delta_bytes (100. *. ratio)
+        (String.concat "," hes_incr.Dcm.Manager.rebuilt)
+        hes_incr.Dcm.Manager.spliced;
+      json_add (Printf.sprintf "gen_%.0fx" scale)
+        [
+          ("users", I users);
+          ("full_gen_ms", F full_ms);
+          ("incremental_gen_ms", F incr_ms);
+          ("propagations_full", I (Dcm.Manager.propagations full_report));
+          ("propagations_incremental",
+           I (Dcm.Manager.propagations incr_report));
+          ("hesiod_full_push_bytes", I full_bytes);
+          ("hesiod_delta_push_bytes", I delta_bytes);
+          ("delta_to_full_ratio", F ratio);
+          ("rebuilt", L hes_incr.Dcm.Manager.rebuilt);
+          ("spliced", I hes_incr.Dcm.Manager.spliced);
+        ])
+    [ 1.0; 2.0; 4.0 ];
+  Printf.printf
+    "\n(a single-user change rebuilds only the parts watching the users\n\
+    \ relation and ships member deltas: well under 10%% of the archive)\n";
+  json_write "BENCH_dcm.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("table1", bench_table1);
     ("dcm", bench_dcm);
+    ("gen", bench_gen);
     ("connect", bench_connect);
     ("glue", bench_glue);
     ("noop", bench_noop);

@@ -10,13 +10,56 @@ type output = {
   per_host : (string * (string * string) list) list;
 }
 
+type part = {
+  pname : string;
+  pwatches : watch list;
+  pbuild : Moira.Glue.t -> output;
+}
+
 type t = {
   service : string;
   watches : watch list;
   generate : Moira.Glue.t -> output;
+  parts : part list;
 }
 
 let watch ?(columns = [ "modtime" ]) wtable = { wtable; wcolumns = columns }
+
+let part ~name ~watches pbuild = { pname = name; pwatches = watches; pbuild }
+
+let merge_outputs outs =
+  let common = List.concat_map (fun o -> o.common) outs in
+  let order = ref [] in
+  let by_machine = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (m, files) ->
+          if not (Hashtbl.mem by_machine m) then order := m :: !order;
+          Hashtbl.replace by_machine m
+            (Option.value (Hashtbl.find_opt by_machine m) ~default:[] @ files))
+        o.per_host)
+    outs;
+  let per_host =
+    List.rev_map (fun m -> (m, Hashtbl.find by_machine m)) !order
+  in
+  { common; per_host }
+
+let monolithic ~service ~watches generate =
+  { service; watches; generate; parts = [] }
+
+let of_parts ~service parts =
+  let watches =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc w -> if List.mem w acc then acc else w :: acc)
+          acc p.pwatches)
+      [] parts
+    |> List.rev
+  in
+  let generate glue = merge_outputs (List.map (fun p -> p.pbuild glue) parts) in
+  { service; watches; generate; parts }
 
 let table_changed mdb w t0 =
   let tbl = Moira.Mdb.table mdb w.wtable in

@@ -4,7 +4,13 @@
     Moira data into server-specific files (paper section 5.7.1).  Each
     declares which relations it reads, so the DCM can implement the
     "common error MR_NO_CHANGE": files are rebuilt only if the watched
-    data changed since the last generation. *)
+    data changed since the last generation.
+
+    A generator can further split its output into {!part}s, each
+    declaring the watches for just the files it produces.  The manager
+    then applies MR_NO_CHANGE at *file* grain: after a change, only the
+    parts whose watches fired are rebuilt, and the rest are spliced from
+    the previous generation's output. *)
 
 type watch = {
   wtable : string;  (** Relation name. *)
@@ -21,14 +27,42 @@ type output = {
       (** Machine name to its private files (e.g. NFS quota files). *)
 }
 
+type part = {
+  pname : string;  (** Stable name for caching/reporting, e.g. "grplist". *)
+  pwatches : watch list;  (** Change-detection inputs for these files. *)
+  pbuild : Moira.Glue.t -> output;  (** Extraction of just these files. *)
+}
+
 type t = {
   service : string;  (** Service name (upper case), e.g. "HESIOD". *)
   watches : watch list;  (** Change-detection inputs. *)
-  generate : Moira.Glue.t -> output;  (** The extraction itself. *)
+  generate : Moira.Glue.t -> output;  (** The full extraction. *)
+  parts : part list;
+      (** File-grain decomposition; empty for monolithic generators.  When
+          non-empty, the union of part watches must cover [watches] and
+          [generate] must equal the merge of all part builds (both hold by
+          construction for {!of_parts}). *)
 }
 
 val watch : ?columns:string list -> string -> watch
 (** Convenience constructor; [columns] defaults to [["modtime"]]. *)
+
+val part :
+  name:string -> watches:watch list -> (Moira.Glue.t -> output) -> part
+(** A named file-grain unit of extraction. *)
+
+val monolithic :
+  service:string -> watches:watch list -> (Moira.Glue.t -> output) -> t
+(** A generator with no file-grain decomposition. *)
+
+val of_parts : service:string -> part list -> t
+(** A generator assembled from parts: [watches] is the (deduplicated)
+    union of the part watches and [generate] merges every part's build,
+    so service-grain behaviour is identical to the monolithic form. *)
+
+val merge_outputs : output list -> output
+(** Concatenate outputs: common files in order, per-host file lists
+    merged per machine (machines in first-appearance order). *)
 
 val changed_since : Moira.Mdb.t -> watch list -> int -> bool
 (** Has any watched relation changed strictly after time [t0]?  A

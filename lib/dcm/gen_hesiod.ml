@@ -4,17 +4,24 @@ open Gen_util
 let u key data = Hesiod.Hes_db.format_unspeca ~key data [@@inline]
 let c key target = Hesiod.Hes_db.format_cname ~key target [@@inline]
 
+let common files = { Gen.common = files; per_host = [] }
+
 (* passwd.db, uid.db *)
 let passwd_files mdb =
+  let utbl = users_table mdb in
+  let login = col utbl "login" in
+  let uidc = col utbl "uid" in
+  let fullname = col utbl "fullname" in
+  let shell = col utbl "shell" in
   let passwd = ref [] and uid = ref [] in
-  active_users mdb (fun row ->
-      let login = Value.str (ufield mdb row "login") in
-      let uidv = Value.int (ufield mdb row "uid") in
+  active_users utbl (fun row ->
+      let login = Value.str (login row) in
+      let uidv = Value.int (uidc row) in
       let line =
         Printf.sprintf "%s:*:%d:101:%s,,,,:/mit/%s:%s" login uidv
-          (Value.str (ufield mdb row "fullname"))
+          (Value.str (fullname row))
           login
-          (Value.str (ufield mdb row "shell"))
+          (Value.str (shell row))
       in
       passwd := u (login ^ ".passwd") line :: !passwd;
       uid :=
@@ -24,13 +31,16 @@ let passwd_files mdb =
 
 (* pobox.db: active users with POP boxes *)
 let pobox_file mdb =
+  let utbl = users_table mdb in
+  let login = col utbl "login" in
+  let potype = col utbl "potype" in
+  let pop_id = col utbl "pop_id" in
+  let machines = id_name_map (Moira.Mdb.table mdb "machine") ~id:"mach_id" ~name:"name" in
   let lines = ref [] in
-  active_users mdb (fun row ->
-      if Value.str (ufield mdb row "potype") = "POP" then begin
-        let login = Value.str (ufield mdb row "login") in
-        match
-          Moira.Lookup.machine_name mdb (Value.int (ufield mdb row "pop_id"))
-        with
+  active_users utbl (fun row ->
+      if Value.str (potype row) = "POP" then begin
+        let login = Value.str (login row) in
+        match name_of machines (Value.int (pop_id row)) with
         | Some machine ->
             lines :=
               u (login ^ ".pobox")
@@ -43,11 +53,13 @@ let pobox_file mdb =
 (* group.db, gid.db: active unix groups *)
 let group_files mdb =
   let tbl = Moira.Mdb.table mdb "list" in
+  let name = col tbl "name" in
+  let gidc = col tbl "gid" in
   let group = ref [] and gid = ref [] in
   List.iter
     (fun (_, row) ->
-      let name = Value.str (Table.field tbl row "name") in
-      let g = Value.int (Table.field tbl row "gid") in
+      let name = Value.str (name row) in
+      let g = Value.int (gidc row) in
       group :=
         u (name ^ ".group") (Printf.sprintf "%s:*:%d:" name g) :: !group;
       gid := c (string_of_int g ^ ".gid") (name ^ ".group") :: !gid)
@@ -57,21 +69,28 @@ let group_files mdb =
   ( ("group.db", sorted_lines !group),
     ("gid.db", sorted_lines !gid) )
 
-(* grplist.db: colon-separated (group, gid) pairs per active user *)
+(* grplist.db: colon-separated (group, gid) pairs per active user.
+   [grplist_entries] arrives in login order, which is also line order
+   (every key is login ^ ".grplist"), so the file assembles in one
+   pass with no final sort. *)
 let grplist_file mdb =
-  let lines = ref [] in
-  active_users mdb (fun row ->
-      let login = Value.str (ufield mdb row "login") in
-      let users_id = Value.int (ufield mdb row "users_id") in
-      let pairs = group_pairs mdb ~users_id ~login in
-      if pairs <> [] then begin
-        let rendered =
-          String.concat ":"
-            (List.map (fun (n, g) -> Printf.sprintf "%s:%d" n g) pairs)
-        in
-        lines := u (login ^ ".grplist") rendered :: !lines
-      end);
-  ("grplist.db", sorted_lines !lines)
+  let buf = Buffer.create 262144 in
+  grplist_iter mdb (fun ~login ~own ~frags ->
+      (* [u (login ^ ".grplist") rendered] assembled piecewise *)
+      Buffer.add_string buf login;
+      Buffer.add_string buf ".grplist HS UNSPECA \"";
+      let first = ref true in
+      if own <> "" then begin
+        Buffer.add_string buf own;
+        first := false
+      end;
+      List.iter
+        (fun frag ->
+          if !first then first := false else Buffer.add_char buf ':';
+          Buffer.add_string buf frag)
+        frags;
+      Buffer.add_string buf "\"\n");
+  ("grplist.db", Buffer.contents buf)
 
 (* cluster.db: per-cluster service data plus machine CNAMEs; machines in
    several clusters get a pseudo-cluster holding the union of the data. *)
@@ -86,20 +105,24 @@ let cluster_file mdb =
   let lines = ref [] in
   (* per-cluster UNSPECA lines *)
   let clusters = Moira.Mdb.table mdb "cluster" in
+  let cl_name = col clusters "name" in
+  let cl_id = col clusters "clu_id" in
   List.iter
     (fun (_, row) ->
-      let name = Value.str (Table.field clusters row "name") in
-      let clu_id = Value.int (Table.field clusters row "clu_id") in
+      let name = Value.str (cl_name row) in
+      let clu_id = Value.int (cl_id row) in
       List.iter
         (fun data -> lines := u (name ^ ".cluster") data :: !lines)
         (cluster_data clu_id))
     (Table.select clusters Pred.True);
   (* machine CNAMEs *)
   let machines = Moira.Mdb.table mdb "machine" in
+  let m_name = col machines "name" in
+  let m_id = col machines "mach_id" in
   List.iter
     (fun (_, row) ->
-      let mname = Value.str (Table.field machines row "name") in
-      let mach_id = Value.int (Table.field machines row "mach_id") in
+      let mname = Value.str (m_name row) in
+      let mach_id = Value.int (m_id row) in
       let clus =
         Table.select mcmap (Pred.eq_int "mach_id" mach_id)
         |> List.filter_map (fun (_, m) ->
@@ -130,46 +153,53 @@ let cluster_file mdb =
 (* filsys.db *)
 let filsys_file mdb =
   let tbl = Moira.Mdb.table mdb "filesys" in
+  let label = col tbl "label" in
+  let mach = col tbl "mach_id" in
+  let typ = col tbl "type" in
+  let namec = col tbl "name" in
+  let access = col tbl "access" in
+  let mount = col tbl "mount" in
   let lines = ref [] in
   List.iter
     (fun (_, row) ->
-      let label = Value.str (Table.field tbl row "label") in
       let machine =
         Option.value
-          (Moira.Lookup.machine_name mdb
-             (Value.int (Table.field tbl row "mach_id")))
+          (Moira.Lookup.machine_name mdb (Value.int (mach row)))
           ~default:"?"
       in
       let data =
         Printf.sprintf "%s %s %s %s %s"
-          (Value.str (Table.field tbl row "type"))
-          (Value.str (Table.field tbl row "name"))
+          (Value.str (typ row))
+          (Value.str (namec row))
           (short_host machine)
-          (Value.str (Table.field tbl row "access"))
-          (Value.str (Table.field tbl row "mount"))
+          (Value.str (access row))
+          (Value.str (mount row))
       in
-      lines := u (label ^ ".filsys") data :: !lines)
+      lines := u (Value.str (label row) ^ ".filsys") data :: !lines)
     (Table.select tbl Pred.True);
   ("filsys.db", sorted_lines !lines)
 
 (* printcap.db *)
 let printcap_file mdb =
   let tbl = Moira.Mdb.table mdb "printcap" in
+  let namec = col tbl "name" in
+  let mach = col tbl "mach_id" in
+  let rp = col tbl "rp" in
+  let dir = col tbl "dir" in
   let lines = ref [] in
   List.iter
     (fun (_, row) ->
-      let name = Value.str (Table.field tbl row "name") in
+      let name = Value.str (namec row) in
       let machine =
         Option.value
-          (Moira.Lookup.machine_name mdb
-             (Value.int (Table.field tbl row "mach_id")))
+          (Moira.Lookup.machine_name mdb (Value.int (mach row)))
           ~default:"?"
       in
       let data =
         Printf.sprintf "%s:rp=%s:rm=%s:sd=%s" name
-          (Value.str (Table.field tbl row "rp"))
+          (Value.str (rp row))
           machine
-          (Value.str (Table.field tbl row "dir"))
+          (Value.str (dir row))
       in
       lines := u (name ^ ".pcap") data :: !lines)
     (Table.select tbl Pred.True);
@@ -178,14 +208,17 @@ let printcap_file mdb =
 (* service.db: the services relation plus SERVICE aliases *)
 let service_file mdb =
   let tbl = Moira.Mdb.table mdb "services" in
+  let namec = col tbl "name" in
+  let protocol = col tbl "protocol" in
+  let port = col tbl "port" in
   let lines = ref [] in
   List.iter
     (fun (_, row) ->
-      let name = Value.str (Table.field tbl row "name") in
+      let name = Value.str (namec row) in
       let data =
         Printf.sprintf "%s %s %d" name
-          (String.lowercase_ascii (Value.str (Table.field tbl row "protocol")))
-          (Value.int (Table.field tbl row "port"))
+          (String.lowercase_ascii (Value.str (protocol row)))
+          (Value.int (port row))
       in
       lines := u (name ^ ".service") data :: !lines)
     (Table.select tbl Pred.True);
@@ -201,52 +234,70 @@ let service_file mdb =
 (* sloc.db: enabled server/host tuples *)
 let sloc_file mdb =
   let tbl = Moira.Mdb.table mdb "serverhosts" in
+  let service = col tbl "service" in
+  let mach = col tbl "mach_id" in
   let lines = ref [] in
   List.iter
     (fun (_, row) ->
-      match
-        Moira.Lookup.machine_name mdb
-          (Value.int (Table.field tbl row "mach_id"))
-      with
+      match Moira.Lookup.machine_name mdb (Value.int (mach row)) with
       | Some machine ->
           (* the paper's sloc example carries the hostname unquoted *)
           lines :=
             Printf.sprintf "%s.sloc HS UNSPECA %s"
-              (Value.str (Table.field tbl row "service"))
+              (Value.str (service row))
               machine
             :: !lines
       | None -> ())
     (Table.select tbl (Pred.eq_bool "enable" true));
   ("sloc.db", sorted_lines !lines)
 
-let generate glue =
-  let mdb = Moira.Glue.mdb glue in
-  let passwd, uid = passwd_files mdb in
-  let group, gid = group_files mdb in
-  {
-    Gen.common =
-      [
-        cluster_file mdb; filsys_file mdb; gid; group; grplist_file mdb;
-        passwd; pobox_file mdb; printcap_file mdb; service_file mdb;
-        sloc_file mdb; uid;
-      ];
-    per_host = [];
-  }
+let with_mdb f glue = f (Moira.Glue.mdb glue)
 
-let generator =
-  {
-    Gen.service = "HESIOD";
-    watches =
-      [
-        Gen.watch ~columns:[ "modtime"; "fmodtime"; "pmodtime" ] "users";
-        Gen.watch "machine";
-        Gen.watch "cluster";
-        Gen.watch "list";
-        Gen.watch "filesys";
-        Gen.watch "printcap";
-        Gen.watch "services";
-        Gen.watch ~columns:[ "modtime" ] "serverhosts";
-        Gen.watch ~columns:[] "alias";
-      ];
-    generate;
-  }
+(* One part per independently-watched slice of the eleven files; the
+   union of part watches equals the old service-grain watch list, so
+   service-level change detection is unchanged. *)
+let parts =
+  [
+    Gen.part ~name:"passwd"
+      ~watches:[ Gen.watch ~columns:[ "modtime"; "fmodtime" ] "users" ]
+      (with_mdb (fun mdb ->
+           let passwd, uid = passwd_files mdb in
+           common [ passwd; uid ]));
+    Gen.part ~name:"pobox"
+      ~watches:
+        [
+          Gen.watch ~columns:[ "modtime"; "pmodtime" ] "users";
+          Gen.watch "machine";
+        ]
+      (with_mdb (fun mdb -> common [ pobox_file mdb ]));
+    Gen.part ~name:"group"
+      ~watches:[ Gen.watch "list" ]
+      (with_mdb (fun mdb ->
+           let group, gid = group_files mdb in
+           common [ group; gid ]));
+    (* membership edits stamp the containing list row's modtime, so the
+       "list" watch covers members-relation changes too *)
+    Gen.part ~name:"grplist"
+      ~watches:[ Gen.watch ~columns:[ "modtime" ] "users"; Gen.watch "list" ]
+      (with_mdb (fun mdb -> common [ grplist_file mdb ]));
+    Gen.part ~name:"cluster"
+      ~watches:[ Gen.watch "machine"; Gen.watch "cluster" ]
+      (with_mdb (fun mdb -> common [ cluster_file mdb ]));
+    Gen.part ~name:"filsys"
+      ~watches:[ Gen.watch "filesys"; Gen.watch "machine" ]
+      (with_mdb (fun mdb -> common [ filsys_file mdb ]));
+    Gen.part ~name:"printcap"
+      ~watches:[ Gen.watch "printcap"; Gen.watch "machine" ]
+      (with_mdb (fun mdb -> common [ printcap_file mdb ]));
+    Gen.part ~name:"service"
+      ~watches:[ Gen.watch "services"; Gen.watch ~columns:[] "alias" ]
+      (with_mdb (fun mdb -> common [ service_file mdb ]));
+    Gen.part ~name:"sloc"
+      ~watches:
+        [
+          Gen.watch ~columns:[ "modtime" ] "serverhosts"; Gen.watch "machine";
+        ]
+      (with_mdb (fun mdb -> common [ sloc_file mdb ]));
+  ]
+
+let generator = Gen.of_parts ~service:"HESIOD" parts

@@ -29,10 +29,10 @@ let generate glue =
   { Gen.common = []; per_host }
 
 let generator =
-  {
-    Gen.service = "KLOGIN";
-    watches =
-      [ Gen.watch "hostaccess"; Gen.watch "list";
-        Gen.watch ~columns:[ "modtime" ] "users" ];
-    generate;
-  }
+  Gen.monolithic ~service:"KLOGIN"
+    ~watches:
+      [
+        Gen.watch "hostaccess"; Gen.watch "list";
+        Gen.watch ~columns:[ "modtime" ] "users";
+      ]
+    generate

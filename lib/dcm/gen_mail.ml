@@ -1,64 +1,80 @@
 open Relation
 open Gen_util
 
-let render_member mdb mtype mid =
-  match mtype with
-  | "USER" -> Moira.Lookup.user_login mdb mid
-  | "LIST" -> Moira.Lookup.list_name mdb mid
-  | _ -> Moira.Mdb.string_of_id mdb mid
-
 (* aliases: for each active maillist an owner- line (when the ACE is a
    user or list) and the membership line; then pobox forwarding for every
-   active user. *)
+   active user.  Member and machine names resolve through one-scan maps
+   rather than an indexed select per member. *)
 let aliases_file mdb =
   let lists = Moira.Mdb.table mdb "list" in
-  let members = Moira.Mdb.table mdb "members" in
+  let utbl = users_table mdb in
+  let l_name = col lists "name" in
+  let l_id = col lists "list_id" in
+  let l_acl_type = col lists "acl_type" in
+  let l_acl_id = col lists "acl_id" in
+  let closure = Moira.Closure.get mdb in
+  let logins = id_name_map utbl ~id:"users_id" ~name:"login" in
+  let list_names = id_name_map lists ~id:"list_id" ~name:"name" in
+  let render_member mtype mid =
+    match mtype with
+    | "USER" -> name_of logins mid
+    | "LIST" -> name_of list_names mid
+    | _ -> Moira.Mdb.string_of_id mdb mid
+  in
   let buf = Buffer.create 65536 in
+  let l_maillist = col lists "maillist" in
+  let l_active = col lists "active" in
+  let maillists = ref [] in
+  Table.iter lists (fun _ row ->
+      if Value.bool (l_maillist row) && Value.bool (l_active row) then
+        maillists := row :: !maillists);
   let maillists =
-    Table.select lists
-      (Pred.conj [ Pred.eq_bool "maillist" true; Pred.eq_bool "active" true ])
-    |> List.sort (fun (_, a) (_, b) ->
-           String.compare
-             (Value.str (Table.field lists a "name"))
-             (Value.str (Table.field lists b "name")))
+    List.sort
+      (fun a b -> String.compare (Value.str (l_name a)) (Value.str (l_name b)))
+      !maillists
   in
   List.iter
-    (fun (_, row) ->
-      let name = Value.str (Table.field lists row "name") in
-      let list_id = Value.int (Table.field lists row "list_id") in
-      (match Value.str (Table.field lists row "acl_type") with
+    (fun row ->
+      let name = Value.str (l_name row) in
+      let list_id = Value.int (l_id row) in
+      (match Value.str (l_acl_type row) with
       | "USER" | "LIST" -> (
-          let ace_id = Value.int (Table.field lists row "acl_id") in
-          match
-            render_member mdb
-              (Value.str (Table.field lists row "acl_type"))
-              ace_id
-          with
+          let ace_id = Value.int (l_acl_id row) in
+          match render_member (Value.str (l_acl_type row)) ace_id with
           | Some owner ->
-              Buffer.add_string buf
-                (Printf.sprintf "owner-%s: %s\n" name owner)
+              Buffer.add_string buf "owner-";
+              Buffer.add_string buf name;
+              Buffer.add_string buf ": ";
+              Buffer.add_string buf owner;
+              Buffer.add_char buf '\n'
           | None -> ())
       | _ -> ());
       let ms =
-        Table.select members (Pred.eq_int "list_id" list_id)
-        |> List.filter_map (fun (_, m) ->
-               render_member mdb (Value.str m.(1)) (Value.int m.(2)))
+        Moira.Closure.direct_members closure ~list_id
+        |> List.filter_map (fun (mtype, mid) -> render_member mtype mid)
         |> List.sort String.compare
       in
-      Buffer.add_string buf
-        (Printf.sprintf "%s: %s\n" name (String.concat ", " ms)))
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf (String.concat ", " ms);
+      Buffer.add_char buf '\n')
     maillists;
+  let login = col utbl "login" in
+  let potype = col utbl "potype" in
+  let pop_id = col utbl "pop_id" in
+  let machines = id_name_map (Moira.Mdb.table mdb "machine") ~id:"mach_id" ~name:"name" in
   let pobox_lines = ref [] in
-  active_users mdb (fun row ->
-      if Value.str (ufield mdb row "potype") = "POP" then begin
-        let login = Value.str (ufield mdb row "login") in
-        match
-          Moira.Lookup.machine_name mdb (Value.int (ufield mdb row "pop_id"))
-        with
+  active_users utbl (fun row ->
+      if Value.str (potype row) = "POP" then begin
+        let login = Value.str (login row) in
+        match name_of machines (Value.int (pop_id row)) with
         | Some machine ->
             pobox_lines :=
-              Printf.sprintf "%s: %s@%s.LOCAL" login login
-                (String.uppercase_ascii (short_host machine))
+              String.concat ""
+                [
+                  login; ": "; login; "@";
+                  String.uppercase_ascii (short_host machine); ".LOCAL";
+                ]
               :: !pobox_lines
         | None -> ()
       end);
@@ -66,31 +82,39 @@ let aliases_file mdb =
   ("aliases", Buffer.contents buf)
 
 let passwd_file mdb =
+  let utbl = users_table mdb in
+  let login = col utbl "login" in
+  let uid = col utbl "uid" in
+  let fullname = col utbl "fullname" in
+  let shell = col utbl "shell" in
   let lines = ref [] in
-  active_users mdb (fun row ->
-      let login = Value.str (ufield mdb row "login") in
+  active_users utbl (fun row ->
+      let login = Value.str (login row) in
       lines :=
         Printf.sprintf "%s:*:%d:101:%s,,,:/mit/%s:%s" login
-          (Value.int (ufield mdb row "uid"))
-          (Value.str (ufield mdb row "fullname"))
+          (Value.int (uid row))
+          (Value.str (fullname row))
           login
-          (Value.str (ufield mdb row "shell"))
+          (Value.str (shell row))
         :: !lines);
   ("passwd", sorted_lines !lines)
 
-let generate glue =
-  let mdb = Moira.Glue.mdb glue in
-  { Gen.common = [ aliases_file mdb; passwd_file mdb ]; per_host = [] }
+let common files = { Gen.common = files; per_host = [] }
 
-let generator =
-  {
-    Gen.service = "MAIL";
-    watches =
-      [
-        Gen.watch ~columns:[ "modtime"; "pmodtime" ] "users";
-        Gen.watch "list";
-        Gen.watch "machine";
-        Gen.watch ~columns:[] "strings";
-      ];
-    generate;
-  }
+let parts =
+  [
+    Gen.part ~name:"aliases"
+      ~watches:
+        [
+          Gen.watch ~columns:[ "modtime"; "pmodtime" ] "users";
+          Gen.watch "list";
+          Gen.watch "machine";
+          Gen.watch ~columns:[] "strings";
+        ]
+      (fun glue -> common [ aliases_file (Moira.Glue.mdb glue) ]);
+    Gen.part ~name:"passwd"
+      ~watches:[ Gen.watch ~columns:[ "modtime" ] "users" ]
+      (fun glue -> common [ passwd_file (Moira.Glue.mdb glue) ]);
+  ]
+
+let generator = Gen.of_parts ~service:"MAIL" parts

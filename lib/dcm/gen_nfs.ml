@@ -9,81 +9,90 @@ let partition_base dir =
   in
   String.map (fun c -> if c = '/' then '_' else c) trimmed
 
-let credential_line mdb row =
-  let login = Value.str (ufield mdb row "login") in
-  let uid = Value.int (ufield mdb row "uid") in
-  let users_id = Value.int (ufield mdb row "users_id") in
-  let gids =
-    List.map (fun (_, g) -> string_of_int g)
-      (group_pairs mdb ~users_id ~login)
-  in
-  String.concat ":" ((login :: [ string_of_int uid ]) @ gids)
-
 (* credentials for one host: all active users, or just the members of the
    list named in value3. *)
 let credentials_file mdb ~value3 =
+  let utbl = users_table mdb in
+  let login = col utbl "login" in
+  let uid = col utbl "uid" in
+  let users_id = col utbl "users_id" in
+  let g = groups mdb in
   let lines = ref [] in
   let include_user =
     if value3 = "" then fun _ -> true
     else
       match Moira.Lookup.list_id mdb value3 with
       | Some list_id ->
-          let members = Moira.Acl.expand_users mdb ~list_id in
-          fun login -> List.mem login members
+          let allowed = Hashtbl.create 64 in
+          List.iter
+            (fun u -> Hashtbl.replace allowed u ())
+            (Moira.Closure.user_ids_of_list (Moira.Closure.get mdb) ~list_id);
+          fun users_id -> Hashtbl.mem allowed users_id
       | None -> fun _ -> false
   in
-  active_users mdb (fun row ->
-      let login = Value.str (ufield mdb row "login") in
-      if include_user login then
-        lines := credential_line mdb row :: !lines);
+  active_users utbl (fun row ->
+      let users_id = Value.int (users_id row) in
+      if include_user users_id then begin
+        let login = Value.str (login row) in
+        let gids =
+          List.map
+            (fun (_, gd) -> string_of_int gd)
+            (group_pairs g ~users_id ~login)
+        in
+        lines :=
+          String.concat ":"
+            ((login :: [ string_of_int (Value.int (uid row)) ]) @ gids)
+          :: !lines
+      end);
   ("credentials", sorted_lines !lines)
 
 let quotas_and_dirs mdb ~nfsphys_id ~dir =
   let base = partition_base dir in
   let filesys = Moira.Mdb.table mdb "filesys" in
   let nfsquota = Moira.Mdb.table mdb "nfsquota" in
+  let utbl = users_table mdb in
+  let u_uid = col utbl "uid" in
+  let f_filsys_id = col filesys "filsys_id" in
+  let f_createflg = col filesys "createflg" in
+  let f_owner = col filesys "owner" in
+  let f_owners = col filesys "owners" in
+  let f_name = col filesys "name" in
+  let f_lockertype = col filesys "lockertype" in
+  let q_users_id = col nfsquota "users_id" in
+  let q_quota = col nfsquota "quota" in
   let fss = Table.select filesys (Pred.eq_int "phys_id" nfsphys_id) in
   let quota_lines = ref [] and dir_lines = ref [] in
   List.iter
     (fun (_, fs) ->
-      let filsys_id = Value.int (Table.field filesys fs "filsys_id") in
+      let filsys_id = Value.int (f_filsys_id fs) in
       List.iter
         (fun (_, q) ->
-          match
-            Moira.Lookup.user_row mdb
-              (Value.int (Table.field nfsquota q "users_id"))
-          with
+          match Moira.Lookup.user_row mdb (Value.int (q_users_id q)) with
           | Some urow ->
               quota_lines :=
                 Printf.sprintf "%d %d"
-                  (Value.int (ufield mdb urow "uid"))
-                  (Value.int (Table.field nfsquota q "quota"))
+                  (Value.int (u_uid urow))
+                  (Value.int (q_quota q))
                 :: !quota_lines
           | None -> ())
         (Table.select nfsquota (Pred.eq_int "filsys_id" filsys_id));
-      if Value.bool (Table.field filesys fs "createflg") then begin
+      if Value.bool (f_createflg fs) then begin
         let owner_uid =
-          match
-            Moira.Lookup.user_row mdb
-              (Value.int (Table.field filesys fs "owner"))
-          with
-          | Some urow -> Value.int (ufield mdb urow "uid")
+          match Moira.Lookup.user_row mdb (Value.int (f_owner fs)) with
+          | Some urow -> Value.int (u_uid urow)
           | None -> 0
         in
         let group_gid =
-          match
-            Moira.Lookup.list_row mdb
-              (Value.int (Table.field filesys fs "owners"))
-          with
+          match Moira.Lookup.list_row mdb (Value.int (f_owners fs)) with
           | Some lrow ->
               Value.int (Table.field (Moira.Mdb.table mdb "list") lrow "gid")
           | None -> 0
         in
         dir_lines :=
           Printf.sprintf "%s %d %d %s"
-            (Value.str (Table.field filesys fs "name"))
+            (Value.str (f_name fs))
             owner_uid group_gid
-            (Value.str (Table.field filesys fs "lockertype"))
+            (Value.str (f_lockertype fs))
           :: !dir_lines
       end)
     fss;
@@ -92,43 +101,61 @@ let quotas_and_dirs mdb ~nfsphys_id ~dir =
     (base ^ ".dirs", sorted_lines !dir_lines);
   ]
 
-let generate glue =
-  let mdb = Moira.Glue.mdb glue in
+(* Both parts fan out per enabled NFS serverhost; [pick] selects which of
+   the host's files the part produces. *)
+let per_nfs_host mdb pick =
   let shosts = Moira.Mdb.table mdb "serverhosts" in
-  let nfsphys = Moira.Mdb.table mdb "nfsphys" in
+  let sh_mach_id = col shosts "mach_id" in
   let per_host =
     Table.select shosts
       (Pred.conj [ Pred.eq_str "service" "NFS"; Pred.eq_bool "enable" true ])
     |> List.filter_map (fun (_, sh) ->
-           let mach_id = Value.int (Table.field shosts sh "mach_id") in
+           let mach_id = Value.int (sh_mach_id sh) in
            match Moira.Lookup.machine_name mdb mach_id with
            | None -> None
-           | Some machine ->
-               let value3 = Value.str (Table.field shosts sh "value3") in
-               let creds = credentials_file mdb ~value3 in
-               let partition_files =
-                 Table.select nfsphys (Pred.eq_int "mach_id" mach_id)
-                 |> List.concat_map (fun (_, p) ->
-                        quotas_and_dirs mdb
-                          ~nfsphys_id:
-                            (Value.int (Table.field nfsphys p "nfsphys_id"))
-                          ~dir:(Value.str (Table.field nfsphys p "dir")))
-               in
-               Some (machine, creds :: partition_files))
+           | Some machine -> Some (machine, pick ~sh ~mach_id))
   in
   { Gen.common = []; per_host }
 
-let generator =
-  {
-    Gen.service = "NFS";
-    watches =
-      [
-        Gen.watch ~columns:[ "modtime" ] "users";
-        Gen.watch "filesys";
-        Gen.watch "nfsphys";
-        Gen.watch "nfsquota";
-        Gen.watch "list";
-        Gen.watch ~columns:[ "modtime" ] "serverhosts";
-      ];
-    generate;
-  }
+let credentials_part glue =
+  let mdb = Moira.Glue.mdb glue in
+  let shosts = Moira.Mdb.table mdb "serverhosts" in
+  let sh_value3 = col shosts "value3" in
+  per_nfs_host mdb (fun ~sh ~mach_id:_ ->
+      [ credentials_file mdb ~value3:(Value.str (sh_value3 sh)) ])
+
+let partitions_part glue =
+  let mdb = Moira.Glue.mdb glue in
+  let nfsphys = Moira.Mdb.table mdb "nfsphys" in
+  let p_id = col nfsphys "nfsphys_id" in
+  let p_dir = col nfsphys "dir" in
+  per_nfs_host mdb (fun ~sh:_ ~mach_id ->
+      Table.select nfsphys (Pred.eq_int "mach_id" mach_id)
+      |> List.concat_map (fun (_, p) ->
+             quotas_and_dirs mdb ~nfsphys_id:(Value.int (p_id p))
+               ~dir:(Value.str (p_dir p))))
+
+let parts =
+  [
+    Gen.part ~name:"credentials"
+      ~watches:
+        [
+          Gen.watch ~columns:[ "modtime" ] "users";
+          Gen.watch "list";
+          Gen.watch ~columns:[ "modtime" ] "serverhosts";
+        ]
+      credentials_part;
+    Gen.part ~name:"partitions"
+      ~watches:
+        [
+          Gen.watch "filesys";
+          Gen.watch "nfsphys";
+          Gen.watch "nfsquota";
+          Gen.watch "list";
+          Gen.watch ~columns:[ "modtime" ] "users";
+          Gen.watch ~columns:[ "modtime" ] "serverhosts";
+        ]
+      partitions_part;
+  ]
+
+let generator = Gen.of_parts ~service:"NFS" parts

@@ -28,8 +28,6 @@ let generate glue =
   { Gen.common = []; per_host }
 
 let generator =
-  {
-    Gen.service = "RVD";
-    watches = [ Gen.watch "filesys"; Gen.watch "machine" ];
-    generate;
-  }
+  Gen.monolithic ~service:"RVD"
+    ~watches:[ Gen.watch "filesys"; Gen.watch "machine" ]
+    generate

@@ -4,19 +4,60 @@ val short_host : string -> string
 (** Lower-case hostname up to the first dot ("CHARON.MIT.EDU" ->
     "charon"). *)
 
+val users_table : Moira.Mdb.t -> Relation.Table.t
+(** The users relation, resolved once so generators can hoist it out of
+    their per-row loops. *)
+
+val col :
+  Relation.Table.t -> string -> Relation.Value.t array -> Relation.Value.t
+(** [col tbl name] resolves the column position once and returns a cheap
+    row projector — the hoisted replacement for per-row
+    [Table.field]. *)
+
 val active_users :
-  Moira.Mdb.t -> (Relation.Value.t array -> unit) -> unit
-(** Iterate the users relation rows whose status is active. *)
+  Relation.Table.t -> (Relation.Value.t array -> unit) -> unit
+(** Iterate the rows of a (users) table whose status is active. *)
 
-val ufield : Moira.Mdb.t -> Relation.Value.t array -> string -> Relation.Value.t
-(** Field projection on a users row. *)
+type groups
+(** Per-generation group-resolution context: the memoized membership
+    closure plus a cache of each list's (name, gid) projection. *)
 
-val group_pairs : Moira.Mdb.t -> users_id:int -> login:string ->
+val groups : Moira.Mdb.t -> groups
+
+val group_pairs : groups -> users_id:int -> login:string ->
   (string * int) list
 (** The (group name, gid) pairs for a user's grplist/credentials entry:
     the user's own group (the active group list named after the login)
     first, then every other active unix group reachable from the user's
     memberships, sorted by gid. *)
+
+val group_pairs_naive : Moira.Mdb.t -> users_id:int -> login:string ->
+  (string * int) list
+(** Reference implementation of {!group_pairs} using the naive ACL walk;
+    kept for property tests and benchmarks. *)
+
+val grplist_iter :
+  Moira.Mdb.t ->
+  (login:string -> own:string -> frags:string list -> unit) ->
+  unit
+(** Bulk {!group_pairs}: visit every active user with at least one
+    group, in login order, with their rendered "name:gid" fragments —
+    the own group (named after the login) apart, the rest in gid order —
+    computed in one pass over the active group lists.  Generators emit
+    straight into their output buffer from the callback. *)
+
+val grplist_entries : Moira.Mdb.t -> (string * string) list
+(** {!grplist_iter} collected as (login, "name:gid[:name:gid...]")
+    pairs; the form property tests compare against {!group_pairs}. *)
+
+val id_name_map :
+  Relation.Table.t -> id:string -> name:string -> string array
+(** One-scan projection of an (int id, string name) pair of columns into
+    a dense array indexed by id ("" = absent), replacing per-row indexed
+    selects in render loops.  Memoized on the table's stats counters. *)
+
+val name_of : string array -> int -> string option
+(** Bounds-checked probe of an {!id_name_map} projection. *)
 
 val sorted_lines : string list -> string
 (** Join sorted lines with newlines, adding a trailing newline (empty

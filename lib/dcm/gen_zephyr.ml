@@ -24,13 +24,11 @@ let generate glue =
   { Gen.common = files; per_host = [] }
 
 let generator =
-  {
-    Gen.service = "ZEPHYR";
-    watches =
+  Gen.monolithic ~service:"ZEPHYR"
+    ~watches:
       [
         Gen.watch "zephyr";
         Gen.watch "list";
         Gen.watch ~columns:[ "modtime" ] "users";
-      ];
-    generate;
-  }
+      ]
+    generate

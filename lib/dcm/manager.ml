@@ -8,7 +8,7 @@ type gen_result =
   | Locked
 
 type host_result =
-  | Updated of int
+  | Updated of { files : int; bytes : int }
   | Up_to_date
   | Soft_failed of string
   | Hard_failed of string
@@ -16,6 +16,8 @@ type host_result =
 type service_report = {
   service : string;
   gen : gen_result;
+  rebuilt : string list;
+  spliced : int;
   hosts : (string * host_result) list;
 }
 
@@ -41,7 +43,17 @@ let files_sent r =
       acc
       + List.fold_left
           (fun acc (_, h) ->
-            match h with Updated n -> acc + n | _ -> acc)
+            match h with Updated { files; _ } -> acc + files | _ -> acc)
+          0 s.hosts)
+    0 r.services
+
+let bytes_sent r =
+  List.fold_left
+    (fun acc s ->
+      acc
+      + List.fold_left
+          (fun acc (_, h) ->
+            match h with Updated { bytes; _ } -> acc + bytes | _ -> acc)
           0 s.hosts)
     0 r.services
 
@@ -54,6 +66,10 @@ type t = {
   mail_via : (string * string) option;
   generators : Gen.t list;
   outputs : (string, Gen.output) Hashtbl.t;
+  prev_outputs : (string, Gen.output) Hashtbl.t;
+      (* generation n-1, kept as the patch base for delta pushes *)
+  parts_cache : (string, (string * Gen.output) list) Hashtbl.t;
+      (* per-part outputs of the last generation, for file-grain splicing *)
   mutable history : report list;
 }
 
@@ -72,6 +88,8 @@ let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
     mail_via;
     generators;
     outputs = Hashtbl.create 7;
+    prev_outputs = Hashtbl.create 7;
+    parts_cache = Hashtbl.create 7;
     history = [];
   }
 
@@ -123,6 +141,9 @@ let decode_output archive =
 let moira_fs t = Netsim.Host.fs (Netsim.Net.host t.net t.moira_host)
 
 let store_output t ~service output =
+  (match Hashtbl.find_opt t.outputs service with
+  | Some old -> Hashtbl.replace t.prev_outputs service old
+  | None -> ());
   Hashtbl.replace t.outputs service output;
   let fs = moira_fs t in
   Netsim.Vfs.write fs ~path:(spool_path service) (encode_output output);
@@ -188,25 +209,60 @@ let service_row t name =
 let sfield t row col =
   Table.field (Moira.Mdb.table (mdb t) "servers") row col
 
+(* Rebuild a service's files.  With parts and a cached previous
+   generation, only the parts whose watches fired since [dfgen] are
+   rebuilt; the rest are spliced from the cache (file-grain
+   MR_NO_CHANGE).  Returns the merged output plus the rebuilt part names
+   and the spliced-part count. *)
+let rebuild t gen ~dfgen =
+  match gen.Gen.parts with
+  | [] -> (gen.Gen.generate t.glue, [], 0)
+  | parts ->
+      let service = gen.Gen.service in
+      let cached = Hashtbl.find_opt t.parts_cache service in
+      let entries =
+        List.map
+          (fun p ->
+            let reused =
+              match cached with
+              | None -> None
+              | Some c ->
+                  if Gen.changed_since (mdb t) p.Gen.pwatches dfgen then None
+                  else List.assoc_opt p.Gen.pname c
+            in
+            match reused with
+            | Some out -> (p.Gen.pname, out, false)
+            | None -> (p.Gen.pname, p.Gen.pbuild t.glue, true))
+          parts
+      in
+      Hashtbl.replace t.parts_cache service
+        (List.map (fun (n, o, _) -> (n, o)) entries);
+      let rebuilt =
+        List.filter_map (fun (n, _, b) -> if b then Some n else None) entries
+      in
+      ( Gen.merge_outputs (List.map (fun (_, o, _) -> o) entries),
+        rebuilt,
+        List.length parts - List.length rebuilt )
+
 (* Phase 1 of a run for one service: decide whether to regenerate and do
    it, per the first half of section 5.7.1. *)
 let generate_phase t gen =
   let service = gen.Gen.service in
   match service_row t service with
-  | None -> Not_due
+  | None -> (Not_due, [], 0)
   | Some row ->
       let enabled = Value.bool (sfield t row "enable") in
       let harderror = Value.int (sfield t row "harderror") in
       let interval = Value.int (sfield t row "update_int") in
       let dfgen = Value.int (sfield t row "dfgen") in
       let dfcheck = Value.int (sfield t row "dfcheck") in
-      if (not enabled) || harderror <> 0 || interval <= 0 then Not_due
-      else if now_sec t < dfcheck + (interval * 60) then Not_due
+      if (not enabled) || harderror <> 0 || interval <= 0 then (Not_due, [], 0)
+      else if now_sec t < dfcheck + (interval * 60) then (Not_due, [], 0)
       else begin
         let locks = Moira.Mdb.locks (mdb t) in
         let key = "service:" ^ service in
         if not (Lock.acquire locks ~key ~owner:"dcm" Lock.Exclusive) then
-          Locked
+          (Locked, [], 0)
         else begin
           ssif t ~service ~dfgen ~dfcheck ~inprogress:true ~harderr:0
             ~errmsg:"";
@@ -215,16 +271,16 @@ let generate_phase t gen =
               (* MR_NO_CHANGE: only dfcheck moves forward. *)
               ssif t ~service ~dfgen ~dfcheck:(now_sec t) ~inprogress:false
                 ~harderr:0 ~errmsg:"";
-              No_change
+              (No_change, [], 0)
             end
             else begin
-              match gen.Gen.generate t.glue with
-              | output ->
+              match rebuild t gen ~dfgen with
+              | output, rebuilt, spliced ->
                   store_output t ~service output;
                   let now = now_sec t in
                   ssif t ~service ~dfgen:now ~dfcheck:now ~inprogress:false
                     ~harderr:0 ~errmsg:"";
-                  Generated (Gen.total_bytes output)
+                  (Generated (Gen.total_bytes output), rebuilt, spliced)
               | exception exn ->
                   let msg = Printexc.to_string exn in
                   ssif t ~service ~dfgen ~dfcheck ~inprogress:false
@@ -232,7 +288,7 @@ let generate_phase t gen =
                   notify t
                     (Printf.sprintf "DCM: generator for %s failed: %s"
                        service msg);
-                  Gen_failed msg
+                  (Gen_failed msg, [], 0)
             end
           in
           Lock.release locks ~key ~owner:"dcm";
@@ -306,17 +362,27 @@ let host_phase t gen =
                           ~ltt:(Value.int (Table.field shosts sh "ltt"))
                           ~lts;
                         let files = Gen.files_for_host output ~machine in
+                        let base =
+                          match Hashtbl.find_opt t.prev_outputs service with
+                          | Some prev -> Gen.files_for_host prev ~machine
+                          | None -> []
+                        in
                         let now = now_sec t in
                         (match
                            Update.push t.net ~src:t.moira_host ~dst:machine
-                             ~token:t.token ~target ~files ~script ()
+                             ~token:t.token ~base ~target ~files ~script ()
                          with
-                        | Ok () ->
+                        | Ok stats ->
                             sshi t ~service ~machine ~override:false
                               ~success:true ~inprogress:false ~hosterror:0
                               ~errmsg:"" ~ltt:now ~lts:now;
                             results :=
-                              (machine, Updated (List.length files))
+                              ( machine,
+                                Updated
+                                  {
+                                    files = List.length files;
+                                    bytes = stats.Update.wire_bytes;
+                                  } )
                               :: !results
                         | Error (Update.Soft (_, msg)) ->
                             sshi t ~service ~machine ~override
@@ -366,9 +432,9 @@ let run t =
     else
       List.map
         (fun gen ->
-          let g = generate_phase t gen in
+          let g, rebuilt, spliced = generate_phase t gen in
           let hosts = host_phase t gen in
-          { service = gen.Gen.service; gen = g; hosts })
+          { service = gen.Gen.service; gen = g; rebuilt; spliced; hosts })
         t.generators
   in
   let report = { at; disabled; services } in

@@ -14,7 +14,10 @@ type gen_result =
   | Locked  (** Could not lock the service. *)
 
 type host_result =
-  | Updated of int  (** Files installed and confirmed; member count. *)
+  | Updated of { files : int; bytes : int }
+      (** Files installed and confirmed: member count and bytes actually
+          exchanged on the wire (a delta push ships far less than the
+          archive). *)
   | Up_to_date  (** Host already had the current files. *)
   | Soft_failed of string  (** Will be retried next invocation. *)
   | Hard_failed of string  (** hosterror set; operator notified. *)
@@ -22,6 +25,12 @@ type host_result =
 type service_report = {
   service : string;
   gen : gen_result;
+  rebuilt : string list;
+      (** Part names rebuilt this run (every part on a full rebuild;
+          empty for monolithic generators and non-[Generated] runs). *)
+  spliced : int;
+      (** Parts reused unchanged from the previous generation — the
+          file-grain MR_NO_CHANGE count. *)
   hosts : (string * host_result) list;  (** machine name, outcome. *)
 }
 
@@ -37,6 +46,9 @@ val propagations : report -> int
 val files_sent : report -> int
 (** Number of individual files delivered (archive members summed over
     successful host updates). *)
+
+val bytes_sent : report -> int
+(** Wire bytes exchanged over all successful host updates. *)
 
 type t
 

@@ -4,9 +4,12 @@ let op_xfer = 32
 let op_script = 33
 let op_flush = 34
 let op_exec = 35
+let op_manifest = 36
+let op_delta = 37
 
 let service_name = "moira_update"
 let staged_suffix = ".moira_update"
+let last_suffix = ".last"
 let script_staging = "/tmp/moira_inst"
 
 type script = staged:string -> (unit, string) result
@@ -20,6 +23,82 @@ type server = {
 let reply code tuples =
   Gdb.Wire.encode_reply
     { Gdb.Wire.rversion = Gdb.Wire.protocol_version; code; tuples }
+
+let member_cksum contents = Checksum.to_hex (Checksum.adler32 contents)
+
+(* A member delta: 'K' keep the base member verbatim, 'F' full new
+   contents, 'P' patch — common prefix/suffix trim against the base
+   member, whose checksum is carried so a stale base is detected. *)
+let patch_encode ~base contents =
+  let lb = String.length base and lc = String.length contents in
+  let p = ref 0 in
+  while !p < lb && !p < lc && base.[!p] = contents.[!p] do
+    incr p
+  done;
+  let s = ref 0 in
+  while
+    !s < lb - !p && !s < lc - !p
+    && base.[lb - 1 - !s] = contents.[lc - 1 - !s]
+  do
+    incr s
+  done;
+  Printf.sprintf "P%d %d %s\n%s" !p !s (member_cksum base)
+    (String.sub contents !p (lc - !p - !s))
+
+let patch_apply ~base enc =
+  match String.index_opt enc '\n' with
+  | None -> Error "malformed patch"
+  | Some nl -> (
+      let header = String.sub enc 1 (nl - 1) in
+      let middle = String.sub enc (nl + 1) (String.length enc - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ p; s; bck ] -> (
+          match (int_of_string_opt p, int_of_string_opt s) with
+          | Some p, Some s
+            when p >= 0 && s >= 0
+                 && p + s <= String.length base
+                 && member_cksum base = bck ->
+              Ok
+                (String.sub base 0 p ^ middle
+                ^ String.sub base (String.length base - s) s)
+          | _ -> Error "patch base mismatch")
+      | _ -> Error "malformed patch")
+
+let decode_delta ~base entries =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, enc) :: rest -> (
+        if String.length enc = 0 then Error ("empty delta entry " ^ name)
+        else
+          let base_member () =
+            match List.assoc_opt name base with
+            | Some c -> Ok c
+            | None -> Error ("no base member " ^ name)
+          in
+          match enc.[0] with
+          | 'K' -> (
+              match base_member () with
+              | Ok c -> go ((name, c) :: acc) rest
+              | Error e -> Error e)
+          | 'F' ->
+              go ((name, String.sub enc 1 (String.length enc - 1)) :: acc)
+                rest
+          | 'P' -> (
+              match base_member () with
+              | Error e -> Error e
+              | Ok b -> (
+                  match patch_apply ~base:b enc with
+                  | Ok c -> go ((name, c) :: acc) rest
+                  | Error e -> Error (e ^ " for " ^ name)))
+          | _ -> Error ("bad delta entry " ^ name))
+  in
+  go [] entries
+
+let read_last fs target =
+  match Netsim.Vfs.read fs ~path:(target ^ last_suffix) with
+  | None -> []
+  | Some archive -> (
+      match Tarlike.unpack archive with Ok members -> members | Error _ -> [])
 
 let handle t payload =
   match Gdb.Wire.decode_request payload with
@@ -38,6 +117,41 @@ let handle t payload =
                   Netsim.Host.maybe_crash t.host ~point:"xfer";
                   reply 0 []
                 end
+            | _ -> reply Moira.Mr_err.args []
+          end
+          else if req.op = op_manifest then begin
+            (* per-member checksums of the last installed archive, so the
+               DCM can send only what changed *)
+            match args with
+            | [ target ] ->
+                reply 0
+                  (List.map
+                     (fun (name, contents) -> [ name; member_cksum contents ])
+                     (read_last fs target))
+            | _ -> reply Moira.Mr_err.args []
+          end
+          else if req.op = op_delta then begin
+            (* reconstruct the full archive from the last installed one
+               plus member deltas; from here on the protocol is identical
+               to a full transfer *)
+            match args with
+            | [ target; blob; cksum ] -> (
+                match Tarlike.unpack blob with
+                | Error e -> reply Moira.Mr_err.update_checksum [ [ e ] ]
+                | Ok entries -> (
+                    match decode_delta ~base:(read_last fs target) entries with
+                    | Error e -> reply Moira.Mr_err.update_checksum [ [ e ] ]
+                    | Ok members ->
+                        let archive = Tarlike.pack members in
+                        if not (Checksum.verify ~data:archive ~checksum:cksum)
+                        then reply Moira.Mr_err.update_checksum []
+                        else begin
+                          Netsim.Vfs.write fs
+                            ~path:(target ^ staged_suffix)
+                            archive;
+                          Netsim.Host.maybe_crash t.host ~point:"xfer";
+                          reply 0 []
+                        end))
             | _ -> reply Moira.Mr_err.args []
           end
           else if req.op = op_script then begin
@@ -60,6 +174,11 @@ let handle t payload =
                     (Netsim.Vfs.read fs ~path:script_staging)
                     ~default:""
                 in
+                (* read before the script runs: install_files removes the
+                   staged archive *)
+                let staged =
+                  Netsim.Vfs.read fs ~path:(target ^ staged_suffix)
+                in
                 match Hashtbl.find_opt t.scripts script_name with
                 | None ->
                     reply Moira.Mr_err.update_script
@@ -67,6 +186,15 @@ let handle t payload =
                 | Some script -> (
                     match script ~staged:(target ^ staged_suffix) with
                     | Ok () ->
+                        (* record what is now installed, durably, as the
+                           base for future manifest/delta exchanges *)
+                        (match staged with
+                        | Some archive ->
+                            Netsim.Vfs.write fs
+                              ~path:(target ^ last_suffix)
+                              archive;
+                            Netsim.Vfs.flush fs
+                        | None -> ());
                         Netsim.Host.maybe_crash t.host ~point:"after_exec";
                         reply 0 []
                     | Error msg ->
@@ -137,7 +265,19 @@ type failure =
   | Soft of int * string
   | Hard of int * string
 
-let push net ~src ~dst ?(token = "krb") ~target ~files ~script () =
+type push_stats = {
+  wire_bytes : int;
+  archive_bytes : int;
+  members_total : int;
+  members_full : int;
+  members_patched : int;
+  members_kept : int;
+  delta : bool;
+}
+
+let push net ~src ~dst ?(token = "krb") ?(base = []) ~target ~files ~script
+    () =
+  let wire = ref 0 in
   let call op args =
     let payload =
       Gdb.Wire.encode_request
@@ -148,6 +288,7 @@ let push net ~src ~dst ?(token = "krb") ~target ~files ~script () =
           args = token :: args;
         }
     in
+    wire := !wire + String.length payload;
     match Netsim.Net.call net ~src ~dst ~service:service_name payload with
     | Error f ->
         Error
@@ -158,6 +299,7 @@ let push net ~src ~dst ?(token = "krb") ~target ~files ~script () =
                | _ -> Moira.Mr_err.update_timeout),
                Netsim.Net.failure_to_string f ))
     | Ok raw -> (
+        wire := !wire + String.length raw;
         match Gdb.Wire.decode_reply raw with
         | Error e -> Error (Soft (Moira.Mr_err.aborted, e))
         | Ok reply ->
@@ -177,8 +319,65 @@ let push net ~src ~dst ?(token = "krb") ~target ~files ~script () =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let archive = Tarlike.pack files in
   let cksum = Checksum.to_hex (Checksum.adler32 archive) in
-  let* _ = call op_xfer [ target; archive; cksum ] in
+  let full () =
+    let* _ = call op_xfer [ target; archive; cksum ] in
+    Ok (List.length files, 0, 0, false)
+  in
+  let* full_members, patched, kept, delta =
+    (* A manifest failure is never final: the authoritative outcome comes
+       from the full transfer it falls back to (old servers answer
+       MR_NO_HANDLE; an unreachable host fails the op_xfer the same
+       way). *)
+    match call op_manifest [ target ] with
+    | Error _ -> full ()
+    | Ok tuples -> (
+        let manifest =
+          List.filter_map
+            (function [ n; c ] -> Some (n, c) | _ -> None)
+            tuples
+        in
+        if manifest = [] then full ()
+        else
+          let nfull = ref 0 and npatch = ref 0 and nkeep = ref 0 in
+          let entries =
+            List.map
+              (fun (name, contents) ->
+                match List.assoc_opt name manifest with
+                | Some m when m = member_cksum contents ->
+                    incr nkeep;
+                    (name, "K")
+                | Some m -> (
+                    match List.assoc_opt name base with
+                    | Some b when member_cksum b = m ->
+                        incr npatch;
+                        (name, patch_encode ~base:b contents)
+                    | _ ->
+                        incr nfull;
+                        (name, "F" ^ contents))
+                | None ->
+                    incr nfull;
+                    (name, "F" ^ contents))
+              files
+          in
+          match call op_delta [ target; Tarlike.pack entries; cksum ] with
+          | Ok _ -> Ok (!nfull, !npatch, !nkeep, true)
+          | Error (Soft (code, _)) when code = Moira.Mr_err.update_checksum
+            ->
+              (* the host's base disagrees with its manifest (or the
+                 reconstruction failed): ship the whole archive *)
+              full ()
+          | Error e -> Error e)
+  in
   let* _ = call op_script [ script ] in
   let* _ = call op_flush [] in
   let* _ = call op_exec [ target ] in
-  Ok ()
+  Ok
+    {
+      wire_bytes = !wire;
+      archive_bytes = String.length archive;
+      members_total = List.length files;
+      members_full = full_members;
+      members_patched = patched;
+      members_kept = kept;
+      delta;
+    }

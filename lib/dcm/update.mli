@@ -13,7 +13,20 @@
 
     Crash points are exposed at each window the paper analyses
     ([xfer], [before_exec], [mid_install], [after_exec]) via
-    {!Netsim.Host.arm_crash}. *)
+    {!Netsim.Host.arm_crash}.
+
+    {b Delta pushes.}  After each successful execution the server keeps a
+    durable copy of the installed archive at [target^".last"].  A pushing
+    DCM first asks for a manifest of per-member Adler-32 checksums of
+    that copy; members whose checksum already matches are not resent, and
+    changed members are sent as prefix/suffix-trimmed patches against the
+    base when the DCM still holds it.  The server reconstructs the {e
+    full} archive from its base plus the deltas, verifies the whole-
+    archive checksum, and stages it — so the execution phase, and all of
+    section 5.9's atomicity analysis, are identical to a full transfer.
+    Any disagreement (missing base, stale patch base, checksum mismatch)
+    makes the server answer MR_UPDATE_CHECKSUM and the DCM falls back to
+    a full transfer within the same push. *)
 
 (** {1 Server side} *)
 
@@ -56,10 +69,27 @@ type failure =
   | Hard of int * string
       (** Script failure or authentication refusal: operator attention. *)
 
+type push_stats = {
+  wire_bytes : int;
+      (** Request and reply payload bytes exchanged during the push. *)
+  archive_bytes : int;  (** Size of the full packed archive. *)
+  members_total : int;
+  members_full : int;  (** Members shipped with full contents. *)
+  members_patched : int;  (** Members shipped as patches. *)
+  members_kept : int;  (** Members the host already had (not resent). *)
+  delta : bool;  (** Whether the delta path carried the transfer. *)
+}
+
 val push :
   Netsim.Net.t -> src:string -> dst:string -> ?token:string ->
+  ?base:(string * string) list ->
   target:string -> files:(string * string) list -> script:string ->
-  unit -> (unit, failure) result
-(** Run the full protocol against host [dst]: transfer [files] (packed
-    as one archive) to [target^".moira_update"], stage [script], flush,
-    execute, confirm. *)
+  unit -> (push_stats, failure) result
+(** Run the full protocol against host [dst]: transfer [files] to
+    [target^".moira_update"] — by member deltas against the host's last
+    installed archive when it has one, else as one full archive — stage
+    [script], flush, execute, confirm.  [base] is the previous
+    generation's files (if the caller kept them), used only to compute
+    patches; correctness never depends on it, since every patch carries
+    its base checksum and the server verifies the reconstructed
+    archive. *)

@@ -112,7 +112,10 @@ let lists_of_user mdb ~users_id =
        [ Pred.eq_str "member_type" "USER"; Pred.eq_int "member_id" users_id ])
   |> List.map (fun (_, row) -> Value.int row.(0))
 
-let expand_users mdb ~list_id =
+(* Naive recursive descent, one select per list visited.  Kept as the
+   reference implementation: the property tests check the closure-based
+   fast path against it, and the benchmarks measure the speedup. *)
+let expand_users_naive mdb ~list_id =
   let visited = Hashtbl.create 16 in
   let users = Hashtbl.create 16 in
   let rec go list_id =
@@ -136,13 +139,20 @@ let expand_users mdb ~list_id =
     users []
   |> List.sort_uniq String.compare
 
+let expand_users mdb ~list_id =
+  let closure = Closure.get mdb in
+  List.filter_map
+    (fun uid -> Lookup.user_login mdb uid)
+    (Closure.user_ids_of_list closure ~list_id)
+  |> List.sort_uniq String.compare
+
 let direct_containers mdb ~mtype ~mid =
   Table.select (Mdb.table mdb "members")
     (Pred.conj
        [ Pred.eq_str "member_type" mtype; Pred.eq_int "member_id" mid ])
   |> List.map (fun (_, row) -> Value.int row.(0))
 
-let containing_lists mdb ~mtype ~mid =
+let containing_lists_naive mdb ~mtype ~mid =
   let seen = Hashtbl.create 16 in
   let rec expand frontier =
     match frontier with
@@ -157,3 +167,6 @@ let containing_lists mdb ~mtype ~mid =
   in
   expand (direct_containers mdb ~mtype ~mid);
   Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort Int.compare
+
+let containing_lists mdb ~mtype ~mid =
+  Closure.containing_lists (Closure.get mdb) ~mtype ~mid

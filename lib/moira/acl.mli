@@ -53,9 +53,19 @@ val expand_users : Mdb.t -> list_id:int -> string list
 (** Every login reachable from the list through any chain of sub-lists
     (cycle-safe), sorted and deduplicated — what the DCM generators use
     to flatten ACL lists into files ("recursive lists will be
-    expanded"). *)
+    expanded").  Served from the memoized {!Closure}. *)
+
+val expand_users_naive : Mdb.t -> list_id:int -> string list
+(** Reference implementation of {!expand_users}: recursive descent, one
+    select per list visited.  The property tests and benchmarks compare
+    the closure against it. *)
 
 val containing_lists : Mdb.t -> mtype:string -> mid:int -> int list
 (** Every list that contains the member — directly, or through any chain
     of sub-lists (the fixpoint used by the R-prefixed member types RUSER
-    / RLIST / RSTRING and by recursive ACE searches).  Sorted. *)
+    / RLIST / RSTRING and by recursive ACE searches).  Sorted.  Served
+    from the memoized {!Closure}. *)
+
+val containing_lists_naive : Mdb.t -> mtype:string -> mid:int -> int list
+(** Reference implementation of {!containing_lists}: upward BFS, one
+    select per list visited. *)

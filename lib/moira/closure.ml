@@ -1,0 +1,242 @@
+(* One-pass membership closure over the [members] relation.
+
+   The naive ACL walks ([Acl.containing_lists], [Acl.expand_users]) issue
+   one select per list visited, which the DCM generators then repeat once
+   per user — O(users x lists x selects) at paper scale.  This module
+   folds over [members] once, condenses the list-membership graph into
+   strongly connected components (self-referential ACLs are explicitly
+   allowed, section 5.5), and computes, per component:
+
+     - the transitive set of USER members reachable below it, and
+     - the set of lists strictly above it.
+
+   Both directions then answer any number of queries in O(answer size).
+   The result is memoized per members table, keyed on its stats counters,
+   so repeated extractions over an unchanged database reuse it. *)
+
+open Relation
+module Int_set = Set.Make (Int)
+
+type t = {
+  direct : (int, (string * int) list) Hashtbl.t;
+      (* list_id -> direct members in rowid (insertion) order *)
+  parents : (string * int, int list) Hashtbl.t;
+      (* (member_type, member_id) -> lists holding it directly *)
+  scc_of : (int, int) Hashtbl.t;  (* list_id -> component id *)
+  lists_set : Int_set.t array;  (* component -> its list ids *)
+  cyclic : bool array;  (* component of size > 1, or with a self-loop *)
+  users_below : Int_set.t array;  (* component -> reachable USER ids *)
+  users_arr : int array option array;
+      (* component -> users_below as a sorted array, filled on first use;
+         the closure itself is memoized, so the flattening amortizes over
+         every generation it serves *)
+  above : Int_set.t array;  (* component -> lists strictly containing it *)
+}
+
+let find_all tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:[]
+let push tbl k v = Hashtbl.replace tbl k (v :: find_all tbl k)
+
+let build mdb =
+  let members = Mdb.table mdb "members" in
+  let n_guess = max 16 (Table.cardinal members / 4) in
+  let direct = Hashtbl.create n_guess in
+  let parents = Hashtbl.create n_guess in
+  let children = Hashtbl.create n_guess in  (* list_id -> LIST member ids *)
+  let users = Hashtbl.create n_guess in  (* list_id -> direct USER ids *)
+  let nodes = Hashtbl.create n_guess in
+  Table.iter members (fun _ row ->
+      let lid = Value.int row.(0) in
+      let mtype = Value.str row.(1) in
+      let mid = Value.int row.(2) in
+      Hashtbl.replace nodes lid ();
+      push direct lid (mtype, mid);
+      push parents (mtype, mid) lid;
+      match mtype with
+      | "LIST" ->
+          Hashtbl.replace nodes mid ();
+          push children lid mid
+      | "USER" -> push users lid mid
+      | _ -> ());
+  (* rowid order for direct members (fold visits ascending, push reverses) *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace direct k (List.rev v))
+    (Hashtbl.copy direct);
+  (* Tarjan's SCC, iterative.  Components are numbered in emission order,
+     which is reverse-topological: every component's id is greater than
+     the ids of all components it can reach downward. *)
+  let index = Hashtbl.create n_guess in
+  let lowlink = Hashtbl.create n_guess in
+  let on_stack = Hashtbl.create n_guess in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let scc_of = Hashtbl.create n_guess in
+  let comps = ref [] in  (* (id, members) in reverse emission order *)
+  let next_comp = ref 0 in
+  let idx v = Hashtbl.find index v in
+  let ll v = Hashtbl.find lowlink v in
+  let start v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ()
+  in
+  let emit root =
+    let comp = !next_comp in
+    incr next_comp;
+    let rec pop acc =
+      match !stack with
+      | [] -> acc
+      | v :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack v;
+          Hashtbl.replace scc_of v comp;
+          if v = root then v :: acc else pop (v :: acc)
+    in
+    comps := (comp, pop []) :: !comps
+  in
+  let visit root =
+    if not (Hashtbl.mem index root) then begin
+      start root;
+      let call = ref [ (root, ref (find_all children root)) ] in
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: tail -> (
+            match !rest with
+            | w :: more ->
+                rest := more;
+                if not (Hashtbl.mem index w) then begin
+                  start w;
+                  call := (w, ref (find_all children w)) :: !call
+                end
+                else if Hashtbl.mem on_stack w then
+                  Hashtbl.replace lowlink v (min (ll v) (idx w))
+            | [] ->
+                if ll v = idx v then emit v;
+                call := tail;
+                (match tail with
+                | (p, _) :: _ -> Hashtbl.replace lowlink p (min (ll p) (ll v))
+                | [] -> ()))
+      done
+    end
+  in
+  Hashtbl.iter (fun v () -> visit v) nodes;
+  let n = !next_comp in
+  let lists_set = Array.make n Int_set.empty in
+  List.iter
+    (fun (c, ls) -> lists_set.(c) <- Int_set.of_list ls)
+    !comps;
+  (* condensation edges + cycle detection *)
+  let cyclic = Array.make n false in
+  let comp_children = Array.make n Int_set.empty in
+  let comp_parents = Array.make n Int_set.empty in
+  Hashtbl.iter
+    (fun v () ->
+      let cv = Hashtbl.find scc_of v in
+      if Int_set.cardinal lists_set.(cv) > 1 then cyclic.(cv) <- true;
+      List.iter
+        (fun w ->
+          let cw = Hashtbl.find scc_of w in
+          if cv = cw then cyclic.(cv) <- true
+          else begin
+            comp_children.(cv) <- Int_set.add cw comp_children.(cv);
+            comp_parents.(cw) <- Int_set.add cv comp_parents.(cw)
+          end)
+        (find_all children v))
+    nodes;
+  (* users below: children-first = ascending component id *)
+  let users_below = Array.make n Int_set.empty in
+  for c = 0 to n - 1 do
+    let own =
+      Int_set.fold
+        (fun l acc ->
+          List.fold_left (fun acc u -> Int_set.add u acc) acc
+            (find_all users l))
+        lists_set.(c) Int_set.empty
+    in
+    users_below.(c) <-
+      Int_set.fold
+        (fun child acc -> Int_set.union users_below.(child) acc)
+        comp_children.(c) own
+  done;
+  (* lists strictly above: parents-first = descending component id *)
+  let above = Array.make n Int_set.empty in
+  for c = n - 1 downto 0 do
+    above.(c) <-
+      Int_set.fold
+        (fun p acc -> Int_set.union lists_set.(p) (Int_set.union above.(p) acc))
+        comp_parents.(c) Int_set.empty
+  done;
+  { direct; parents; scc_of; lists_set; cyclic; users_below;
+    users_arr = Array.make n None; above }
+
+let direct_members t ~list_id = find_all t.direct list_id
+
+let user_id_set_of_list t ~list_id =
+  match Hashtbl.find_opt t.scc_of list_id with
+  | None -> Int_set.empty
+  | Some c -> t.users_below.(c)
+
+let user_ids_of_list t ~list_id =
+  Int_set.elements (user_id_set_of_list t ~list_id)
+
+let users_array t c =
+  match t.users_arr.(c) with
+  | Some a -> a
+  | None ->
+      let s = t.users_below.(c) in
+      let a = Array.make (Int_set.cardinal s) 0 in
+      let i = ref 0 in
+      Int_set.iter (fun u -> a.(!i) <- u; incr i) s;
+      t.users_arr.(c) <- Some a;
+      a
+
+let iter_users t ~list_id f =
+  match Hashtbl.find_opt t.scc_of list_id with
+  | None -> ()
+  | Some c -> Array.iter f (users_array t c)
+
+(* Every list containing [list_id], directly or transitively: everything
+   strictly above its component, plus the component's own lists when it is
+   cyclic (each then contains the others — and itself — through the cycle). *)
+let containers_of_list t list_id =
+  match Hashtbl.find_opt t.scc_of list_id with
+  | None -> Int_set.empty
+  | Some c ->
+      if t.cyclic.(c) then Int_set.union t.lists_set.(c) t.above.(c)
+      else t.above.(c)
+
+let containing_set t ~mtype ~mid =
+  if mtype = "LIST" then containers_of_list t mid
+  else
+    List.fold_left
+      (fun acc p -> Int_set.add p (Int_set.union (containers_of_list t p) acc))
+      Int_set.empty
+      (find_all t.parents (mtype, mid))
+
+let containing_lists t ~mtype ~mid =
+  Int_set.elements (containing_set t ~mtype ~mid)
+
+(* Memo: one closure per members table, keyed on the monotone stats
+   counters (the sim clock ticks in whole seconds, so modtime alone cannot
+   distinguish two mutations in the same second). *)
+type key = int * int * int * int * int
+
+let key_of_stats (s : Table.stats) : key =
+  (s.appends, s.updates, s.deletes, s.modtime, s.del_time)
+
+let memo : (int, key * t) Hashtbl.t = Hashtbl.create 8
+let memo_cap = 32
+
+let get mdb =
+  let members = Mdb.table mdb "members" in
+  let uid = Table.uid members in
+  let key = key_of_stats (Table.stats members) in
+  match Hashtbl.find_opt memo uid with
+  | Some (k, c) when k = key -> c
+  | prev ->
+      let c = build mdb in
+      if prev = None && Hashtbl.length memo >= memo_cap then
+        Hashtbl.reset memo;
+      Hashtbl.replace memo uid (key, c);
+      c

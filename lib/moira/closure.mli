@@ -1,0 +1,40 @@
+(** One-pass membership closure over the [members] relation.
+
+    A single fold over [members] builds forward and reverse adjacency,
+    condenses the list graph into strongly connected components
+    (self-referential ACLs are legal, paper section 5.5), and
+    precomputes the transitive USER set below — and the list set above —
+    every component.  All of {!Acl.expand_users} / {!Acl.containing_lists}
+    then answer from the closure in O(answer) instead of one BFS with one
+    select per visited list, per query.
+
+    {!get} memoizes the closure per members table, keyed on the table's
+    stats counters, so back-to-back DCM extractions over an unchanged
+    database build it once. *)
+
+type t
+
+val get : Mdb.t -> t
+(** The closure for [mdb]'s members table, rebuilt only if the table's
+    stats (appends/updates/deletes/modtime/del_time) changed since the
+    closure was last built.  Two calls with no intervening mutation
+    return the physically same value. *)
+
+val build : Mdb.t -> t
+(** Always rebuild, bypassing the memo (for tests and benchmarks). *)
+
+val user_ids_of_list : t -> list_id:int -> int list
+(** users_id of every USER reachable from the list through any chain of
+    sub-lists, sorted ascending.  Unknown lists expand to []. *)
+
+val iter_users : t -> list_id:int -> (int -> unit) -> unit
+(** [user_ids_of_list] without materializing the list: applies the
+    function to each reachable users_id in ascending order. *)
+
+val containing_lists : t -> mtype:string -> mid:int -> int list
+(** Every list containing the member directly or transitively, sorted
+    ascending — same contract as {!Acl.containing_lists}. *)
+
+val direct_members : t -> list_id:int -> (string * int) list
+(** The list's direct members in members-row (insertion) order, as
+    (member_type, member_id) pairs. *)

@@ -217,7 +217,7 @@ let all =
   ]
 
 let indexed_columns = function
-  | "users" -> [ "login"; "users_id"; "uid" ]
+  | "users" -> [ "login"; "users_id"; "uid"; "status" ]
   | "machine" -> [ "name"; "mach_id" ]
   | "cluster" -> [ "name"; "clu_id" ]
   | "mcmap" -> [ "mach_id"; "clu_id" ]

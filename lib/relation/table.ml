@@ -13,66 +13,104 @@ module Int_set = Set.Make (Int)
 type index = {
   col : int;
   buckets : (string, Int_set.t) Hashtbl.t;
+  mutable version : int;
+      (* bumps on insert/delete and on updates that change this column's
+         value — NOT on updates that leave it alone.  Generators key
+         memoized projections on the versions of exactly the columns
+         they read, so e.g. a shell edit leaves a login-sorted user
+         projection warm. *)
 }
 
+(* Rows live in a growable array indexed by rowid (rowids are allocated
+   densely, so the slot number IS the id).  Scans then walk the array in
+   rowid order directly — no hashing, no sort to restore insertion
+   order — which is what makes full-table folds in the DCM generators
+   and the closure build cheap. *)
 type t = {
   schema : Schema.t;
-  rows : (rowid, Value.t array) Hashtbl.t;
+  uid : int;  (* process-unique; distinguishes same-named tables across dbs *)
+  mutable rows : Value.t array option array;  (* slot = rowid; None = hole *)
   mutable next_id : rowid;
+  mutable live : int;  (* slots holding Some *)
   indexes : index list;  (* one per indexed column *)
   stats : stats;
   clock : unit -> int;
 }
 
+let next_uid = ref 0
+
 let create ?(indexed = []) ~clock schema =
   let indexes =
     List.map
       (fun cname ->
-        { col = Schema.index_of schema cname; buckets = Hashtbl.create 64 })
+        { col = Schema.index_of schema cname; buckets = Hashtbl.create 64;
+          version = 0 })
       indexed
   in
+  incr next_uid;
   {
     schema;
-    rows = Hashtbl.create 64;
+    uid = !next_uid;
+    rows = Array.make 64 None;
     next_id = 0;
+    live = 0;
     indexes;
     stats = { appends = 0; updates = 0; deletes = 0; modtime = 0; del_time = 0 };
     clock;
   }
 
 let schema t = t.schema
+let uid t = t.uid
+
+let row_of t id = if id >= 0 && id < t.next_id then t.rows.(id) else None
 
 let key_of v = Value.to_string v
+
+let bucket_add ix k id =
+  let set =
+    Option.value (Hashtbl.find_opt ix.buckets k) ~default:Int_set.empty
+  in
+  Hashtbl.replace ix.buckets k (Int_set.add id set)
+
+let bucket_remove ix k id =
+  match Hashtbl.find_opt ix.buckets k with
+  | None -> ()
+  | Some set ->
+      let set = Int_set.remove id set in
+      if Int_set.is_empty set then Hashtbl.remove ix.buckets k
+      else Hashtbl.replace ix.buckets k set
 
 let index_add t id row =
   List.iter
     (fun ix ->
-      let k = key_of row.(ix.col) in
-      let set =
-        Option.value (Hashtbl.find_opt ix.buckets k) ~default:Int_set.empty
-      in
-      Hashtbl.replace ix.buckets k (Int_set.add id set))
+      ix.version <- ix.version + 1;
+      bucket_add ix (key_of row.(ix.col)) id)
     t.indexes
 
 let index_remove t id row =
   List.iter
     (fun ix ->
-      let k = key_of row.(ix.col) in
-      match Hashtbl.find_opt ix.buckets k with
-      | None -> ()
-      | Some set ->
-          let set = Int_set.remove id set in
-          if Int_set.is_empty set then Hashtbl.remove ix.buckets k
-          else Hashtbl.replace ix.buckets k set)
+      ix.version <- ix.version + 1;
+      bucket_remove ix (key_of row.(ix.col)) id)
     t.indexes
 
 let touch t = t.stats.modtime <- t.clock ()
+
+let ensure_capacity t =
+  let cap = Array.length t.rows in
+  if t.next_id >= cap then begin
+    let bigger = Array.make (max 64 (2 * cap)) None in
+    Array.blit t.rows 0 bigger 0 cap;
+    t.rows <- bigger
+  end
 
 let insert t row =
   Schema.check_tuple t.schema row;
   let id = t.next_id in
   t.next_id <- id + 1;
-  Hashtbl.replace t.rows id (Array.copy row);
+  ensure_capacity t;
+  t.rows.(id) <- Some (Array.copy row);
+  t.live <- t.live + 1;
   index_add t id row;
   t.stats.appends <- t.stats.appends + 1;
   touch t;
@@ -108,19 +146,21 @@ let matching t pred =
   | Some set ->
       Int_set.fold
         (fun id acc ->
-          match Hashtbl.find_opt t.rows id with
+          match row_of t id with
           | Some row when Pred.eval t.schema pred row -> (id, row) :: acc
           | _ -> acc)
         set []
       |> List.rev
   | None ->
-      let acc =
-        Hashtbl.fold
-          (fun id row acc ->
-            if Pred.eval t.schema pred row then (id, row) :: acc else acc)
-          t.rows []
-      in
-      List.sort (fun (a, _) (b, _) -> Int.compare a b) acc
+      (* walk the array backwards so the consed list comes out in
+         ascending rowid (insertion) order without a sort *)
+      let acc = ref [] in
+      for id = t.next_id - 1 downto 0 do
+        match t.rows.(id) with
+        | Some row when Pred.eval t.schema pred row -> acc := (id, row) :: !acc
+        | _ -> ()
+      done;
+      !acc
 
 let select t pred =
   List.map (fun (id, row) -> (id, Array.copy row)) (matching t pred)
@@ -139,9 +179,18 @@ let update t pred f =
     (fun (id, row) ->
       let row' = f (Array.copy row) in
       Schema.check_tuple t.schema row';
-      index_remove t id row;
-      Hashtbl.replace t.rows id row';
-      index_add t id row';
+      (* only indexes whose column actually changed are touched, so
+         their versions stay put across unrelated-field updates *)
+      List.iter
+        (fun ix ->
+          let k = key_of row.(ix.col) and k' = key_of row'.(ix.col) in
+          if k <> k' then begin
+            ix.version <- ix.version + 1;
+            bucket_remove ix k id;
+            bucket_add ix k' id
+          end)
+        t.indexes;
+      t.rows.(id) <- Some row';
       t.stats.updates <- t.stats.updates + 1)
     hits;
   if hits <> [] then touch t;
@@ -160,7 +209,8 @@ let delete t pred =
   List.iter
     (fun (id, row) ->
       index_remove t id row;
-      Hashtbl.remove t.rows id;
+      t.rows.(id) <- None;
+      t.live <- t.live - 1;
       t.stats.deletes <- t.stats.deletes + 1)
     hits;
   if hits <> [] then begin
@@ -169,20 +219,47 @@ let delete t pred =
   end;
   List.length hits
 
-let get t id = Option.map Array.copy (Hashtbl.find_opt t.rows id)
-let cardinal t = Hashtbl.length t.rows
+let get t id = Option.map Array.copy (row_of t id)
+let cardinal t = t.live
+
+(* Read-only traversal handing out the stored arrays directly — no
+   per-row copy.  Callers must not mutate the rows or the table during
+   the walk; the DCM generators' hot loops only project columns, and the
+   copies [fold] makes were a measurable share of generation time. *)
+let iter t f =
+  for id = 0 to t.next_id - 1 do
+    match t.rows.(id) with Some row -> f id row | None -> ()
+  done
 
 let fold t ~init ~f =
-  List.fold_left (fun acc (id, row) -> f acc id (Array.copy row)) init
-    (matching t Pred.True)
+  let acc = ref init in
+  for id = 0 to t.next_id - 1 do
+    match t.rows.(id) with
+    | Some row -> acc := f !acc id (Array.copy row)
+    | None -> ()
+  done;
+  !acc
 
 let stats t = t.stats
 
+let column_version t cname =
+  match Schema.index_of t.schema cname with
+  | exception Not_found -> None
+  | c ->
+      List.find_map
+        (fun ix -> if ix.col = c then Some ix.version else None)
+        t.indexes
+
 let clear t =
-  if Hashtbl.length t.rows > 0 then t.stats.del_time <- t.clock ();
-  t.stats.deletes <- t.stats.deletes + Hashtbl.length t.rows;
-  Hashtbl.reset t.rows;
-  List.iter (fun ix -> Hashtbl.reset ix.buckets) t.indexes;
+  if t.live > 0 then t.stats.del_time <- t.clock ();
+  t.stats.deletes <- t.stats.deletes + t.live;
+  Array.fill t.rows 0 (Array.length t.rows) None;
+  t.live <- 0;
+  List.iter
+    (fun ix ->
+      ix.version <- ix.version + 1;
+      Hashtbl.reset ix.buckets)
+    t.indexes;
   touch t
 
 let field t row col = row.(Schema.index_of t.schema col)

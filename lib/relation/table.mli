@@ -26,6 +26,12 @@ val create : ?indexed : string list -> clock:(unit -> int) -> Schema.t -> t
 val schema : t -> Schema.t
 (** The table's schema. *)
 
+val uid : t -> int
+(** A process-unique identity for this table, assigned at {!create}.
+    Stable for the table's lifetime; distinct across databases even for
+    tables sharing a name.  Lets caches key derived structures (e.g. the
+    membership closure) on the table they were computed from. *)
+
 val insert : t -> Value.t array -> rowid
 (** Append a row (type-checked against the schema).
     @raise Invalid_argument on arity or type mismatch. *)
@@ -65,8 +71,20 @@ val cardinal : t -> int
 val fold : t -> init:'a -> f:('a -> rowid -> Value.t array -> 'a) -> 'a
 (** Fold over rows in rowid order. *)
 
+val iter : t -> (rowid -> Value.t array -> unit) -> unit
+(** Iterate rows in rowid order without copying them.  The arrays are
+    the table's own storage: callers must neither mutate them nor
+    change the table during the walk. *)
+
 val stats : t -> stats
 (** The live statistics record. *)
+
+val column_version : t -> string -> int option
+(** Monotonic change counter for an indexed column: bumps on every
+    insert and delete, and on updates that change that column's value —
+    but not on updates that leave it alone.  [None] when the column is
+    not indexed.  Callers memoizing a projection of specific columns can
+    key it on their versions and survive unrelated-field updates. *)
 
 val clear : t -> unit
 (** Remove every row (counts it as deletions in the stats). *)

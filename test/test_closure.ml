@@ -1,0 +1,138 @@
+(* The one-pass membership closure against the naive reference walks:
+   equality on deterministic shapes (diamonds, cycles) and randomized
+   graphs, plus the stats-keyed memo's refresh behaviour. *)
+
+open Moira
+
+let uid t login = Option.get (Lookup.user_id t.Fix.mdb login)
+let lid t name = Option.get (Lookup.list_id t.Fix.mdb name)
+
+let mklist t name =
+  ignore
+    (Fix.must t "add_list"
+       [ name; "1"; "0"; "0"; "0"; "0"; "-1"; "NONE"; "NONE"; "d" ])
+
+let addm t l ty m = ignore (Fix.must t "add_member_to_list" [ l; ty; m ])
+let delm t l ty m = ignore (Fix.must t "delete_member_from_list" [ l; ty; m ])
+
+let sorted = List.sort compare
+
+(* closure answers == naive answers, for every list and both users *)
+let check_agreement t lists =
+  List.iter
+    (fun name ->
+      let list_id = lid t name in
+      Alcotest.(check (list string))
+        (name ^ " expand")
+        (Acl.expand_users_naive t.Fix.mdb ~list_id)
+        (Acl.expand_users t.Fix.mdb ~list_id);
+      Alcotest.(check (list int))
+        (name ^ " containers")
+        (sorted (Acl.containing_lists_naive t.Fix.mdb ~mtype:"LIST" ~mid:list_id))
+        (sorted (Acl.containing_lists t.Fix.mdb ~mtype:"LIST" ~mid:list_id)))
+    lists;
+  List.iter
+    (fun login ->
+      let mid = uid t login in
+      Alcotest.(check (list int))
+        (login ^ " containers")
+        (sorted (Acl.containing_lists_naive t.Fix.mdb ~mtype:"USER" ~mid))
+        (sorted (Acl.containing_lists t.Fix.mdb ~mtype:"USER" ~mid)))
+    [ "ann"; "bob" ]
+
+let test_diamond () =
+  let t = Fix.create () in
+  List.iter (mklist t) [ "top"; "left"; "right"; "bottom" ];
+  addm t "top" "LIST" "left";
+  addm t "top" "LIST" "right";
+  addm t "left" "LIST" "bottom";
+  addm t "right" "LIST" "bottom";
+  addm t "bottom" "USER" "bob";
+  addm t "right" "USER" "ann";
+  Alcotest.(check (list string)) "diamond expands once" [ "ann"; "bob" ]
+    (Acl.expand_users t.Fix.mdb ~list_id:(lid t "top"));
+  check_agreement t [ "top"; "left"; "right"; "bottom" ]
+
+let test_cycle () =
+  let t = Fix.create () in
+  List.iter (mklist t) [ "a"; "b"; "c" ];
+  (* a -> b -> c -> a, with bob at the bottom of the cycle *)
+  addm t "a" "LIST" "b";
+  addm t "b" "LIST" "c";
+  addm t "c" "LIST" "a";
+  addm t "c" "USER" "bob";
+  List.iter
+    (fun l ->
+      Alcotest.(check (list string))
+        (l ^ " sees through cycle") [ "bob" ]
+        (Acl.expand_users t.Fix.mdb ~list_id:(lid t l)))
+    [ "a"; "b"; "c" ];
+  (* every list in the cycle contains bob, and each list contains the
+     others (and itself) through the cycle *)
+  let containers =
+    sorted (Acl.containing_lists t.Fix.mdb ~mtype:"USER" ~mid:(uid t "bob"))
+  in
+  Alcotest.(check (list int)) "bob in all three"
+    (sorted [ lid t "a"; lid t "b"; lid t "c" ])
+    containers;
+  check_agreement t [ "a"; "b"; "c" ]
+
+let test_memo_refresh () =
+  let t = Fix.create () in
+  mklist t "crew";
+  let c1 = Closure.get t.Fix.mdb in
+  Alcotest.(check bool) "unchanged db, same closure" true
+    (c1 == Closure.get t.Fix.mdb);
+  addm t "crew" "USER" "bob";
+  let c2 = Closure.get t.Fix.mdb in
+  Alcotest.(check bool) "insert rebuilds" false (c1 == c2);
+  Alcotest.(check (list int)) "insert visible" [ uid t "bob" ]
+    (Closure.user_ids_of_list c2 ~list_id:(lid t "crew"));
+  delm t "crew" "USER" "bob";
+  let c3 = Closure.get t.Fix.mdb in
+  Alcotest.(check bool) "delete rebuilds" false (c2 == c3);
+  Alcotest.(check (list int)) "delete visible" []
+    (Closure.user_ids_of_list c3 ~list_id:(lid t "crew"))
+
+(* Randomized graphs: any edge set (self-loops, cycles, diamonds, and
+   rejected duplicates included) must leave closure and naive walks in
+   exact agreement. *)
+let prop_matches_naive =
+  QCheck.Test.make ~name:"closure: equals naive walks on random graphs"
+    ~count:40
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 30)
+           (pair (int_range 0 9) (int_range 0 9)))
+        (list_of_size (Gen.int_range 0 6) (int_range 0 9)))
+    (fun (edges, bob_lists) ->
+      let t = Fix.create () in
+      let g i = Printf.sprintf "g%d" i in
+      for i = 0 to 9 do mklist t (g i) done;
+      List.iter
+        (fun (a, b) ->
+          match
+            Moira.Glue.query t.Fix.glue ~name:"add_member_to_list"
+              [ g a; "LIST"; g b ]
+          with
+          | Ok _ | Error _ -> ())
+        edges;
+      List.iter
+        (fun l ->
+          match
+            Moira.Glue.query t.Fix.glue ~name:"add_member_to_list"
+              [ g l; "USER"; "bob" ]
+          with
+          | Ok _ | Error _ -> ())
+        bob_lists;
+      let lists = List.init 10 (fun i -> g i) in
+      check_agreement t lists;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "diamond" `Quick test_diamond;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "memo refresh" `Quick test_memo_refresh;
+    QCheck_alcotest.to_alcotest prop_matches_naive;
+  ]

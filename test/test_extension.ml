@@ -9,30 +9,26 @@ open Relation
 
 (* 1. the generator: a new extract over existing relations *)
 let finger_generator =
-  {
-    Dcm.Gen.service = "FINGER";
-    watches =
-      [ Dcm.Gen.watch ~columns:[ "modtime"; "fmodtime" ] "users" ];
-    generate =
-      (fun glue ->
-        let mdb = Moira.Glue.mdb glue in
-        let users = Moira.Mdb.table mdb "users" in
-        let lines = ref [] in
-        List.iter
-          (fun (_, row) ->
-            lines :=
-              Printf.sprintf "%s:%s:%s"
-                (Value.str (Table.field users row "login"))
-                (Value.str (Table.field users row "fullname"))
-                (Value.str (Table.field users row "office_phone"))
-              :: !lines)
-          (Table.select users (Pred.eq_int "status" 1));
-        {
-          Dcm.Gen.common =
-            [ ("directory", String.concat "\n" (List.sort compare !lines) ^ "\n") ];
-          per_host = [];
-        });
-  }
+  Dcm.Gen.monolithic ~service:"FINGER"
+    ~watches:[ Dcm.Gen.watch ~columns:[ "modtime"; "fmodtime" ] "users" ]
+    (fun glue ->
+      let mdb = Moira.Glue.mdb glue in
+      let users = Moira.Mdb.table mdb "users" in
+      let lines = ref [] in
+      List.iter
+        (fun (_, row) ->
+          lines :=
+            Printf.sprintf "%s:%s:%s"
+              (Value.str (Table.field users row "login"))
+              (Value.str (Table.field users row "fullname"))
+              (Value.str (Table.field users row "office_phone"))
+            :: !lines)
+        (Table.select users (Pred.eq_int "status" 1));
+      {
+        Dcm.Gen.common =
+          [ ("directory", String.concat "\n" (List.sort compare !lines) ^ "\n") ];
+        per_host = [];
+      })
 
 let test_new_service_end_to_end () =
   let tb = Testbed.create () in

@@ -18,7 +18,7 @@ let push ?(files = [ ("a.db", "alpha\n"); ("b.db", "beta\n") ]) net =
 let test_successful_update () =
   let _, net, srv, _ = setup () in
   (match push net with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error _ -> Alcotest.fail "update failed");
   let fs = Netsim.Host.fs srv in
   Alcotest.(check (option string)) "a installed" (Some "alpha\n")
@@ -79,7 +79,7 @@ let test_crash_during_transfer () =
     (Netsim.Vfs.exists fs ~path:"/etc/data/a.db");
   (* the retry succeeds *)
   match push net with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error _ -> Alcotest.fail "retry failed"
 
 let test_crash_before_exec () =
@@ -98,7 +98,7 @@ let test_crash_before_exec () =
   Alcotest.(check bool) "not installed" false
     (Netsim.Vfs.exists fs ~path:"/etc/data/a.db");
   (match push net with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error _ -> Alcotest.fail "retry failed");
   Alcotest.(check (option string)) "installed after retry" (Some "alpha\n")
     (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
@@ -126,7 +126,7 @@ let test_crash_mid_install_leaves_consistent_files () =
   Alcotest.(check (option string)) "b still v1" (Some "b-v1") b;
   (* retry completes the update — extra installations are not harmful *)
   (match push ~files:[ ("a.db", "a-v2"); ("b.db", "b-v2") ] net with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error _ -> Alcotest.fail "retry failed");
   Alcotest.(check (option string)) "b now v2" (Some "b-v2")
     (Netsim.Vfs.read fs ~path:"/etc/data/b.db")
@@ -146,7 +146,7 @@ let test_crash_after_exec_repeat_harmless () =
     (Netsim.Vfs.read fs ~path:"/etc/data/a.db");
   (* the repeat is a no-op functionally *)
   (match push net with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error _ -> Alcotest.fail "repeat failed");
   Alcotest.(check (option string)) "still installed" (Some "alpha\n")
     (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
@@ -193,7 +193,7 @@ let test_revert_instruction () =
      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~target:"/tmp/out"
        ~files:[ ("a.db", "broken-v2") ] ~script:"revert.sh" ()
    with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error _ -> Alcotest.fail "revert push failed");
   Alcotest.(check (option string)) "v1 back in place" (Some "good-v1")
     (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
@@ -218,6 +218,127 @@ let test_checksum_function () =
   Alcotest.(check bool) "verify corrupt" false
     (Dcm.Checksum.verify ~data:"hellp"
        ~checksum:(Dcm.Checksum.to_hex (Dcm.Checksum.adler32 "hello")))
+
+(* Delta pushes (against [target^".last"]).  The first push of a target
+   must go full; a repeat with mostly-unchanged members must ride the
+   manifest exchange, keeping unchanged members off the wire. *)
+
+let big_files ~version =
+  List.init 20 (fun i ->
+      let body = String.make 2048 (Char.chr (Char.code 'a' + (i mod 26))) in
+      (Printf.sprintf "m%02d.db" i, body ^ version ^ "\n"))
+
+let test_second_push_is_delta () =
+  let _, net, srv, _ = setup () in
+  let v1 = big_files ~version:"v1" in
+  let s1 =
+    match push ~files:v1 net with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "first push failed"
+  in
+  Alcotest.(check bool) "first push is full" false s1.Dcm.Update.delta;
+  (* change one member out of twenty *)
+  let v2 =
+    List.map
+      (fun (n, c) -> (n, if n = "m03.db" then c ^ "edit\n" else c))
+      v1
+  in
+  let s2 =
+    match
+      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~base:v1 ~target:"/tmp/out"
+        ~files:v2 ~script:"install.sh" ()
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "delta push failed"
+  in
+  Alcotest.(check bool) "second push is delta" true s2.Dcm.Update.delta;
+  Alcotest.(check int) "19 members kept" 19 s2.Dcm.Update.members_kept;
+  Alcotest.(check bool) "changed member shipped" true
+    (s2.Dcm.Update.members_patched + s2.Dcm.Update.members_full = 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "wire %d < 10%% of archive %d" s2.Dcm.Update.wire_bytes
+       s2.Dcm.Update.archive_bytes)
+    true
+    (s2.Dcm.Update.wire_bytes * 10 < s2.Dcm.Update.archive_bytes);
+  let fs = Netsim.Host.fs srv in
+  Alcotest.(check (option string)) "edited member installed"
+    (List.assoc_opt "m03.db" v2)
+    (Netsim.Vfs.read fs ~path:"/etc/data/m03.db");
+  Alcotest.(check (option string)) "kept member installed"
+    (List.assoc_opt "m07.db" v2)
+    (Netsim.Vfs.read fs ~path:"/etc/data/m07.db")
+
+let test_delta_push_crash_mid_install () =
+  (* The delta path reconstructs and stages the full archive before
+     execution, so section 5.9's mid-install analysis is unchanged: a
+     crash between member swaps leaves every file fully old or fully
+     new, and the retry completes. *)
+  let _, net, srv, _ = setup () in
+  ignore (push ~files:[ ("a.db", "a-v1"); ("b.db", "b-v1") ] net);
+  Netsim.Host.arm_crash srv ~point:"mid_install";
+  let v2 = [ ("a.db", "a-v2"); ("b.db", "b-v2") ] in
+  let delta_push () =
+    Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV"
+      ~base:[ ("a.db", "a-v1"); ("b.db", "b-v1") ] ~target:"/tmp/out"
+      ~files:v2 ~script:"install.sh" ()
+  in
+  (match delta_push () with
+  | Error (Dcm.Update.Soft _) -> ()
+  | _ -> Alcotest.fail "mid-install crash not soft");
+  Netsim.Host.boot srv;
+  let fs = Netsim.Host.fs srv in
+  let a = Netsim.Vfs.read fs ~path:"/etc/data/a.db" in
+  let b = Netsim.Vfs.read fs ~path:"/etc/data/b.db" in
+  Alcotest.(check bool) "a complete" true (a = Some "a-v1" || a = Some "a-v2");
+  Alcotest.(check bool) "b complete" true (b = Some "b-v1" || b = Some "b-v2");
+  (match delta_push () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "retry failed");
+  Alcotest.(check (option string)) "a v2 after retry" (Some "a-v2")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db");
+  Alcotest.(check (option string)) "b v2 after retry" (Some "b-v2")
+    (Netsim.Vfs.read fs ~path:"/etc/data/b.db")
+
+let test_garbage_last_falls_back_to_full () =
+  (* A corrupt server-side base must not poison the push: the manifest /
+     reconstruction disagreement turns into a full transfer in the same
+     push, and the install is correct. *)
+  let _, net, srv, _ = setup () in
+  ignore (push ~files:[ ("a.db", "a-v1") ] net);
+  let fs = Netsim.Host.fs srv in
+  Netsim.Vfs.write fs ~path:"/tmp/out.last" "garbage, not an archive";
+  let s =
+    match
+      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV"
+        ~base:[ ("a.db", "a-v1") ] ~target:"/tmp/out"
+        ~files:[ ("a.db", "a-v2") ] ~script:"install.sh" ()
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "push with garbage base failed"
+  in
+  Alcotest.(check bool) "fell back to full" false s.Dcm.Update.delta;
+  Alcotest.(check (option string)) "installed despite garbage base"
+    (Some "a-v2")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db")
+
+let test_stale_base_on_client_still_correct () =
+  (* The DCM's kept base can be wrong (e.g. after a restart it guesses):
+     patches carry their base checksum, so a stale client base degrades
+     to full members, never to corrupt installs. *)
+  let _, net, srv, _ = setup () in
+  ignore (push ~files:[ ("a.db", "a-v1"); ("b.db", "b-v1") ] net);
+  (match
+     Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV"
+       ~base:[ ("a.db", "WRONG"); ("b.db", "b-v1") ] ~target:"/tmp/out"
+       ~files:[ ("a.db", "a-v2"); ("b.db", "b-v2") ] ~script:"install.sh" ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "push with stale client base failed");
+  let fs = Netsim.Host.fs srv in
+  Alcotest.(check (option string)) "a correct" (Some "a-v2")
+    (Netsim.Vfs.read fs ~path:"/etc/data/a.db");
+  Alcotest.(check (option string)) "b correct" (Some "b-v2")
+    (Netsim.Vfs.read fs ~path:"/etc/data/b.db")
 
 let prop_tarlike_roundtrip =
   QCheck.Test.make ~name:"tarlike: pack/unpack roundtrip" ~count:200
@@ -246,6 +367,13 @@ let suite =
     Alcotest.test_case "checksum detects corruption" `Quick
       test_checksum_detects_corruption;
     Alcotest.test_case "revert instruction" `Quick test_revert_instruction;
+    Alcotest.test_case "second push is delta" `Quick test_second_push_is_delta;
+    Alcotest.test_case "delta push crash mid-install" `Quick
+      test_delta_push_crash_mid_install;
+    Alcotest.test_case "garbage .last falls back to full" `Quick
+      test_garbage_last_falls_back_to_full;
+    Alcotest.test_case "stale client base still correct" `Quick
+      test_stale_base_on_client_still_correct;
     Alcotest.test_case "tarlike roundtrip" `Quick test_tarlike_roundtrip;
     Alcotest.test_case "checksum function" `Quick test_checksum_function;
     QCheck_alcotest.to_alcotest prop_tarlike_roundtrip;
