@@ -9,6 +9,11 @@
 
 open Workload
 
+(* BENCH_SMOKE=1 (CI): tiny populations, short quotas -- the point is to
+   exercise every code path and the outputs-identical checks, not to
+   produce publishable numbers. *)
+let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None
+
 let line = String.make 78 '-'
 
 let header title =
@@ -20,8 +25,9 @@ let header title =
 let run_bechamel ~name tests =
   let open Bechamel in
   let cfg =
-    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None
-      ~stabilize:true ()
+    Benchmark.cfg ~limit:1000
+      ~quota:(Time.second (if smoke then 0.1 else 0.5))
+      ~kde:None ~stabilize:true ()
   in
   let measure = Toolkit.Instance.monotonic_clock in
   let raw = Benchmark.all cfg [ measure ] (Test.make_grouped ~name tests) in
@@ -627,7 +633,7 @@ let bench_scale () =
 (* per-user ACL walk, file-grain rebuilds, and delta-push wire bytes.   *)
 
 (* machine-readable results land in BENCH_dcm.json *)
-type jv = I of int | F of float | S of string | L of string list
+type jv = I of int | F of float | S of string | B of bool | L of string list
 
 let json_entries : (string * (string * jv) list) list ref = ref []
 let json_add name fields = json_entries := (name, fields) :: !json_entries
@@ -641,6 +647,7 @@ let json_write path =
       | I i -> string_of_int i
       | F f -> Printf.sprintf "%.3f" f
       | S s -> jstr s
+      | B b -> if b then "true" else "false"
       | L ss -> "[" ^ String.concat ", " (List.map jstr ss) ^ "]")
   in
   Buffer.add_string b "{\n  \"experiments\": [\n";
@@ -657,6 +664,7 @@ let json_write path =
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
+  json_entries := [];
   Printf.printf "\nwrote %s\n" path
 
 let time_ms f =
@@ -777,8 +785,10 @@ let bench_gen () =
      rebuilds, delta-push wire bytes (BENCH_dcm.json)";
 
   (* -- part A: grplist/aliases extraction, naive vs closure, at 1x -- *)
-  Printf.printf "building paper-scale population (1x)...\n%!";
-  let spec1 = Population.scaled Population.default 1.0 in
+  let base_scale = if smoke then 0.2 else 1.0 in
+  let rounds n = if smoke then 1 else n in
+  Printf.printf "building paper-scale population (%gx)...\n%!" base_scale;
+  let spec1 = Population.scaled Population.default base_scale in
   let tb = Testbed.create ~spec:spec1 ~dcm_every_min:1_000_000 () in
   let glue = tb.Testbed.glue in
   let mdb = tb.Testbed.mdb in
@@ -813,21 +823,21 @@ let bench_gen () =
          [ ("shell", Relation.Value.Str shell) ])
   in
   let ((_, n_grp_out), n_grp) =
-    best_of ~prep:touch_user 5 (fun () -> naive_grplist mdb)
+    best_of ~prep:touch_user (rounds 5) (fun () -> naive_grplist mdb)
   in
   let ((_, n_ali_out), n_ali) =
-    best_of ~prep:touch_user 5 (fun () -> naive_aliases mdb)
+    best_of ~prep:touch_user (rounds 5) (fun () -> naive_aliases mdb)
   in
   let grp_part = part_of Dcm.Gen_hesiod.generator "grplist" in
   let ali_part = part_of Dcm.Gen_mail.generator "aliases" in
   (* the one-pass closure is rebuilt only when members changes and is
      shared by every part (grplist, aliases, ...); measure it apart *)
-  let (_, t_closure) = best_of 3 (fun () -> Moira.Closure.build mdb) in
+  let (_, t_closure) = best_of (rounds 3) (fun () -> Moira.Closure.build mdb) in
   let (c_grp_out, c_grp) =
-    best_of ~prep:touch_user 9 (fun () -> grp_part.Dcm.Gen.pbuild glue)
+    best_of ~prep:touch_user (rounds 9) (fun () -> grp_part.Dcm.Gen.pbuild glue)
   in
   let (c_ali_out, c_ali) =
-    best_of ~prep:touch_user 9 (fun () -> ali_part.Dcm.Gen.pbuild glue)
+    best_of ~prep:touch_user (rounds 9) (fun () -> ali_part.Dcm.Gen.pbuild glue)
   in
   let file out name = List.assoc name out.Dcm.Gen.common in
   let identical =
@@ -857,7 +867,7 @@ let bench_gen () =
       ("closure_aliases_ms", F c_ali);
       ("speedup", F speedup);
       ("speedup_incl_closure_build", F speedup_cold);
-      ("outputs_identical", S (string_of_bool identical));
+      ("outputs_identical", B identical);
     ];
 
   (* -- part B: full vs incremental DCM pass and wire bytes, 1x/2x/4x -- *)
@@ -868,7 +878,7 @@ let bench_gen () =
   List.iter
     (fun scale ->
       let tb =
-        if scale = 1.0 then tb
+        if scale = base_scale then tb
         else
           Testbed.create
             ~spec:(Population.scaled Population.default scale)
@@ -920,11 +930,165 @@ let bench_gen () =
           ("rebuilt", L hes_incr.Dcm.Manager.rebuilt);
           ("spliced", I hes_incr.Dcm.Manager.spliced);
         ])
-    [ 1.0; 2.0; 4.0 ];
+    (if smoke then [ base_scale ] else [ 1.0; 2.0; 4.0 ]);
   Printf.printf
     "\n(a single-user change rebuilds only the parts watching the users\n\
     \ relation and ships member deltas: well under 10%% of the archive)\n";
   json_write "BENCH_dcm.json"
+
+(* ------------------------------------------------------------------ *)
+(* qry: compiled query plans + the named-query plan cache vs naive      *)
+(* per-row predicate evaluation (BENCH_query.json).                     *)
+
+(* The pre-planner evaluation strategy, verbatim: walk every row and run
+   [Pred.eval], which resolves each column name through the schema
+   hashtable on every row.  This is what every glob, range, OR and
+   case-folded lookup cost before the planner, and what un-indexed
+   queries still cost. *)
+let naive_select t p =
+  let schema = Relation.Table.schema t in
+  List.rev
+    (Relation.Table.fold t ~init:[] ~f:(fun acc id row ->
+         if Relation.Pred.eval schema p row then (id, row) :: acc else acc))
+
+let bench_qry () =
+  header
+    "qry: compiled plans + plan cache vs naive predicate evaluation\n\
+     (BENCH_query.json)";
+  let scales = if smoke then [ 0.2 ] else [ 1.0; 2.0; 4.0 ] in
+  let rounds = if smoke then 2 else 5 in
+  (* per-op real time: calibrate an iteration count off one run, then
+     take the best of [rounds] timed loops *)
+  let time_per_op_us f =
+    let (_, once_ms) = time_ms f in
+    let iters =
+      max 1 (min 200_000 (int_of_float (20.0 /. max 0.0005 once_ms)))
+    in
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (f ())
+      done;
+      let t = Unix.gettimeofday () -. t0 in
+      if t < !best then best := t
+    done;
+    !best /. float_of_int iters *. 1_000_000.
+  in
+  List.iter
+    (fun scale ->
+      Printf.printf "\nbuilding %gx population...\n%!" scale;
+      let tb =
+        Testbed.create
+          ~spec:(Population.scaled Population.default scale)
+          ~dcm_every_min:1_000_000 ()
+      in
+      let mdb = tb.Testbed.mdb in
+      let users = Moira.Mdb.table mdb "users" in
+      let n_users = Relation.Table.cardinal users in
+      let logins = tb.Testbed.built.Population.logins in
+      let pick i = logins.(i * Array.length logins / 8) in
+      let mid = pick 4 in
+      let prefix = String.sub mid 0 (min 3 (String.length mid)) in
+      (* a uid window covering roughly 1% of the population *)
+      let uids =
+        List.sort Int.compare
+          (Relation.Table.fold users ~init:[] ~f:(fun acc _ row ->
+               Relation.Value.int row.(2) :: acc))
+      in
+      let nth_uid n = List.nth uids (min n (List.length uids - 1)) in
+      let uid_lo = nth_uid (n_users / 4) in
+      let uid_hi = nth_uid ((n_users / 4) + max 4 (n_users / 100)) in
+      let open Relation in
+      let queries =
+        [
+          ("eq_indexed", Pred.eq_str "login" mid);
+          ( "or_of_eqs",
+            Pred.disj
+              [
+                Pred.eq_str "login" (pick 1);
+                Pred.eq_str "login" (pick 2);
+                Pred.eq_str "login" mid;
+              ] );
+          ("prefix_glob", Pred.Glob ("login", prefix ^ "*"));
+          ( "range_uid",
+            Pred.And
+              (Pred.Ge ("uid", Value.Int uid_lo),
+               Pred.Lt ("uid", Value.Int uid_hi)) );
+          ("fold_eq", Pred.Glob_fold ("login", String.uppercase_ascii mid));
+        ]
+      in
+      Printf.printf "%-12s %5s | %10s %10s %10s | %7s %7s | %s\n" "query"
+        "rows" "naive us" "compile us" "cached us" "vs-cmp" "vs-hot" "path";
+      List.iter
+        (fun (qname, pred) ->
+          let expected = naive_select users pred in
+          let shape, params = Pred.split pred in
+          (* compiled-but-uncached: pay shape compilation on every call *)
+          let compiled_once () =
+            Table.plan_select (Table.compile_shape users shape) params
+          in
+          Plan.reset_cache ();
+          ignore (Plan.select users pred);
+          let identical =
+            compiled_once () = expected && Plan.select users pred = expected
+          in
+          if not identical then
+            failwith ("plan output diverges from naive eval: " ^ qname);
+          let naive_us = time_per_op_us (fun () -> naive_select users pred) in
+          let compiled_us = time_per_op_us compiled_once in
+          let cached_us = time_per_op_us (fun () -> Plan.select users pred) in
+          let path = Table.plan_explain (Plan.prepare users shape) in
+          Printf.printf
+            "%-12s %5d | %10.2f %10.2f %10.2f | %6.1fx %6.1fx | %s\n%!" qname
+            (List.length expected) naive_us compiled_us cached_us
+            (naive_us /. compiled_us) (naive_us /. cached_us) path;
+          json_add (Printf.sprintf "qry_%s_%gx" qname scale)
+            [
+              ("scale", F scale);
+              ("users", I n_users);
+              ("rows_returned", I (List.length expected));
+              ("naive_us", F naive_us);
+              ("compiled_us", F compiled_us);
+              ("cached_us", F cached_us);
+              ("speedup_compiled", F (naive_us /. compiled_us));
+              ("speedup_cached", F (naive_us /. cached_us));
+              ("path", S path);
+              ("outputs_identical", B identical);
+            ])
+        queries;
+      (* server-side dispatch: the full named-query path (registry find,
+         access check, handler, projection) through the glue library,
+         with warm plans vs the cache reset before every call *)
+      let glue = tb.Testbed.glue in
+      let dispatch () =
+        match Moira.Glue.query glue ~name:"get_user_by_login" [ mid ] with
+        | Ok _ -> ()
+        | Error c -> failwith (Comerr.Com_err.error_message c)
+      in
+      ignore (dispatch ());
+      let warm_us = time_per_op_us dispatch in
+      let cold_us =
+        time_per_op_us (fun () ->
+            Relation.Plan.reset_cache ();
+            dispatch ())
+      in
+      Printf.printf
+        "dispatch get_user_by_login: warm-cache %.2f us/op (%.0f qps), \
+         cache-reset %.2f us/op\n%!"
+        warm_us (1_000_000. /. warm_us) cold_us;
+      json_add (Printf.sprintf "qry_dispatch_%gx" scale)
+        [
+          ("scale", F scale);
+          ("users", I n_users);
+          ("query", S "get_user_by_login");
+          ("warm_cache_us", F warm_us);
+          ("warm_cache_qps", F (1_000_000. /. warm_us));
+          ("cache_reset_us", F cold_us);
+        ])
+    scales;
+  json_write "BENCH_query.json"
 
 (* ------------------------------------------------------------------ *)
 
@@ -933,6 +1097,7 @@ let experiments =
     ("table1", bench_table1);
     ("dcm", bench_dcm);
     ("gen", bench_gen);
+    ("qry", bench_qry);
     ("connect", bench_connect);
     ("glue", bench_glue);
     ("noop", bench_noop);

@@ -32,7 +32,7 @@ let ace_name mdb ace =
   | _ -> Printf.sprintf "#%d" ace.ace_id
 
 let is_member_of_list mdb ~list_id ~mtype ~mid =
-  Table.exists (Mdb.table mdb "members")
+  Plan.exists (Mdb.table mdb "members")
     (Pred.conj
        [
          Pred.eq_int "list_id" list_id;
@@ -41,7 +41,7 @@ let is_member_of_list mdb ~list_id ~mtype ~mid =
        ])
 
 let direct_members mdb list_id =
-  Table.select (Mdb.table mdb "members") (Pred.eq_int "list_id" list_id)
+  Plan.select (Mdb.table mdb "members") (Pred.eq_int "list_id" list_id)
   |> List.map (fun (_, row) -> (Value.str row.(1), Value.int row.(2)))
 
 (* Recursive reachability with a visited set guarding against the
@@ -85,7 +85,7 @@ let login_on_ace mdb ace ~login =
 let set_capacl mdb ~query ~tag ~list_id =
   let tbl = Mdb.table mdb "capacls" in
   let n =
-    Table.set_fields tbl
+    Plan.set_fields tbl
       (Pred.eq_str "capability" query)
       [ ("tag", Value.Str tag); ("list_id", Value.Int list_id) ]
   in
@@ -96,7 +96,7 @@ let set_capacl mdb ~query ~tag ~list_id =
 
 let query_allowed mdb ~query ~login =
   match
-    Table.select_one (Mdb.table mdb "capacls")
+    Plan.select_one (Mdb.table mdb "capacls")
       (Pred.eq_str "capability" query)
   with
   | None -> false
@@ -107,7 +107,7 @@ let query_allowed mdb ~query ~login =
       | Some users_id -> user_in_list mdb ~list_id ~users_id)
 
 let lists_of_user mdb ~users_id =
-  Table.select (Mdb.table mdb "members")
+  Plan.select (Mdb.table mdb "members")
     (Pred.conj
        [ Pred.eq_str "member_type" "USER"; Pred.eq_int "member_id" users_id ])
   |> List.map (fun (_, row) -> Value.int row.(0))
@@ -147,7 +147,7 @@ let expand_users mdb ~list_id =
   |> List.sort_uniq String.compare
 
 let direct_containers mdb ~mtype ~mid =
-  Table.select (Mdb.table mdb "members")
+  Plan.select (Mdb.table mdb "members")
     (Pred.conj
        [ Pred.eq_str "member_type" mtype; Pred.eq_int "member_id" mid ])
   |> List.map (fun (_, row) -> Value.int row.(0))

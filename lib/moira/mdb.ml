@@ -20,14 +20,14 @@ let now t = Db.now t.db
 let table t name = Db.table t.db name
 
 let get_value t name =
-  match Table.select_one (table t "values") (Pred.eq_str "name" name) with
+  match Plan.select_one (table t "values") (Pred.eq_str "name" name) with
   | Some (_, row) -> Some (Value.int row.(1))
   | None -> None
 
 let set_value t name v =
   let tbl = table t "values" in
   let n =
-    Table.set_fields tbl (Pred.eq_str "name" name) [ ("value", Value.Int v) ]
+    Plan.set_fields tbl (Pred.eq_str "name" name) [ ("value", Value.Int v) ]
   in
   if n = 0 then
     ignore (Table.insert tbl [| Value.Str name; Value.Int v |])
@@ -43,7 +43,7 @@ let alloc_id t hint =
       100_000
 
 let find_string t s =
-  match Table.select_one (table t "strings") (Pred.eq_str "string" s) with
+  match Plan.select_one (table t "strings") (Pred.eq_str "string" s) with
   | Some (_, row) -> Some (Value.int row.(0))
   | None -> None
 
@@ -56,18 +56,18 @@ let intern_string t s =
       id
 
 let string_of_id t id =
-  match Table.select_one (table t "strings") (Pred.eq_int "string_id" id) with
+  match Plan.select_one (table t "strings") (Pred.eq_int "string_id" id) with
   | Some (_, row) -> Some (Value.str row.(1))
   | None -> None
 
 let valid_type t ~field v =
-  Table.exists (table t "alias")
+  Plan.exists (table t "alias")
     (Pred.conj
        [ Pred.eq_str "name" field; Pred.eq_str "type" "TYPE";
          Pred.eq_str "trans" v ])
 
 let type_values t ~field =
-  Table.select (table t "alias")
+  Plan.select (table t "alias")
     (Pred.conj [ Pred.eq_str "name" field; Pred.eq_str "type" "TYPE" ])
   |> List.map (fun (_, row) -> Value.str row.(2))
 
@@ -85,7 +85,7 @@ let sync_tblstats t =
       if name <> "tblstats" then begin
         let s = Table.stats tbl in
         ignore
-          (Table.set_fields stats_tbl (Pred.eq_str "table" name)
+          (Plan.set_fields stats_tbl (Pred.eq_str "table" name)
              [
                ("appends", Value.Int s.Table.appends);
                ("updates", Value.Int s.Table.updates);

@@ -54,9 +54,10 @@ let restrict_to_self (ctx : Query.ctx) qname rows =
 
 let get_by pred_of qname ctx args =
   let pred = pred_of ctx args in
-  let* rows = rows_or_no_match (Table.select (users ctx) pred) in
+  let* rows = rows_or_no_match (Plan.select (users ctx) pred) in
   let* rows = restrict_to_self ctx qname rows in
-  Ok (List.map (fun (_, row) -> project (users ctx) full_cols row) rows)
+  let proj = projector (users ctx) full_cols in
+  Ok (List.map (fun (_, row) -> proj row) rows)
 
 let self_in_args (ctx : Query.ctx) args =
   match args with [ a ] -> caller_is ctx a | _ -> false
@@ -71,7 +72,7 @@ let allocate_uid ctx uid_arg =
   else int_arg uid_arg
 
 let user_exists ctx login =
-  Table.exists (users ctx) (Pred.eq_str "login" login)
+  Plan.exists (users ctx) (Pred.eq_str "login" login)
 
 (* serverhosts.value1 tracks "the number of poboxes assigned to this
    server": every pobox move must adjust the counters. *)
@@ -79,7 +80,7 @@ let adjust_pop_count (ctx : Query.ctx) mach_id delta =
   if mach_id <> 0 then begin
     let shosts = Mdb.table ctx.mdb "serverhosts" in
     ignore
-      (Table.update shosts
+      (Plan.update shosts
          (Pred.conj
             [ Pred.eq_str "service" "POP"; Pred.eq_int "mach_id" mach_id ])
          (fun row ->
@@ -106,8 +107,9 @@ let q_get_all_logins =
     check_access = Query.access_acl "get_all_logins";
     handler =
       (fun ctx _ ->
-        let rows = Table.select (users ctx) Pred.True in
-        Ok (List.map (fun (_, r) -> project (users ctx) summary_cols r) rows));
+        let rows = Plan.select (users ctx) Pred.True in
+        let proj = projector (users ctx) summary_cols in
+        Ok (List.map (fun (_, r) -> proj r) rows));
   }
 
 let q_get_all_active_logins =
@@ -121,10 +123,11 @@ let q_get_all_active_logins =
     handler =
       (fun ctx _ ->
         let rows =
-          Table.select (users ctx)
+          Plan.select (users ctx)
             (Pred.eq_int "status" Mrconst.user_active)
         in
-        Ok (List.map (fun (_, r) -> project (users ctx) summary_cols r) rows));
+        let proj = projector (users ctx) summary_cols in
+            Ok (List.map (fun (_, r) -> proj r) rows));
   }
 
 let q_get_user_by_login =
@@ -160,10 +163,11 @@ let q_get_user_by_uid =
             let* uid = int_arg uid in
             let* rows =
               rows_or_no_match
-                (Table.select (users ctx) (Pred.eq_int "uid" uid))
+                (Plan.select (users ctx) (Pred.eq_int "uid" uid))
             in
             let* rows = restrict_to_self ctx "get_user_by_uid" rows in
-            Ok (List.map (fun (_, r) -> project (users ctx) full_cols r) rows)
+            let proj = projector (users ctx) full_cols in
+            Ok (List.map (fun (_, r) -> proj r) rows)
         | _ -> Error Mr_err.args);
   }
 
@@ -183,9 +187,10 @@ let q_get_user_by_name =
               Pred.And
                 (Pred.name_match "first" first, Pred.name_match "last" last)
             in
-            let* rows = rows_or_no_match (Table.select (users ctx) pred) in
+            let* rows = rows_or_no_match (Plan.select (users ctx) pred) in
             let* rows = restrict_to_self ctx "get_user_by_name" rows in
-            Ok (List.map (fun (_, r) -> project (users ctx) full_cols r) rows)
+            let proj = projector (users ctx) full_cols in
+            Ok (List.map (fun (_, r) -> proj r) rows)
         | _ -> Error Mr_err.args);
   }
 
@@ -203,9 +208,10 @@ let q_get_user_by_class =
         | [ cls ] ->
             let* rows =
               rows_or_no_match
-                (Table.select (users ctx) (Pred.name_match "mit_year" cls))
+                (Plan.select (users ctx) (Pred.name_match "mit_year" cls))
             in
-            Ok (List.map (fun (_, r) -> project (users ctx) full_cols r) rows)
+            let proj = projector (users ctx) full_cols in
+            Ok (List.map (fun (_, r) -> proj r) rows)
         | _ -> Error Mr_err.args);
   }
 
@@ -223,9 +229,10 @@ let q_get_user_by_mitid =
         | [ mitid ] ->
             let* rows =
               rows_or_no_match
-                (Table.select (users ctx) (Pred.name_match "mit_id" mitid))
+                (Plan.select (users ctx) (Pred.name_match "mit_id" mitid))
             in
-            Ok (List.map (fun (_, r) -> project (users ctx) full_cols r) rows)
+            let proj = projector (users ctx) full_cols in
+            Ok (List.map (fun (_, r) -> proj r) rows)
         | _ -> Error Mr_err.args);
   }
 
@@ -308,7 +315,7 @@ let do_register_user (ctx : Query.ctx) uid login fstype =
   let* fstype = int_arg fstype in
   let* () = check_name login in
   let* row =
-    match Table.select tbl (Pred.eq_int "uid" uid) with
+    match Plan.select tbl (Pred.eq_int "uid" uid) with
     | [] -> Error Mr_err.no_match
     | [ (_, row) ] -> Ok row
     | _ -> Error Mr_err.not_unique
@@ -328,7 +335,7 @@ let do_register_user (ctx : Query.ctx) uid login fstype =
      load = value1 (boxes assigned), capacity = value2. *)
   let shosts = Mdb.table mdb "serverhosts" in
   let pops =
-    Table.select shosts
+    Plan.select shosts
       (Pred.conj [ Pred.eq_str "service" "POP"; Pred.eq_bool "enable" true ])
   in
   let* pop_row =
@@ -352,7 +359,7 @@ let do_register_user (ctx : Query.ctx) uid login fstype =
   in
   let pop_mach = Value.int (Table.field shosts pop_row "mach_id") in
   ignore
-    (Table.set_fields shosts
+    (Plan.set_fields shosts
        (Pred.conj
           [ Pred.eq_str "service" "POP"; Pred.eq_int "mach_id" pop_mach ])
        [ seti "value1" (Value.int (Table.field shosts pop_row "value1") + 1) ]);
@@ -380,7 +387,7 @@ let do_register_user (ctx : Query.ctx) uid login fstype =
     List.filter
       (fun (_, r) ->
         Value.int (Table.field nfsphys r "status") land fstype <> 0)
-      (Table.select nfsphys Pred.True)
+      (Plan.select nfsphys Pred.True)
   in
   let* part =
     match
@@ -421,12 +428,12 @@ let do_register_user (ctx : Query.ctx) uid login fstype =
          Value.Int now; Value.Str who; Value.Str ctx.client;
        |]);
   ignore
-    (Table.set_fields nfsphys (Pred.eq_int "nfsphys_id" phys_id)
+    (Plan.set_fields nfsphys (Pred.eq_int "nfsphys_id" phys_id)
        [ seti "allocated"
            (Value.int (Table.field nfsphys part "allocated") + quota) ]);
   (* Finally flip the user to half-registered with the real login. *)
   ignore
-    (Table.set_fields tbl (Pred.eq_int "users_id" users_id)
+    (Plan.set_fields tbl (Pred.eq_int "users_id" users_id)
        ([
           set "login" login;
           seti "status" Mrconst.user_half_registered;
@@ -470,7 +477,7 @@ let q_update_user =
             let tbl = users ctx in
             let* _row =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             let* () =
               if Mdb.valid_type ctx.mdb ~field:"class" cls then Ok ()
@@ -483,7 +490,7 @@ let q_update_user =
               Error Mr_err.not_unique
             else begin
               ignore
-                (Table.set_fields tbl (Pred.eq_str "login" login)
+                (Plan.set_fields tbl (Pred.eq_str "login" login)
                    ([
                       set "login" newlogin; seti "uid" uid; set "shell" shell;
                       set "last" last; set "first" first; set "middle" middle;
@@ -513,10 +520,10 @@ let q_update_user_shell =
             let tbl = users ctx in
             let* _ =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             ignore
-              (Table.set_fields tbl (Pred.eq_str "login" login)
+              (Plan.set_fields tbl (Pred.eq_str "login" login)
                  (set "shell" shell :: stamp_fields ctx ()));
             Ok []
         | _ -> Error Mr_err.args);
@@ -537,11 +544,11 @@ let q_update_user_status =
             let tbl = users ctx in
             let* _ =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             let* status = int_arg status in
             ignore
-              (Table.set_fields tbl (Pred.eq_str "login" login)
+              (Plan.set_fields tbl (Pred.eq_str "login" login)
                  (seti "status" status :: stamp_fields ctx ()));
             Ok []
         | _ -> Error Mr_err.args);
@@ -552,24 +559,24 @@ let q_update_user_status =
    server ACEs, hostaccess ACEs). *)
 let user_references (ctx : Query.ctx) users_id =
   let mdb = ctx.mdb in
-  Table.exists (Mdb.table mdb "members")
+  Plan.exists (Mdb.table mdb "members")
     (Pred.conj
        [ Pred.eq_str "member_type" "USER"; Pred.eq_int "member_id" users_id ])
-  || Table.exists (Mdb.table mdb "nfsquota") (Pred.eq_int "users_id" users_id)
-  || Table.exists (Mdb.table mdb "filesys") (Pred.eq_int "owner" users_id)
-  || Table.exists (Mdb.table mdb "list")
+  || Plan.exists (Mdb.table mdb "nfsquota") (Pred.eq_int "users_id" users_id)
+  || Plan.exists (Mdb.table mdb "filesys") (Pred.eq_int "owner" users_id)
+  || Plan.exists (Mdb.table mdb "list")
        (Pred.conj
           [ Pred.eq_str "acl_type" "USER"; Pred.eq_int "acl_id" users_id ])
-  || Table.exists (Mdb.table mdb "servers")
+  || Plan.exists (Mdb.table mdb "servers")
        (Pred.conj
           [ Pred.eq_str "acl_type" "USER"; Pred.eq_int "acl_id" users_id ])
-  || Table.exists (Mdb.table mdb "hostaccess")
+  || Plan.exists (Mdb.table mdb "hostaccess")
        (Pred.conj
           [ Pred.eq_str "acl_type" "USER"; Pred.eq_int "acl_id" users_id ])
 
 let delete_by pred require_status_zero ctx =
   let tbl = users ctx in
-  let* row = exactly_one ~err:Mr_err.user (Table.select tbl pred) in
+  let* row = exactly_one ~err:Mr_err.user (Plan.select tbl pred) in
   let users_id = Value.int (Table.field tbl row "users_id") in
   let* () =
     if
@@ -581,7 +588,7 @@ let delete_by pred require_status_zero ctx =
   in
   if user_references ctx users_id then Error Mr_err.in_use
   else begin
-    ignore (Table.delete tbl pred);
+    ignore (Plan.delete tbl pred);
     Ok []
   end
 
@@ -632,7 +639,7 @@ let q_get_finger_by_login =
             let tbl = users ctx in
             let* row =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             Ok [ project tbl finger_cols row ]
         | _ -> Error Mr_err.args);
@@ -658,10 +665,10 @@ let q_update_finger_by_login =
             let tbl = users ctx in
             let* _ =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             ignore
-              (Table.set_fields tbl (Pred.eq_str "login" login)
+              (Plan.set_fields tbl (Pred.eq_str "login" login)
                  ([
                     set "fullname" fullname; set "nickname" nickname;
                     set "home_addr" home_addr; set "home_phone" home_phone;
@@ -697,7 +704,7 @@ let q_get_pobox =
             let tbl = users ctx in
             let* row =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             Ok
               [
@@ -714,7 +721,7 @@ let poboxes_of_type ctx ty =
     | Some t -> Pred.eq_str "potype" t
     | None -> Pred.Not (Pred.eq_str "potype" "NONE")
   in
-  Table.select tbl pred |> List.map (fun (_, row) -> pobox_tuple ctx row)
+  Plan.select tbl pred |> List.map (fun (_, row) -> pobox_tuple ctx row)
 
 let q_get_all_poboxes =
   {
@@ -767,7 +774,7 @@ let q_set_pobox =
             let ty = String.uppercase_ascii ty in
             let* _ =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             let* () =
               if Mdb.valid_type ctx.mdb ~field:"pobox" ty then Ok ()
@@ -775,7 +782,7 @@ let q_set_pobox =
             in
             let* row =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             let old_pop = current_pop ctx row in
             let* fields, new_pop =
@@ -791,7 +798,7 @@ let q_set_pobox =
               | _ -> Ok ([ set "potype" "NONE" ], 0)
             in
             ignore
-              (Table.set_fields tbl (Pred.eq_str "login" login)
+              (Plan.set_fields tbl (Pred.eq_str "login" login)
                  (fields @ stamp_fields ctx ~prefix:"p" ()));
             if old_pop <> new_pop then begin
               adjust_pop_count ctx old_pop (-1);
@@ -816,14 +823,14 @@ let q_set_pobox_pop =
             let tbl = users ctx in
             let* row =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             let pop = Value.int (Table.field tbl row "pop_id") in
             if pop = 0 then Error Mr_err.machine
             else begin
               let was_pop = current_pop ctx row in
               ignore
-                (Table.set_fields tbl (Pred.eq_str "login" login)
+                (Plan.set_fields tbl (Pred.eq_str "login" login)
                    (set "potype" "POP" :: stamp_fields ctx ~prefix:"p" ()));
               if was_pop = 0 then adjust_pop_count ctx pop 1;
               Ok []
@@ -846,11 +853,11 @@ let q_delete_pobox =
             let tbl = users ctx in
             let* row =
               exactly_one ~err:Mr_err.user
-                (Table.select tbl (Pred.eq_str "login" login))
+                (Plan.select tbl (Pred.eq_str "login" login))
             in
             adjust_pop_count ctx (current_pop ctx row) (-1);
             ignore
-              (Table.set_fields tbl (Pred.eq_str "login" login)
+              (Plan.set_fields tbl (Pred.eq_str "login" login)
                  (set "potype" "NONE" :: stamp_fields ctx ~prefix:"p" ()));
             Ok []
         | _ -> Error Mr_err.args);

@@ -33,8 +33,15 @@ let check_name s = if name_ok s then Ok () else Error Mr_err.bad_char
 let no_wildcard s =
   if Glob.is_pattern s then Error Mr_err.wildcard else Ok ()
 
-let project tbl cols row =
-  List.map (fun c -> Value.to_string (Table.field tbl row c)) cols
+(* Resolve the column offsets once; the returned closure projects each
+   row without per-row name lookups (pairs with the compiled plans in
+   [Relation.Plan] for multi-row retrievals). *)
+let projector tbl cols =
+  let schema = Table.schema tbl in
+  let idx = List.map (Schema.index_of schema) cols in
+  fun (row : Value.t array) -> List.map (fun i -> Value.to_string row.(i)) idx
+
+let project tbl cols row = projector tbl cols row
 
 let rows_or_no_match = function
   | [] -> Error Mr_err.no_match

@@ -28,9 +28,16 @@ val check_name : string -> (unit, int) result
 val no_wildcard : string -> (unit, int) result
 (** [Mr_err.wildcard] if the argument contains [*] or [?]. *)
 
+val projector :
+  Relation.Table.t -> string list -> Relation.Value.t array -> string list
+(** [projector tbl cols] resolves the column offsets once and returns a
+    closure rendering those columns of a row as protocol strings — use
+    it outside the per-row loop of multi-row retrievals. *)
+
 val project :
   Relation.Table.t -> string list -> Relation.Value.t array -> string list
-(** Render the named columns of a row as protocol strings. *)
+(** Render the named columns of a row as protocol strings
+    ([projector tbl cols row]; resolves names on every call). *)
 
 val rows_or_no_match :
   (Relation.Table.rowid * Relation.Value.t array) list ->

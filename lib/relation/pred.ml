@@ -45,6 +45,68 @@ let rec eval schema p tuple =
   | Or (a, b) -> eval schema a tuple || eval schema b tuple
   | Not a -> not (eval schema a tuple)
 
+type cmp = Clt | Cle | Cgt | Cge
+
+type shape =
+  | S_true
+  | S_eq of string * int
+  | S_glob of string * string
+  | S_glob_fold of string * string
+  | S_cmp of cmp * string * int
+  | S_and of shape * shape
+  | S_or of shape * shape
+  | S_not of shape
+
+(* Comparison constants become parameter slots (numbered left to right);
+   glob patterns stay in the shape because the access path depends on
+   their literal text (prefix, wildcard position). *)
+let split p =
+  let params = ref [] in
+  let n = ref 0 in
+  let slot v =
+    let i = !n in
+    incr n;
+    params := v :: !params;
+    i
+  in
+  let rec go = function
+    | True -> S_true
+    | Eq (c, v) -> S_eq (c, slot v)
+    | Glob (c, pat) -> S_glob (c, pat)
+    | Glob_fold (c, pat) -> S_glob_fold (c, pat)
+    | Lt (c, v) -> S_cmp (Clt, c, slot v)
+    | Le (c, v) -> S_cmp (Cle, c, slot v)
+    | Gt (c, v) -> S_cmp (Cgt, c, slot v)
+    | Ge (c, v) -> S_cmp (Cge, c, slot v)
+    | And (a, b) ->
+        let a' = go a in
+        let b' = go b in
+        S_and (a', b')
+    | Or (a, b) ->
+        let a' = go a in
+        let b' = go b in
+        S_or (a', b')
+    | Not a -> S_not (go a)
+  in
+  let s = go p in
+  (s, Array.of_list (List.rev !params))
+
+let fill s params =
+  let rec go = function
+    | S_true -> True
+    | S_eq (c, i) -> Eq (c, params.(i))
+    | S_glob (c, pat) -> Glob (c, pat)
+    | S_glob_fold (c, pat) -> Glob_fold (c, pat)
+    | S_cmp (Clt, c, i) -> Lt (c, params.(i))
+    | S_cmp (Cle, c, i) -> Le (c, params.(i))
+    | S_cmp (Cgt, c, i) -> Gt (c, params.(i))
+    | S_cmp (Cge, c, i) -> Ge (c, params.(i))
+    | S_and (a, b) -> And (go a, go b)
+    | S_or (a, b) -> Or (go a, go b)
+    | S_not a -> Not (go a)
+  in
+  go s
+
 let rec indexable_eqs = function
   | Eq (c, v) -> [ (c, v) ]
   | And (a, b) -> indexable_eqs a @ indexable_eqs b

@@ -42,6 +42,36 @@ val eval : Schema.t -> t -> Value.t array -> bool
     @raise Not_found if the predicate names a column absent from the
     schema. *)
 
+(** {2 Shapes — prepared-statement skeletons}
+
+    A shape is a predicate with its comparison constants replaced by
+    numbered parameter slots.  Two calls of the same named query with
+    different arguments produce the same shape, so the planner can
+    compile a shape once and reuse the plan for every argument vector
+    ({!Plan}).  Glob patterns stay literal in the shape: the access path
+    chosen at compile time depends on their text. *)
+
+type cmp = Clt | Cle | Cgt | Cge  (** Comparison operators in shapes. *)
+
+type shape =
+  | S_true
+  | S_eq of string * int  (** Column equals parameter slot. *)
+  | S_glob of string * string
+  | S_glob_fold of string * string
+  | S_cmp of cmp * string * int  (** Column compared to parameter slot. *)
+  | S_and of shape * shape
+  | S_or of shape * shape
+  | S_not of shape
+
+val split : t -> shape * Value.t array
+(** [split p] separates [p] into its shape and the parameter vector,
+    slots numbered left to right.  [fill (fst (split p)) (snd (split p))
+    = p]. *)
+
+val fill : shape -> Value.t array -> t
+(** Rebuild a predicate from a shape and parameters (inverse of
+    {!split}).  @raise Invalid_argument if the vector is too short. *)
+
 val indexable_eqs : t -> (string * Value.t) list
 (** Equality conjuncts reachable from the root through [And] nodes only —
     the candidates an index scan may serve.  Sound to use only as a

@@ -10,15 +10,28 @@ type stats = {
 
 module Int_set = Set.Make (Int)
 
+(* A bucket carries its cardinality so best-bucket selection is O(1)
+   instead of O(n) [Int_set.cardinal] per probe. *)
+type bucket = { bset : Int_set.t; bsize : int }
+
+let empty_bucket = { bset = Int_set.empty; bsize = 0 }
+
 type index = {
   col : int;
-  buckets : (string, Int_set.t) Hashtbl.t;
+  ctype : Value.ctype;
+  buckets : (string, bucket) Hashtbl.t;
   mutable version : int;
       (* bumps on insert/delete and on updates that change this column's
          value — NOT on updates that leave it alone.  Generators key
          memoized projections on the versions of exactly the columns
          they read, so e.g. a shell edit leaves a login-sorted user
          projection warm. *)
+  mutable sorted : (Value.t * bucket) array;
+      (* key-ordered view for range/prefix scans, rebuilt lazily *)
+  mutable sorted_version : int;  (* [version] it was built at; -1 = never *)
+  mutable folded : (string, bucket) Hashtbl.t;
+      (* lowercase-keyed buckets serving case-folded equality *)
+  mutable folded_version : int;
 }
 
 (* Rows live in a growable array indexed by rowid (rowids are allocated
@@ -43,8 +56,17 @@ let create ?(indexed = []) ~clock schema =
   let indexes =
     List.map
       (fun cname ->
-        { col = Schema.index_of schema cname; buckets = Hashtbl.create 64;
-          version = 0 })
+        let col = Schema.index_of schema cname in
+        {
+          col;
+          ctype = (Schema.columns schema).(col).Schema.ctype;
+          buckets = Hashtbl.create 64;
+          version = 0;
+          sorted = [||];
+          sorted_version = -1;
+          folded = Hashtbl.create 0;
+          folded_version = -1;
+        })
       indexed
   in
   incr next_uid;
@@ -67,18 +89,53 @@ let row_of t id = if id >= 0 && id < t.next_id then t.rows.(id) else None
 let key_of v = Value.to_string v
 
 let bucket_add ix k id =
-  let set =
-    Option.value (Hashtbl.find_opt ix.buckets k) ~default:Int_set.empty
-  in
-  Hashtbl.replace ix.buckets k (Int_set.add id set)
+  let b = Option.value (Hashtbl.find_opt ix.buckets k) ~default:empty_bucket in
+  let bset = Int_set.add id b.bset in
+  (* stdlib sets return the argument physically when unchanged, so the
+     tracked size cannot drift even on redundant adds *)
+  if bset != b.bset then
+    Hashtbl.replace ix.buckets k { bset; bsize = b.bsize + 1 }
 
 let bucket_remove ix k id =
   match Hashtbl.find_opt ix.buckets k with
   | None -> ()
-  | Some set ->
-      let set = Int_set.remove id set in
-      if Int_set.is_empty set then Hashtbl.remove ix.buckets k
-      else Hashtbl.replace ix.buckets k set
+  | Some b ->
+      let bset = Int_set.remove id b.bset in
+      if bset != b.bset then
+        if Int_set.is_empty bset then Hashtbl.remove ix.buckets k
+        else Hashtbl.replace ix.buckets k { bset; bsize = b.bsize - 1 }
+
+(* Lazy derived views, keyed on the index version.  [clear]/restore need
+   no special-casing: they bump [version], which invalidates both. *)
+
+let sorted_view ix =
+  if ix.sorted_version <> ix.version then begin
+    let acc =
+      Hashtbl.fold
+        (fun k b l -> (Value.of_string ix.ctype k, b) :: l)
+        ix.buckets []
+    in
+    let a = Array.of_list acc in
+    Array.sort (fun (u, _) (v, _) -> Value.compare u v) a;
+    ix.sorted <- a;
+    ix.sorted_version <- ix.version
+  end;
+  ix.sorted
+
+let folded_view ix =
+  if ix.folded_version <> ix.version then begin
+    let tbl = Hashtbl.create (max 16 (Hashtbl.length ix.buckets)) in
+    Hashtbl.iter
+      (fun k b ->
+        let fk = String.lowercase_ascii k in
+        let prev = Option.value (Hashtbl.find_opt tbl fk) ~default:empty_bucket in
+        Hashtbl.replace tbl fk
+          { bset = Int_set.union prev.bset b.bset; bsize = prev.bsize + b.bsize })
+      ix.buckets;
+    ix.folded <- tbl;
+    ix.folded_version <- ix.version
+  end;
+  ix.folded
 
 let index_add t id row =
   List.iter
@@ -116,51 +173,341 @@ let insert t row =
   touch t;
   id
 
-(* Candidate rowids for a predicate: the smallest index bucket among the
-   top-level equality conjuncts on indexed columns, or None for full scan. *)
-let candidates t pred =
-  let eqs = Pred.indexable_eqs pred in
-  List.fold_left
-    (fun best (cname, v) ->
-      match
-        List.find_opt
-          (fun ix ->
-            try ix.col = Schema.index_of t.schema cname
-            with Not_found -> false)
-          t.indexes
-      with
-      | None -> best
-      | Some ix ->
-          let set =
-            Option.value
-              (Hashtbl.find_opt ix.buckets (key_of v))
-              ~default:Int_set.empty
-          in
-          (match best with
-          | Some s when Int_set.cardinal s <= Int_set.cardinal set -> best
-          | _ -> Some set))
-    None eqs
+(* ------------------------------------------------------------------ *)
+(* Compiled plans.
 
-let matching t pred =
-  match candidates t pred with
-  | Some set ->
-      Int_set.fold
-        (fun id acc ->
-          match row_of t id with
-          | Some row when Pred.eval t.schema pred row -> (id, row) :: acc
-          | _ -> acc)
-        set []
-      |> List.rev
-  | None ->
+   A shape compiles against this table into (a) an eval closure over
+   resolved column offsets — no per-row [Schema.index_of] — and (b) an
+   access path chosen once from the shape.  Every path is a superset
+   pre-filter: the full predicate is still evaluated on each candidate
+   row, so a plan is sound even when a probe crosses types (Bool true
+   and Int 1 share the bucket key "1").  Probing buckets by rendered
+   key is justified by [Value.equal a b] implying
+   [Value.to_string a = Value.to_string b]. *)
+
+type candidate =
+  | C_slot of index * int  (* probe by the rendered slot value *)
+  | C_key of index * string  (* probe by a literal key (non-pattern glob) *)
+  | C_fold of index * string  (* folded-bucket probe, lowercased key *)
+  | C_union of candidate list  (* OR of probeable atoms *)
+
+type path =
+  | P_scan
+  | P_probe of candidate list  (* And-reachable; runtime picks smallest *)
+  | P_range of index * (Pred.cmp * int) list  (* cmps on one indexed column *)
+  | P_prefix of index * string * string option
+      (* literal glob prefix on a string column: half-open key range
+         [prefix, successor); [None] = no finite successor (all 0xff) *)
+
+type compiled = {
+  ctable : t;
+  ceval : Value.t array -> Value.t array -> bool;  (* params -> row -> bool *)
+  cpath : path;
+}
+
+let compile_eval t shape =
+  let getter c =
+    match Schema.index_of t.schema c with
+    | i -> fun (row : Value.t array) -> row.(i)
+    | exception Not_found ->
+        (* defer to row-eval time: [Pred.eval] only raises when a row is
+           actually tested, and plans must agree with it exactly *)
+        fun _ -> raise Not_found
+  in
+  let rec go = function
+    | Pred.S_true -> fun _ _ -> true
+    | Pred.S_eq (c, s) ->
+        let g = getter c in
+        fun p row -> Value.equal (g row) p.(s)
+    | Pred.S_glob (c, pat) ->
+        let g = getter c in
+        fun _ row -> Glob.matches ~pattern:pat (Value.to_string (g row))
+    | Pred.S_glob_fold (c, pat) ->
+        let g = getter c in
+        fun _ row ->
+          Glob.matches ~case_fold:true ~pattern:pat (Value.to_string (g row))
+    | Pred.S_cmp (op, c, s) -> (
+        let g = getter c in
+        match op with
+        | Pred.Clt -> fun p row -> Value.compare (g row) p.(s) < 0
+        | Pred.Cle -> fun p row -> Value.compare (g row) p.(s) <= 0
+        | Pred.Cgt -> fun p row -> Value.compare (g row) p.(s) > 0
+        | Pred.Cge -> fun p row -> Value.compare (g row) p.(s) >= 0)
+    | Pred.S_and (a, b) ->
+        let fa = go a and fb = go b in
+        fun p row -> fa p row && fb p row
+    | Pred.S_or (a, b) ->
+        let fa = go a and fb = go b in
+        fun p row -> fa p row || fb p row
+    | Pred.S_not a ->
+        let fa = go a in
+        fun p row -> not (fa p row)
+  in
+  go shape
+
+let find_index t c =
+  match Schema.index_of t.schema c with
+  | exception Not_found -> None
+  | i -> List.find_opt (fun ix -> ix.col = i) t.indexes
+
+let rec conjuncts = function
+  | Pred.S_and (a, b) -> conjuncts a @ conjuncts b
+  | s -> [ s ]
+
+(* An atom the hash (or fold) buckets can serve directly. *)
+let atom_candidate t = function
+  | Pred.S_eq (c, slot) ->
+      Option.map (fun ix -> C_slot (ix, slot)) (find_index t c)
+  | Pred.S_glob (c, lit) when not (Glob.is_pattern lit) ->
+      (* non-pattern glob is exact match on the rendered value *)
+      Option.map (fun ix -> C_key (ix, lit)) (find_index t c)
+  | Pred.S_glob_fold (c, lit) when not (Glob.is_pattern lit) ->
+      Option.map
+        (fun ix -> C_fold (ix, String.lowercase_ascii lit))
+        (find_index t c)
+  | _ -> None
+
+(* An Or-tree whose every leaf is probeable: union of buckets. *)
+let rec union_candidate t = function
+  | Pred.S_or (a, b) -> (
+      match (union_candidate t a, union_candidate t b) with
+      | Some xs, Some ys -> Some (xs @ ys)
+      | _ -> None)
+  | atom -> Option.map (fun c -> [ c ]) (atom_candidate t atom)
+
+let glob_prefix pat =
+  let n = String.length pat in
+  let rec wild i = if i >= n then n
+    else match pat.[i] with '*' | '?' -> i | _ -> wild (i + 1)
+  in
+  String.sub pat 0 (wild 0)
+
+(* Smallest string greater than every string starting with [prefix]:
+   increment the last non-0xff byte, dropping the tail. *)
+let prefix_successor prefix =
+  let rec go i =
+    if i < 0 then None
+    else
+      let c = Char.code prefix.[i] in
+      if c < 0xff then
+        Some (String.sub prefix 0 i ^ String.make 1 (Char.chr (c + 1)))
+      else go (i - 1)
+  in
+  go (String.length prefix - 1)
+
+let choose_path t shape =
+  let cs = conjuncts shape in
+  let probes =
+    List.filter_map
+      (fun s ->
+        match atom_candidate t s with
+        | Some c -> Some c
+        | None -> (
+            match s with
+            | Pred.S_or _ ->
+                Option.map (fun l -> C_union l) (union_candidate t s)
+            | _ -> None))
+      cs
+  in
+  if probes <> [] then P_probe probes
+  else
+    let cmps =
+      List.filter_map
+        (function
+          | Pred.S_cmp (op, c, slot) ->
+              Option.map (fun ix -> (ix, (op, slot))) (find_index t c)
+          | _ -> None)
+        cs
+    in
+    match cmps with
+    | (ix0, _) :: _ ->
+        (* all comparisons on the first indexed comparison column; the
+           rest stay in the residual predicate *)
+        let mine =
+          List.filter_map
+            (fun (ix, os) -> if ix == ix0 then Some os else None)
+            cmps
+        in
+        P_range (ix0, mine)
+    | [] ->
+        let rec prefix_path = function
+          | [] -> P_scan
+          | Pred.S_glob (c, pat) :: rest when Glob.is_pattern pat -> (
+              match find_index t c with
+              (* glob compares rendered strings, which only agree with
+                 [Value.compare] order on string columns *)
+              | Some ix when ix.ctype = Value.TStr ->
+                  let p = glob_prefix pat in
+                  if p = "" then prefix_path rest
+                  else P_prefix (ix, p, prefix_successor p)
+              | _ -> prefix_path rest)
+          | _ :: rest -> prefix_path rest
+        in
+        prefix_path cs
+
+let compile_shape t shape =
+  { ctable = t; ceval = compile_eval t shape; cpath = choose_path t shape }
+
+let probe ix k = Option.value (Hashtbl.find_opt ix.buckets k) ~default:empty_bucket
+
+let probe_fold ix fk =
+  Option.value (Hashtbl.find_opt (folded_view ix) fk) ~default:empty_bucket
+
+let rec candidate_size params = function
+  | C_slot (ix, slot) -> (probe ix (key_of params.(slot))).bsize
+  | C_key (ix, k) -> (probe ix k).bsize
+  | C_fold (ix, fk) -> (probe_fold ix fk).bsize
+  | C_union l -> List.fold_left (fun a c -> a + candidate_size params c) 0 l
+
+let rec candidate_ids params = function
+  | C_slot (ix, slot) -> (probe ix (key_of params.(slot))).bset
+  | C_key (ix, k) -> (probe ix k).bset
+  | C_fold (ix, fk) -> (probe_fold ix fk).bset
+  | C_union l ->
+      (* union keeps ascending-rowid iteration and dedupes Or overlap *)
+      List.fold_left
+        (fun acc c -> Int_set.union acc (candidate_ids params c))
+        Int_set.empty l
+
+(* first i in [0, length a) with [pred (key a.(i))], or length a *)
+let lower_bound a pred =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k, _ = a.(mid) in
+    if pred k then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let union_slice a start stop =
+  let acc = ref Int_set.empty in
+  for i = start to stop - 1 do
+    let _, b = a.(i) in
+    acc := Int_set.union !acc b.bset
+  done;
+  !acc
+
+let range_ids ix cmps params =
+  (* tightest bounds: (value, strict) options folded over the cmps *)
+  let tighten_lo lo v strict =
+    match lo with
+    | None -> Some (v, strict)
+    | Some (u, s) ->
+        let c = Value.compare v u in
+        if c > 0 then Some (v, strict)
+        else if c < 0 then lo
+        else Some (u, s || strict)
+  in
+  let tighten_hi hi v strict =
+    match hi with
+    | None -> Some (v, strict)
+    | Some (u, s) ->
+        let c = Value.compare v u in
+        if c < 0 then Some (v, strict)
+        else if c > 0 then hi
+        else Some (u, s || strict)
+  in
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) (op, slot) ->
+        let v = params.(slot) in
+        match op with
+        | Pred.Cgt -> (tighten_lo lo v true, hi)
+        | Pred.Cge -> (tighten_lo lo v false, hi)
+        | Pred.Clt -> (lo, tighten_hi hi v true)
+        | Pred.Cle -> (lo, tighten_hi hi v false))
+      (None, None) cmps
+  in
+  let a = sorted_view ix in
+  let start =
+    match lo with
+    | None -> 0
+    | Some (v, strict) ->
+        lower_bound a (fun k ->
+            let c = Value.compare k v in
+            if strict then c > 0 else c >= 0)
+  in
+  let stop =
+    match hi with
+    | None -> Array.length a
+    | Some (v, strict) ->
+        lower_bound a (fun k ->
+            let c = Value.compare k v in
+            if strict then c >= 0 else c > 0)
+  in
+  union_slice a start stop
+
+let prefix_ids ix lo hi =
+  let a = sorted_view ix in
+  let vlo = Value.Str lo in
+  let start = lower_bound a (fun k -> Value.compare k vlo >= 0) in
+  let stop =
+    match hi with
+    | None -> Array.length a
+    | Some h ->
+        let vh = Value.Str h in
+        lower_bound a (fun k -> Value.compare k vh >= 0)
+  in
+  union_slice a start stop
+
+let best_candidate params = function
+  | [] -> assert false
+  | [ c ] -> c
+  | c :: cs ->
+      let best = ref c and size = ref (candidate_size params c) in
+      List.iter
+        (fun c' ->
+          let s = candidate_size params c' in
+          if s < !size then begin best := c'; size := s end)
+        cs;
+      !best
+
+let plan_matching c params =
+  let t = c.ctable in
+  let eval = c.ceval in
+  let from_set set =
+    Int_set.fold
+      (fun id acc ->
+        match row_of t id with
+        | Some row when eval params row -> (id, row) :: acc
+        | _ -> acc)
+      set []
+    |> List.rev
+  in
+  match c.cpath with
+  | P_scan ->
       (* walk the array backwards so the consed list comes out in
          ascending rowid (insertion) order without a sort *)
       let acc = ref [] in
       for id = t.next_id - 1 downto 0 do
         match t.rows.(id) with
-        | Some row when Pred.eval t.schema pred row -> acc := (id, row) :: !acc
+        | Some row when eval params row -> acc := (id, row) :: !acc
         | _ -> ()
       done;
       !acc
+  | P_probe cands -> from_set (candidate_ids params (best_candidate params cands))
+  | P_range (ix, cmps) -> from_set (range_ids ix cmps params)
+  | P_prefix (ix, lo, hi) -> from_set (prefix_ids ix lo hi)
+
+let plan_explain c =
+  let colname ix = (Schema.columns c.ctable.schema).(ix.col).Schema.cname in
+  let rec cand = function
+    | C_slot (ix, _) -> Printf.sprintf "eq(%s)" (colname ix)
+    | C_key (ix, k) -> Printf.sprintf "key(%s=%S)" (colname ix) k
+    | C_fold (ix, k) -> Printf.sprintf "fold(%s=%S)" (colname ix) k
+    | C_union l -> "union(" ^ String.concat "|" (List.map cand l) ^ ")"
+  in
+  match c.cpath with
+  | P_scan -> "scan"
+  | P_probe cands -> "probe(" ^ String.concat "," (List.map cand cands) ^ ")"
+  | P_range (ix, _) -> Printf.sprintf "range(%s)" (colname ix)
+  | P_prefix (ix, p, _) -> Printf.sprintf "prefix(%s,%S)" (colname ix) p
+
+let plan_table c = c.ctable
+
+let matching t pred =
+  let shape, params = Pred.split pred in
+  plan_matching (compile_shape t shape) params
 
 let select t pred =
   List.map (fun (id, row) -> (id, Array.copy row)) (matching t pred)
@@ -173,8 +520,7 @@ let select_one t pred =
 let count t pred = List.length (matching t pred)
 let exists t pred = matching t pred <> []
 
-let update t pred f =
-  let hits = matching t pred in
+let apply_update t hits f =
   List.iter
     (fun (id, row) ->
       let row' = f (Array.copy row) in
@@ -196,6 +542,8 @@ let update t pred f =
   if hits <> [] then touch t;
   List.length hits
 
+let update t pred f = apply_update t (matching t pred) f
+
 let set_fields t pred fields =
   let positions =
     List.map (fun (c, v) -> (Schema.index_of t.schema c, v)) fields
@@ -204,8 +552,7 @@ let set_fields t pred fields =
       List.iter (fun (i, v) -> row.(i) <- v) positions;
       row)
 
-let delete t pred =
-  let hits = matching t pred in
+let apply_delete t hits =
   List.iter
     (fun (id, row) ->
       index_remove t id row;
@@ -218,6 +565,8 @@ let delete t pred =
     t.stats.del_time <- t.clock ()
   end;
   List.length hits
+
+let delete t pred = apply_delete t (matching t pred)
 
 let get t id = Option.map Array.copy (row_of t id)
 let cardinal t = t.live
@@ -263,3 +612,19 @@ let clear t =
   touch t
 
 let field t row col = row.(Schema.index_of t.schema col)
+
+(* Executors over compiled plans, mirroring select/select_one/count/
+   exists/update/delete.  [Plan] builds its cache on these. *)
+
+let plan_select c params =
+  List.map (fun (id, row) -> (id, Array.copy row)) (plan_matching c params)
+
+let plan_select_one c params =
+  match plan_matching c params with
+  | [ (id, row) ] -> Some (id, Array.copy row)
+  | _ -> None
+
+let plan_count c params = List.length (plan_matching c params)
+let plan_exists c params = plan_matching c params <> []
+let plan_update c params f = apply_update c.ctable (plan_matching c params) f
+let plan_delete c params = apply_delete c.ctable (plan_matching c params)
