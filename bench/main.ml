@@ -1092,6 +1092,206 @@ let bench_qry () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E12: the chaos harness — convergence under injected faults.         *)
+(* CHAOS_SMOKE=1 (CI): fewer fault levels, same assertions.            *)
+
+let chaos_smoke = Sys.getenv_opt "CHAOS_SMOKE" <> None || smoke
+
+(* Every enabled host of every enabled, generated service has caught up
+   with the current data file generation and carries no host error; the
+   service itself has re-checked for changes after [after] (engine
+   seconds), so "current generation" really includes the last trickled
+   change rather than a stale pre-change one. *)
+let chaos_converged ?(after = 0) tb =
+  let db = tb.Testbed.mdb in
+  let servers = Moira.Mdb.table db "servers" in
+  let shosts = Moira.Mdb.table db "serverhosts" in
+  Relation.Table.fold shosts ~init:true ~f:(fun ok _ row ->
+      ok
+      &&
+      let field c = Relation.Table.field shosts row c in
+      if not (Relation.Value.bool (field "enable")) then true
+      else
+        let service = Relation.Value.str (field "service") in
+        match
+          Relation.Table.select_one servers
+            (Relation.Pred.eq_str "name" service)
+        with
+        | None -> true
+        | Some (_, srow) ->
+            let sfield c = Relation.Table.field servers srow c in
+            if
+              (not (Relation.Value.bool (sfield "enable")))
+              || Relation.Value.int (sfield "update_int") <= 0
+            then true
+            else
+              Relation.Value.int (sfield "harderror") = 0
+              && Relation.Value.int (sfield "dfcheck") >= after
+              && Relation.Value.int (field "hosterror") = 0
+              && Relation.Value.int (field "lts")
+                 >= Relation.Value.int (sfield "dfgen"))
+
+(* The same change trickle for every run: one shell update every two
+   hours, so there is always something to propagate. *)
+let chaos_changes tb =
+  let logins = tb.Testbed.built.Population.logins in
+  for i = 1 to 8 do
+    ignore
+      (Sim.Engine.schedule tb.Testbed.engine
+         ~at:(Sim.Engine.now tb.Testbed.engine + (i * 2 * 3600_000))
+         "chaos-change"
+         (fun () ->
+           ignore
+             (Moira.Glue.query tb.Testbed.glue ~name:"update_user_shell"
+                [
+                  logins.(i mod Array.length logins);
+                  Printf.sprintf "/bin/chaos%d" i;
+                ])))
+  done
+
+(* One run at one fault level.  [drop] and [reply_drop] persist for the
+   whole run; on top of them the faulty runs get a partition window, two
+   scheduled crash/reboot outages, and one guaranteed mid-push crash
+   (armed [mid_install] point, host rebooted an hour in). *)
+let chaos_run ~drop ~reply_drop =
+  let tb = Testbed.create () in
+  chaos_changes tb;
+  let faulty = drop > 0.0 || reply_drop > 0.0 in
+  if faulty then begin
+    let net = tb.Testbed.net in
+    let now = Sim.Engine.now tb.Testbed.engine in
+    Netsim.Net.set_drop_rate net drop;
+    Netsim.Net.set_reply_drop_rate net reply_drop;
+    let managed = Testbed.managed_machines tb in
+    let half = List.filteri (fun i _ -> i mod 2 = 0) managed in
+    Netsim.Net.partition_window net ~hosts:half
+      ~at:(now + (5 * 3600_000))
+      ~duration_ms:(90 * 60_000);
+    List.iteri
+      (fun i m ->
+        if i < 2 then
+          Netsim.Net.schedule_outage net ~host:m
+            ~at:(now + ((8 + (3 * i)) * 3600_000))
+            ~duration_ms:((40 + (20 * i)) * 60_000))
+      managed;
+    let hes_machine, _ = Testbed.first_hesiod tb in
+    Netsim.Host.arm_crash (Testbed.host tb hes_machine) ~point:"mid_install";
+    ignore
+      (Sim.Engine.schedule tb.Testbed.engine
+         ~at:(now + 3600_000)
+         "chaos-reboot"
+         (fun () ->
+           let h = Testbed.host tb hes_machine in
+           if not (Netsim.Host.is_up h) then Netsim.Host.boot h))
+  end;
+  (* fault phase: all scheduled faults land inside these 18 hours (the
+     loss rates stay on for the whole run) *)
+  Testbed.run_hours tb 18;
+  (* the last change lands at 16h: convergence means every service
+     re-checked after it AND every host caught up with the result *)
+  let cutoff = (Testbed.epoch_1988_ms / 1000) + (16 * 3600) in
+  let cycles = ref 0 in
+  while (not (chaos_converged ~after:cutoff tb)) && !cycles < 200 do
+    Testbed.run_minutes tb 15;
+    incr cycles
+  done;
+  (tb, !cycles, chaos_converged ~after:cutoff tb)
+
+let bench_chaos () =
+  header
+    "E12: chaos harness -- eventual convergence under request loss,\n\
+     reply loss, partitions and crash/reboot cycles (sections 5.7, 5.9)";
+  let levels =
+    if chaos_smoke then [ (0.0, 0.0); (0.3, 0.2) ]
+    else [ (0.0, 0.0); (0.1, 0.05); (0.2, 0.1); (0.3, 0.2) ]
+  in
+  Printf.printf "%-18s %8s %8s %10s %12s %9s\n" "drop/reply-loss" "cycles"
+    "hours" "retries" "wasted KB" "identical";
+  let baseline_state = ref None in
+  let failures = ref [] in
+  List.iter
+    (fun (drop, reply_drop) ->
+      let tb, cycles, converged = chaos_run ~drop ~reply_drop in
+      let hours =
+        (Sim.Engine.now tb.Testbed.engine - Testbed.epoch_1988_ms)
+        / 3600_000
+      in
+      let state = Testbed.installed_state tb in
+      let identical =
+        match !baseline_state with
+        | None ->
+            baseline_state := Some state;
+            true
+        | Some base -> state = base
+      in
+      let reports = Dcm.Manager.reports tb.Testbed.dcm in
+      let retries =
+        List.fold_left (fun a r -> a + r.Dcm.Manager.retries) 0 reports
+      in
+      let count pred =
+        List.fold_left
+          (fun a r ->
+            a
+            + List.fold_left
+                (fun a s ->
+                  a
+                  + List.length
+                      (List.filter (fun (_, h) -> pred h) s.Dcm.Manager.hosts))
+                0 r.Dcm.Manager.services)
+          0 reports
+      in
+      let incidents =
+        count (function
+          | Dcm.Manager.Hard_failed _ | Dcm.Manager.Quarantined _ -> true
+          | _ -> false)
+      in
+      let ns = Netsim.Net.stats tb.Testbed.net in
+      let name = Printf.sprintf "chaos_drop%.2f_reply%.2f" drop reply_drop in
+      if not converged then failures := (name ^ ": did not converge") :: !failures;
+      if not identical then
+        failures := (name ^ ": installed files differ from baseline") :: !failures;
+      json_add name
+        [
+          ("drop_rate", F drop);
+          ("reply_drop_rate", F reply_drop);
+          ("converged", B converged);
+          ("cycles_to_converge", I cycles);
+          ("hours_to_converge", I hours);
+          ("files_identical_to_baseline", B identical);
+          ("retries", I retries);
+          ("incidents", I incidents);
+          ("wasted_wire_bytes", I ns.Netsim.Net.wasted_bytes);
+          ("calls", I ns.Netsim.Net.calls);
+          ("req_dropped", I ns.Netsim.Net.req_dropped);
+          ("reply_dropped", I ns.Netsim.Net.reply_dropped);
+          ("partitioned_calls", I ns.Netsim.Net.partitioned);
+          ( "notices_sent",
+            I
+              (List.fold_left
+                 (fun a r -> a + r.Dcm.Manager.notices_sent)
+                 0 reports) );
+          ( "notices_dropped",
+            I
+              (List.fold_left
+                 (fun a r -> a + r.Dcm.Manager.notices_dropped)
+                 0 reports) );
+        ];
+      Printf.printf "%5.2f / %-9.2f %8d %8d %10d %12d %9b\n" drop reply_drop
+        cycles hours retries
+        (ns.Netsim.Net.wasted_bytes / 1024)
+        identical)
+    levels;
+  json_write "BENCH_chaos.json";
+  match !failures with
+  | [] ->
+      Printf.printf
+        "all fault levels converged with installed files byte-identical to\n\
+         the fault-free run\n"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "CHAOS FAILURE: %s\n" f) fs;
+      exit 1
+
 let experiments =
   [
     ("table1", bench_table1);
@@ -1107,6 +1307,7 @@ let experiments =
     ("dispatch", bench_dispatch);
     ("clusterdb", bench_clusterdb);
     ("scale", bench_scale);
+    ("chaos", bench_chaos);
   ]
 
 let () =

@@ -12,6 +12,8 @@ type host_result =
   | Up_to_date
   | Soft_failed of string
   | Hard_failed of string
+  | Backed_off of int
+  | Quarantined of string
 
 type service_report = {
   service : string;
@@ -25,6 +27,9 @@ type report = {
   at : int;
   disabled : bool;
   services : service_report list;
+  retries : int;
+  notices_sent : int;
+  notices_dropped : int;
 }
 
 let propagations r =
@@ -57,6 +62,41 @@ let bytes_sent r =
           0 s.hosts)
     0 r.services
 
+type retry_policy = {
+  op_attempts : int;
+  push_attempts : int;
+  backoff_base_s : int;
+  backoff_max_s : int;
+  backoff_jitter : float;
+  quarantine_after : int;
+}
+
+let default_retry_policy =
+  {
+    op_attempts = 3;
+    push_attempts = 2;
+    backoff_base_s = 60;
+    backoff_max_s = 3600;
+    backoff_jitter = 0.5;
+    quarantine_after = 12;
+  }
+
+(* Per-(service, machine) retry state, §5.7.1's "retried on later passes"
+   made concrete.  [notified] marks an open quarantine incident: exactly
+   one notification until the operator resets the host error (the host
+   reappearing in the scan starts a fresh incident). *)
+type rstate = {
+  mutable fails : int;  (* consecutive cycles that ended in a soft failure *)
+  mutable next_attempt : int;  (* engine seconds; don't push before this *)
+  mutable notified : bool;
+}
+
+type sweep = {
+  services_cleared : int;
+  hosts_cleared : int;
+  locks_released : int;
+}
+
 type t = {
   net : Netsim.Net.t;
   moira_host : string;
@@ -65,6 +105,12 @@ type t = {
   zephyr_to : string option;
   mail_via : (string * string) option;
   generators : Gen.t list;
+  policy : retry_policy;
+  rng : Sim.Rng.t;
+  retry : (string, rstate) Hashtbl.t;  (* key: service ^ "/" ^ machine *)
+  mutable retries_total : int;
+  mutable notices_sent : int;
+  mutable notices_dropped : int;
   outputs : (string, Gen.output) Hashtbl.t;
   prev_outputs : (string, Gen.output) Hashtbl.t;
       (* generation n-1, kept as the patch base for delta pushes *)
@@ -77,25 +123,58 @@ let standard_generators =
   [ Gen_hesiod.generator; Gen_nfs.generator; Gen_mail.generator;
     Gen_zephyr.generator ]
 
+let mdb t = Moira.Glue.mdb t.glue
+
+(* Startup recovery (paper §5.9 case C, a crashed Moira machine): a DCM
+   that died mid-run leaves inprogress flags set and locks held.  Nothing
+   it was doing survives the process, so clear both — the next cycle
+   simply redoes any half-finished work from the spool. *)
+let recovery_sweep t =
+  let db = mdb t in
+  let services_cleared =
+    Table.set_fields
+      (Moira.Mdb.table db "servers")
+      (Pred.eq_bool "inprogress" true)
+      [ ("inprogress", Value.Bool false) ]
+  in
+  let hosts_cleared =
+    Table.set_fields
+      (Moira.Mdb.table db "serverhosts")
+      (Pred.eq_bool "inprogress" true)
+      [ ("inprogress", Value.Bool false) ]
+  in
+  let locks = Moira.Mdb.locks db in
+  let orphaned = Lock.owned locks ~owner:"dcm" in
+  Lock.release_all locks ~owner:"dcm";
+  { services_cleared; hosts_cleared; locks_released = List.length orphaned }
+
 let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
-    ?(generators = standard_generators) () =
-  {
-    net;
-    moira_host;
-    glue;
-    token;
-    zephyr_to;
-    mail_via;
-    generators;
-    outputs = Hashtbl.create 7;
-    prev_outputs = Hashtbl.create 7;
-    parts_cache = Hashtbl.create 7;
-    history = [];
-  }
+    ?(generators = standard_generators) ?(retry = default_retry_policy) () =
+  let t =
+    {
+      net;
+      moira_host;
+      glue;
+      token;
+      zephyr_to;
+      mail_via;
+      generators;
+      policy = retry;
+      rng = Sim.Rng.split (Sim.Engine.rng (Netsim.Net.engine net));
+      retry = Hashtbl.create 31;
+      retries_total = 0;
+      notices_sent = 0;
+      notices_dropped = 0;
+      outputs = Hashtbl.create 7;
+      prev_outputs = Hashtbl.create 7;
+      parts_cache = Hashtbl.create 7;
+      history = [];
+    }
+  in
+  ignore (recovery_sweep t);
+  t
 
 let reports t = List.rev t.history
-
-let mdb t = Moira.Glue.mdb t.glue
 
 (* The generated data files live on the Moira host's disk (the real
    DCM's /u1/sms/ spool), serialized as one archive per service with
@@ -164,20 +243,39 @@ let last_output t ~service =
 let now_sec t = Moira.Mdb.now (mdb t)
 
 (* Hard failures notify the maintainers by zephyrgram and by mail
-   (section 5.7.1). *)
+   (section 5.7.1).  Each channel is the other's fallback: the notice
+   counts as delivered if either lands, and as dropped only when every
+   configured channel failed — which the run report surfaces, so alerts
+   no longer vanish silently when the notification host is down. *)
 let notify t msg =
-  (match t.zephyr_to with
-  | None -> ()
-  | Some server ->
-      ignore
-        (Zephyr.send t.net ~src:t.moira_host ~server ~sender:"moira"
-           ~cls:"MOIRA" ~instance:"DCM" msg));
-  match t.mail_via with
-  | None -> ()
-  | Some (hub, rcpt) ->
-      ignore
-        (Pop.Mailhub.send t.net ~src:t.moira_host ~hub ~sender:"moira" ~rcpt
-           ~body:msg)
+  let zeph =
+    match t.zephyr_to with
+    | None -> None
+    | Some server -> (
+        match
+          Zephyr.send t.net ~src:t.moira_host ~server ~sender:"moira"
+            ~cls:"MOIRA" ~instance:"DCM" msg
+        with
+        | Ok () -> Some true
+        | Error _ -> Some false)
+  in
+  let mail =
+    match t.mail_via with
+    | None -> None
+    | Some (hub, rcpt) -> (
+        match
+          Pop.Mailhub.send t.net ~src:t.moira_host ~hub ~sender:"moira" ~rcpt
+            ~body:msg
+        with
+        | Ok delivered -> Some (delivered > 0)
+        | Error _ -> Some false)
+  in
+  match (zeph, mail) with
+  | None, None -> () (* no channel configured: nothing to deliver *)
+  | _ ->
+      if zeph = Some true || mail = Some true then
+        t.notices_sent <- t.notices_sent + 1
+      else t.notices_dropped <- t.notices_dropped + 1
 
 (* Set the service's internal flags through the query layer, as the real
    DCM does. *)
@@ -263,24 +361,33 @@ let generate_phase t gen =
         let key = "service:" ^ service in
         if not (Lock.acquire locks ~key ~owner:"dcm" Lock.Exclusive) then
           (Locked, [], 0)
-        else begin
-          ssif t ~service ~dfgen ~dfcheck ~inprogress:true ~harderr:0
-            ~errmsg:"";
-          let result =
-            if not (Gen.changed_since (mdb t) gen.Gen.watches dfgen) then begin
-              (* MR_NO_CHANGE: only dfcheck moves forward. *)
-              ssif t ~service ~dfgen ~dfcheck:(now_sec t) ~inprogress:false
-                ~harderr:0 ~errmsg:"";
-              (No_change, [], 0)
-            end
-            else begin
-              match rebuild t gen ~dfgen with
-              | output, rebuilt, spliced ->
+        else
+          (* the lock must survive no code path: any exception in the
+             critical section — not just the generator itself — releases
+             it on the way out *)
+          Fun.protect
+            ~finally:(fun () -> Lock.release locks ~key ~owner:"dcm")
+            (fun () ->
+              ssif t ~service ~dfgen ~dfcheck ~inprogress:true ~harderr:0
+                ~errmsg:"";
+              match
+                if not (Gen.changed_since (mdb t) gen.Gen.watches dfgen)
+                then begin
+                  (* MR_NO_CHANGE: only dfcheck moves forward. *)
+                  ssif t ~service ~dfgen ~dfcheck:(now_sec t)
+                    ~inprogress:false ~harderr:0 ~errmsg:"";
+                  (No_change, [], 0)
+                end
+                else begin
+                  let output, rebuilt, spliced = rebuild t gen ~dfgen in
                   store_output t ~service output;
                   let now = now_sec t in
                   ssif t ~service ~dfgen:now ~dfcheck:now ~inprogress:false
                     ~harderr:0 ~errmsg:"";
                   (Generated (Gen.total_bytes output), rebuilt, spliced)
+                end
+              with
+              | result -> result
               | exception exn ->
                   let msg = Printexc.to_string exn in
                   ssif t ~service ~dfgen ~dfcheck ~inprogress:false
@@ -288,12 +395,7 @@ let generate_phase t gen =
                   notify t
                     (Printf.sprintf "DCM: generator for %s failed: %s"
                        service msg);
-                  (Gen_failed msg, [], 0)
-            end
-          in
-          Lock.release locks ~key ~owner:"dcm";
-          result
-        end
+                  (Gen_failed msg, [], 0))
       end
 
 (* Phase 2: walk the server/host tuples of one service and update stale
@@ -319,7 +421,10 @@ let host_phase t gen =
             let skey = "service:" ^ service in
             let smode = if replicated then Lock.Exclusive else Lock.Shared in
             if not (Lock.acquire locks ~key:skey ~owner:"dcm" smode) then []
-            else begin
+            else
+              Fun.protect
+                ~finally:(fun () -> Lock.release locks ~key:skey ~owner:"dcm")
+                (fun () ->
               let shosts = Moira.Mdb.table (mdb t) "serverhosts" in
               let hosts =
                 Table.select shosts
@@ -343,8 +448,31 @@ let host_phase t gen =
                     let override =
                       Value.bool (Table.field shosts sh "override")
                     in
+                    let rs =
+                      let rkey = service ^ "/" ^ machine in
+                      match Hashtbl.find_opt t.retry rkey with
+                      | Some rs -> rs
+                      | None ->
+                          let rs =
+                            { fails = 0; next_attempt = 0; notified = false }
+                          in
+                          Hashtbl.replace t.retry rkey rs;
+                          rs
+                    in
+                    (* a quarantined host reappearing in the scan means the
+                       operator reset its error: that closes the incident
+                       and starts the failure count afresh *)
+                    if rs.notified then begin
+                      rs.fails <- 0;
+                      rs.next_attempt <- 0;
+                      rs.notified <- false
+                    end;
                     if lts >= dfgen && not override then
                       results := (machine, Up_to_date) :: !results
+                    else if now_sec t < rs.next_attempt then
+                      results :=
+                        (machine, Backed_off (rs.next_attempt - now_sec t))
+                        :: !results
                     else begin
                       let hkey =
                         Printf.sprintf "host:%s/%s" service machine
@@ -353,10 +481,20 @@ let host_phase t gen =
                         not
                           (Lock.acquire locks ~key:hkey ~owner:"dcm"
                              Lock.Exclusive)
-                      then
+                      then begin
+                        (* the attempt still happened: move ltt so the
+                           tuple shows when the DCM last tried *)
+                        sshi t ~service ~machine ~override ~success:false
+                          ~inprogress:false ~hosterror:0
+                          ~errmsg:"host locked" ~ltt:(now_sec t) ~lts;
                         results :=
                           (machine, Soft_failed "host locked") :: !results
-                      else begin
+                      end
+                      else
+                        Fun.protect
+                          ~finally:(fun () ->
+                            Lock.release locks ~key:hkey ~owner:"dcm")
+                          (fun () ->
                         sshi t ~service ~machine ~override ~success:false
                           ~inprogress:true ~hosterror:0 ~errmsg:""
                           ~ltt:(Value.int (Table.field shosts sh "ltt"))
@@ -367,12 +505,32 @@ let host_phase t gen =
                           | Some prev -> Gen.files_for_host prev ~machine
                           | None -> []
                         in
+                        (* bounded in-cycle retries: transient soft
+                           failures get [push_attempts] whole-push tries
+                           (each op itself re-sent up to [op_attempts]
+                           times) before the cycle gives up on the host *)
+                        let rec attempt n =
+                          match
+                            Update.push t.net ~src:t.moira_host ~dst:machine
+                              ~token:t.token ~base
+                              ~attempts:t.policy.op_attempts ~target ~files
+                              ~script ()
+                          with
+                          | Ok _ as ok -> ok
+                          | Error (Update.Soft _)
+                            when n < t.policy.push_attempts ->
+                              t.retries_total <- t.retries_total + 1;
+                              attempt (n + 1)
+                          | Error _ as e -> e
+                        in
+                        let outcome = attempt 1 in
                         let now = now_sec t in
-                        (match
-                           Update.push t.net ~src:t.moira_host ~dst:machine
-                             ~token:t.token ~base ~target ~files ~script ()
-                         with
+                        match outcome with
                         | Ok stats ->
+                            t.retries_total <-
+                              t.retries_total + stats.Update.op_retries;
+                            rs.fails <- 0;
+                            rs.next_attempt <- 0;
                             sshi t ~service ~machine ~override:false
                               ~success:true ~inprogress:false ~hosterror:0
                               ~errmsg:"" ~ltt:now ~lts:now;
@@ -384,13 +542,50 @@ let host_phase t gen =
                                     bytes = stats.Update.wire_bytes;
                                   } )
                               :: !results
-                        | Error (Update.Soft (_, msg)) ->
-                            sshi t ~service ~machine ~override
-                              ~success:false ~inprogress:false ~hosterror:0
-                              ~errmsg:msg ~ltt:now ~lts;
-                            results :=
-                              (machine, Soft_failed msg) :: !results
+                        | Error (Update.Soft (code, msg)) ->
+                            rs.fails <- rs.fails + 1;
+                            if
+                              t.policy.quarantine_after > 0
+                              && rs.fails >= t.policy.quarantine_after
+                            then begin
+                              (* repeated soft failures across cycles: stop
+                                 burning timeouts on this host, mark it for
+                                 the operator — one notification for the
+                                 whole incident *)
+                              sshi t ~service ~machine ~override
+                                ~success:false ~inprogress:false
+                                ~hosterror:code
+                                ~errmsg:("quarantined: " ^ msg) ~ltt:now
+                                ~lts;
+                              notify t
+                                (Printf.sprintf
+                                   "DCM: %s on %s quarantined after %d \
+                                    consecutive soft failures: %s"
+                                   service machine rs.fails msg);
+                              rs.notified <- true;
+                              results :=
+                                (machine, Quarantined msg) :: !results
+                            end
+                            else begin
+                              let backoff =
+                                min t.policy.backoff_max_s
+                                  (t.policy.backoff_base_s
+                                  * (1 lsl min 20 (rs.fails - 1)))
+                              in
+                              let backoff =
+                                Sim.Rng.jitter t.rng
+                                  ~frac:t.policy.backoff_jitter backoff
+                              in
+                              rs.next_attempt <- now + backoff;
+                              sshi t ~service ~machine ~override
+                                ~success:false ~inprogress:false ~hosterror:0
+                                ~errmsg:msg ~ltt:now ~lts;
+                              results :=
+                                (machine, Soft_failed msg) :: !results
+                            end
                         | Error (Update.Hard (code, msg)) ->
+                            rs.fails <- 0;
+                            rs.next_attempt <- 0;
                             sshi t ~service ~machine ~override
                               ~success:false ~inprogress:false
                               ~hosterror:code ~errmsg:msg ~ltt:now ~lts;
@@ -406,15 +601,11 @@ let host_phase t gen =
                               hard_stop := true
                             end;
                             results :=
-                              (machine, Hard_failed msg) :: !results);
-                        Lock.release locks ~key:hkey ~owner:"dcm"
-                      end
+                              (machine, Hard_failed msg) :: !results)
                     end
                   end)
                 hosts;
-              Lock.release locks ~key:skey ~owner:"dcm";
-              List.rev !results
-            end
+              List.rev !results)
       end
 
 let run t =
@@ -427,6 +618,9 @@ let run t =
     || Netsim.Vfs.exists fs ~path:"/etc/nodcm"
     || Moira.Mdb.get_value (mdb t) "dcm_enable" = Some 0
   in
+  let retries0 = t.retries_total in
+  let sent0 = t.notices_sent in
+  let dropped0 = t.notices_dropped in
   let services =
     if disabled then []
     else
@@ -437,7 +631,16 @@ let run t =
           { service = gen.Gen.service; gen = g; rebuilt; spliced; hosts })
         t.generators
   in
-  let report = { at; disabled; services } in
+  let report =
+    {
+      at;
+      disabled;
+      services;
+      retries = t.retries_total - retries0;
+      notices_sent = t.notices_sent - sent0;
+      notices_dropped = t.notices_dropped - dropped0;
+    }
+  in
   t.history <- report :: t.history;
   report
 

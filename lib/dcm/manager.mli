@@ -21,6 +21,12 @@ type host_result =
   | Up_to_date  (** Host already had the current files. *)
   | Soft_failed of string  (** Will be retried next invocation. *)
   | Hard_failed of string  (** hosterror set; operator notified. *)
+  | Backed_off of int
+      (** Stale, but inside its retry backoff window: skipped without
+          touching the wire.  Payload is seconds until the next try. *)
+  | Quarantined of string
+      (** Repeated soft failures escalated to hosterror: excluded from
+          future scans until an operator resets the error. *)
 
 type service_report = {
   service : string;
@@ -38,6 +44,12 @@ type report = {
   at : int;  (** Engine seconds at the start of the run. *)
   disabled : bool;  (** True when /etc/nodcm or dcm_enable stopped it. *)
   services : service_report list;
+  retries : int;
+      (** Re-sent operations and re-attempted pushes during this run. *)
+  notices_sent : int;
+      (** Notifications delivered on at least one channel this run. *)
+  notices_dropped : int;
+      (** Notifications every configured channel failed to deliver. *)
 }
 
 val propagations : report -> int
@@ -52,6 +64,42 @@ val bytes_sent : report -> int
 
 type t
 
+type retry_policy = {
+  op_attempts : int;
+      (** Transport attempts per protocol operation within one push. *)
+  push_attempts : int;
+      (** Whole-push attempts per host within one DCM cycle. *)
+  backoff_base_s : int;
+      (** First across-cycle backoff after a failed cycle, seconds. *)
+  backoff_max_s : int;  (** Backoff cap, seconds. *)
+  backoff_jitter : float;
+      (** Backoff is scaled by a seeded uniform factor in
+          [1 ± backoff_jitter], de-synchronising host retries. *)
+  quarantine_after : int;
+      (** Consecutive failed cycles before hosterror quarantine;
+          [0] disables escalation. *)
+}
+
+val default_retry_policy : retry_policy
+(** 3 transport attempts per op, 2 pushes per cycle, 60 s base backoff
+    doubling to a 1 h cap with ±50% jitter, quarantine after 12
+    consecutive failed cycles — tuned so transient outages of a few
+    hours never quarantine a host. *)
+
+type sweep = {
+  services_cleared : int;  (** [servers] rows whose inprogress was stuck. *)
+  hosts_cleared : int;  (** [serverhosts] rows whose inprogress was stuck. *)
+  locks_released : int;  (** Orphaned dcm-owned locks released. *)
+}
+
+val recovery_sweep : t -> sweep
+(** Startup recovery after a DCM (or Moira machine) crash: clear stale
+    [inprogress] flags in [servers] and [serverhosts] and release every
+    lock still owned by ["dcm"].  A DCM that dies mid-run takes its work
+    with it, so the flags and locks are necessarily stale; the next cycle
+    redoes any half-finished push from the spool.  {!create} runs this
+    automatically. *)
+
 val standard_generators : Gen.t list
 (** The four 1988-deployment generators: HESIOD, NFS, MAIL, ZEPHYR.
     Extend this list to add a managed service (see HACKING.md). *)
@@ -64,6 +112,7 @@ val create :
   ?zephyr_to:string ->
   ?mail_via:string * string ->
   ?generators:Gen.t list ->
+  ?retry:retry_policy ->
   unit ->
   t
 (** A DCM bound to the Moira host.  [zephyr_to] names the host running a

@@ -166,19 +166,35 @@ let handle t payload =
             reply 0 []
           end
           else if req.op = op_exec then begin
-            match args with
-            | [ target ] -> (
-                Netsim.Host.maybe_crash t.host ~point:"before_exec";
-                let script_name =
-                  Option.value
-                    (Netsim.Vfs.read fs ~path:script_staging)
-                    ~default:""
-                in
-                (* read before the script runs: install_files removes the
-                   staged archive *)
-                let staged =
-                  Netsim.Vfs.read fs ~path:(target ^ staged_suffix)
-                in
+            let run target expected =
+              Netsim.Host.maybe_crash t.host ~point:"before_exec";
+              let script_name =
+                Option.value
+                  (Netsim.Vfs.read fs ~path:script_staging)
+                  ~default:""
+              in
+              (* read before the script runs: install_files removes the
+                 staged archive *)
+              let staged =
+                Netsim.Vfs.read fs ~path:(target ^ staged_suffix)
+              in
+              let already_installed =
+                (* A repeated exec whose predecessor ran but whose reply
+                   was lost: the staged archive is gone and the durable
+                   base already matches the archive checksum the DCM is
+                   confirming — acknowledge instead of re-running. *)
+                staged = None
+                && (match expected with
+                   | None -> false
+                   | Some cksum -> (
+                       match Netsim.Vfs.read fs ~path:(target ^ last_suffix)
+                       with
+                       | Some last ->
+                           Checksum.verify ~data:last ~checksum:cksum
+                       | None -> false))
+              in
+              if already_installed then reply 0 []
+              else
                 match Hashtbl.find_opt t.scripts script_name with
                 | None ->
                     reply Moira.Mr_err.update_script
@@ -198,7 +214,11 @@ let handle t payload =
                         Netsim.Host.maybe_crash t.host ~point:"after_exec";
                         reply 0 []
                     | Error msg ->
-                        reply Moira.Mr_err.update_script [ [ msg ] ]))
+                        reply Moira.Mr_err.update_script [ [ msg ] ])
+            in
+            match args with
+            | [ target ] -> run target None
+            | [ target; cksum ] -> run target (Some cksum)
             | _ -> reply Moira.Mr_err.args []
           end
           else reply Moira.Mr_err.no_handle []
@@ -207,8 +227,14 @@ let handle t payload =
 
 let serve ?(token = "krb") host =
   let t = { host; token; scripts = Hashtbl.create 7 } in
-  Netsim.Host.register host ~service:service_name (fun ~src:_ payload ->
-      handle t payload);
+  let register h =
+    Netsim.Host.register h ~service:service_name (fun ~src:_ payload ->
+        handle t payload)
+  in
+  register host;
+  (* survive a crash/reboot cycle: the boot sequence brings the update
+     service back like any other daemon started from rc *)
+  Netsim.Host.on_boot host register;
   t
 
 let register_script t ~name script = Hashtbl.replace t.scripts name script
@@ -273,11 +299,13 @@ type push_stats = {
   members_patched : int;
   members_kept : int;
   delta : bool;
+  op_retries : int;
+  wasted_bytes : int;
 }
 
-let push net ~src ~dst ?(token = "krb") ?(base = []) ~target ~files ~script
-    () =
-  let wire = ref 0 in
+let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
+    ~files ~script () =
+  let wire = ref 0 and retries = ref 0 and wasted = ref 0 in
   let call op args =
     let payload =
       Gdb.Wire.encode_request
@@ -288,33 +316,46 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ~target ~files ~script
           args = token :: args;
         }
     in
-    wire := !wire + String.length payload;
-    match Netsim.Net.call net ~src ~dst ~service:service_name payload with
-    | Error f ->
-        Error
-          (Soft
-             ( (match f with
-               | Netsim.Net.Host_down | Netsim.Net.No_host ->
-                   Moira.Mr_err.host_unreachable
-               | _ -> Moira.Mr_err.update_timeout),
-               Netsim.Net.failure_to_string f ))
-    | Ok raw -> (
-        wire := !wire + String.length raw;
-        match Gdb.Wire.decode_reply raw with
-        | Error e -> Error (Soft (Moira.Mr_err.aborted, e))
-        | Ok reply ->
-            if reply.Gdb.Wire.code = 0 then Ok reply.Gdb.Wire.tuples
-            else if reply.Gdb.Wire.code = Moira.Mr_err.update_checksum then
-              Error (Soft (reply.Gdb.Wire.code, "checksum mismatch"))
-            else if reply.Gdb.Wire.code = Moira.Mr_err.perm then
-              Error (Hard (reply.Gdb.Wire.code, "authentication rejected"))
-            else
-              let detail =
-                match reply.Gdb.Wire.tuples with
-                | [ [ msg ] ] -> msg
-                | _ -> Comerr.Com_err.error_message reply.Gdb.Wire.code
-              in
-              Error (Hard (reply.Gdb.Wire.code, detail)))
+    (* Every op is safe to re-send: xfer/delta/script overwrite their
+       staging files, manifest and flush are read-only/idempotent, and
+       exec carries the archive checksum so a re-sent confirm of an
+       already-applied install is acknowledged without re-running. *)
+    let rec go attempt =
+      wire := !wire + String.length payload;
+      match Netsim.Net.call net ~src ~dst ~service:service_name payload with
+      | Error f ->
+          if attempt < attempts then begin
+            incr retries;
+            wasted := !wasted + String.length payload;
+            go (attempt + 1)
+          end
+          else
+            Error
+              (Soft
+                 ( (match f with
+                   | Netsim.Net.Host_down | Netsim.Net.No_host ->
+                       Moira.Mr_err.host_unreachable
+                   | _ -> Moira.Mr_err.update_timeout),
+                   Netsim.Net.failure_to_string f ))
+      | Ok raw -> (
+          wire := !wire + String.length raw;
+          match Gdb.Wire.decode_reply raw with
+          | Error e -> Error (Soft (Moira.Mr_err.aborted, e))
+          | Ok reply ->
+              if reply.Gdb.Wire.code = 0 then Ok reply.Gdb.Wire.tuples
+              else if reply.Gdb.Wire.code = Moira.Mr_err.update_checksum then
+                Error (Soft (reply.Gdb.Wire.code, "checksum mismatch"))
+              else if reply.Gdb.Wire.code = Moira.Mr_err.perm then
+                Error (Hard (reply.Gdb.Wire.code, "authentication rejected"))
+              else
+                let detail =
+                  match reply.Gdb.Wire.tuples with
+                  | [ [ msg ] ] -> msg
+                  | _ -> Comerr.Com_err.error_message reply.Gdb.Wire.code
+                in
+                Error (Hard (reply.Gdb.Wire.code, detail)))
+    in
+    go 1
   in
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let archive = Tarlike.pack files in
@@ -370,7 +411,7 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ~target ~files ~script
   in
   let* _ = call op_script [ script ] in
   let* _ = call op_flush [] in
-  let* _ = call op_exec [ target ] in
+  let* _ = call op_exec [ target; cksum ] in
   Ok
     {
       wire_bytes = !wire;
@@ -380,4 +421,6 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ~target ~files ~script
       members_patched = patched;
       members_kept = kept;
       delta;
+      op_retries = !retries;
+      wasted_bytes = !wasted;
     }

@@ -78,11 +78,14 @@ type push_stats = {
   members_patched : int;  (** Members shipped as patches. *)
   members_kept : int;  (** Members the host already had (not resent). *)
   delta : bool;  (** Whether the delta path carried the transfer. *)
+  op_retries : int;  (** Transport-level retries spent during the push. *)
+  wasted_bytes : int;
+      (** Request bytes of attempts that timed out and were re-sent. *)
 }
 
 val push :
   Netsim.Net.t -> src:string -> dst:string -> ?token:string ->
-  ?base:(string * string) list ->
+  ?base:(string * string) list -> ?attempts:int ->
   target:string -> files:(string * string) list -> script:string ->
   unit -> (push_stats, failure) result
 (** Run the full protocol against host [dst]: transfer [files] to
@@ -92,4 +95,13 @@ val push :
     generation's files (if the caller kept them), used only to compute
     patches; correctness never depends on it, since every patch carries
     its base checksum and the server verifies the reconstructed
-    archive. *)
+    archive.
+
+    [attempts] (default 1) is the number of transport attempts per
+    protocol operation: a call that fails at the network layer (timeout,
+    lost reply, unreachable host) is re-sent up to [attempts - 1] more
+    times before the push gives up with a [Soft] failure.  Every
+    operation is idempotent under re-send — in particular the exec
+    confirm carries the archive checksum, so a server that already
+    installed the archive but whose reply was lost acknowledges the
+    repeat instead of running the script twice. *)

@@ -16,7 +16,22 @@ type stats = {
   mutable calls : int;
   mutable bytes : int;
   mutable failures : int;
+  mutable req_dropped : int;
+  mutable reply_dropped : int;
+  mutable partitioned : int;
+  mutable down : int;
+  mutable crashed : int;
+  mutable wasted_bytes : int;
 }
+
+(* Per-link fault state, keyed by the unordered host pair. *)
+type link = {
+  mutable l_drop : float;
+  mutable l_reply_drop : float;
+  mutable l_latency_ms : int;
+}
+
+type armed_reply_drop = { mutable skip : int; mutable drop : int }
 
 type t = {
   engine : Sim.Engine.t;
@@ -27,6 +42,11 @@ type t = {
   per_kb_ms : int;
   timeout_ms : int;
   mutable drop_rate : float;
+  mutable reply_drop_rate : float;
+  links : (string * string, link) Hashtbl.t;
+  partition : (string, int) Hashtbl.t;
+  mutable partition_gen : int;
+  armed_replies : (string, armed_reply_drop) Hashtbl.t;
   stats : stats;
 }
 
@@ -40,7 +60,23 @@ let create ?(base_rtt_ms = 4) ?(per_kb_ms = 1) ?(timeout_ms = 30_000) engine =
     per_kb_ms;
     timeout_ms;
     drop_rate = 0.0;
-    stats = { calls = 0; bytes = 0; failures = 0 };
+    reply_drop_rate = 0.0;
+    links = Hashtbl.create 7;
+    partition = Hashtbl.create 7;
+    partition_gen = 0;
+    armed_replies = Hashtbl.create 7;
+    stats =
+      {
+        calls = 0;
+        bytes = 0;
+        failures = 0;
+        req_dropped = 0;
+        reply_dropped = 0;
+        partitioned = 0;
+        down = 0;
+        crashed = 0;
+        wasted_bytes = 0;
+      };
   }
 
 let engine t = t.engine
@@ -61,6 +97,99 @@ let host t name =
 let host_opt t name = Hashtbl.find_opt t.by_name name
 let hosts t = List.rev_map (fun n -> host t n) t.order
 
+let link_key a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let link_of t a b =
+  match Hashtbl.find_opt t.links (link_key a b) with
+  | Some l -> l
+  | None ->
+      let l = { l_drop = 0.0; l_reply_drop = 0.0; l_latency_ms = 0 } in
+      Hashtbl.replace t.links (link_key a b) l;
+      l
+
+let set_link_faults t ~a ~b ?drop ?reply_drop ?latency_ms () =
+  let l = link_of t a b in
+  Option.iter (fun r -> l.l_drop <- r) drop;
+  Option.iter (fun r -> l.l_reply_drop <- r) reply_drop;
+  Option.iter (fun ms -> l.l_latency_ms <- ms) latency_ms
+
+let clear_link_faults t = Hashtbl.reset t.links
+
+(* Combined loss probability of two independent layers. *)
+let layered a b = 1.0 -. ((1.0 -. a) *. (1.0 -. b))
+
+let set_partition t groups =
+  Hashtbl.reset t.partition;
+  List.iter
+    (fun group ->
+      t.partition_gen <- t.partition_gen + 1;
+      let gid = t.partition_gen in
+      List.iter (fun h -> Hashtbl.replace t.partition h gid) group)
+    groups
+
+let clear_partition t = Hashtbl.reset t.partition
+
+let partitioned t src dst =
+  if Hashtbl.length t.partition = 0 then false
+  else
+    match (Hashtbl.find_opt t.partition src, Hashtbl.find_opt t.partition dst) with
+    | None, None -> false
+    | Some a, Some b -> a <> b
+    | Some _, None | None, Some _ -> true
+
+let partition_window t ~hosts ~at ~duration_ms =
+  let gid = ref 0 in
+  ignore
+    (Sim.Engine.schedule t.engine ~at "partition:start" (fun () ->
+         t.partition_gen <- t.partition_gen + 1;
+         gid := t.partition_gen;
+         List.iter (fun h -> Hashtbl.replace t.partition h !gid) hosts));
+  ignore
+    (Sim.Engine.schedule t.engine ~at:(at + duration_ms) "partition:heal"
+       (fun () ->
+         List.iter
+           (fun h ->
+             match Hashtbl.find_opt t.partition h with
+             | Some g when g = !gid -> Hashtbl.remove t.partition h
+             | _ -> ())
+           hosts))
+
+let schedule_outage t ~host ~at ~duration_ms =
+  ignore
+    (Sim.Engine.schedule t.engine ~at ("outage:" ^ host) (fun () ->
+         match host_opt t host with
+         | Some h when Host.is_up h -> Host.crash h
+         | _ -> ()));
+  ignore
+    (Sim.Engine.schedule t.engine ~at:(at + duration_ms) ("reboot:" ^ host)
+       (fun () ->
+         match host_opt t host with
+         | Some h when not (Host.is_up h) -> Host.boot h
+         | _ -> ()))
+
+let arm_reply_drop t ~dst ?(skip = 0) n =
+  Hashtbl.replace t.armed_replies dst { skip; drop = n }
+
+(* Does an armed deterministic reply drop fire for this (successful)
+   handler execution on [dst]? *)
+let armed_reply_fires t dst =
+  match Hashtbl.find_opt t.armed_replies dst with
+  | None -> false
+  | Some a ->
+      if a.skip > 0 then begin
+        a.skip <- a.skip - 1;
+        false
+      end
+      else if a.drop > 0 then begin
+        a.drop <- a.drop - 1;
+        if a.drop = 0 then Hashtbl.remove t.armed_replies dst;
+        true
+      end
+      else begin
+        Hashtbl.remove t.armed_replies dst;
+        false
+      end
+
 let charge t bytes =
   let cost = t.base_rtt_ms + (t.per_kb_ms * (bytes / 1024)) in
   Sim.Engine.advance t.engine cost
@@ -70,18 +199,36 @@ let fail t failure =
   Error failure
 
 let call t ~src ~dst ~service payload =
+  let req_len = String.length payload in
   t.stats.calls <- t.stats.calls + 1;
-  t.stats.bytes <- t.stats.bytes + String.length payload;
+  t.stats.bytes <- t.stats.bytes + req_len;
+  let waste extra = t.stats.wasted_bytes <- t.stats.wasted_bytes + extra in
   match Hashtbl.find_opt t.by_name dst with
   | None ->
       charge t 0;
       fail t No_host
+  | Some _ when partitioned t src dst ->
+      (* Neither side can reach the other: indistinguishable from loss. *)
+      t.stats.partitioned <- t.stats.partitioned + 1;
+      waste req_len;
+      Sim.Engine.advance t.engine t.timeout_ms;
+      fail t Timeout
   | Some h when not (Host.is_up h) ->
       (* A down host looks like a connection that never completes. *)
+      t.stats.down <- t.stats.down + 1;
+      waste req_len;
       Sim.Engine.advance t.engine t.timeout_ms;
       fail t Host_down
   | Some h ->
-      if t.drop_rate > 0.0 && Sim.Rng.chance t.rng t.drop_rate then begin
+      let lk = Hashtbl.find_opt t.links (link_key src dst) in
+      let extra_ms = match lk with Some l -> l.l_latency_ms | None -> 0 in
+      let req_drop =
+        layered t.drop_rate (match lk with Some l -> l.l_drop | None -> 0.0)
+      in
+      if req_drop > 0.0 && Sim.Rng.chance t.rng req_drop then begin
+        (* Request lost in flight: the handler never runs (at-most-once). *)
+        t.stats.req_dropped <- t.stats.req_dropped + 1;
+        waste req_len;
         Sim.Engine.advance t.engine t.timeout_ms;
         fail t Timeout
       end
@@ -91,21 +238,50 @@ let call t ~src ~dst ~service payload =
             charge t 0;
             fail t No_service
         | Some handler -> (
-            charge t (String.length payload);
+            charge t req_len;
+            if extra_ms > 0 then Sim.Engine.advance t.engine extra_ms;
             match handler ~src payload with
             | reply ->
-                t.stats.bytes <- t.stats.bytes + String.length reply;
-                charge t (String.length reply);
-                Ok reply
+                let rep_len = String.length reply in
+                t.stats.bytes <- t.stats.bytes + rep_len;
+                charge t rep_len;
+                if extra_ms > 0 then Sim.Engine.advance t.engine extra_ms;
+                let rep_drop =
+                  layered t.reply_drop_rate
+                    (match lk with Some l -> l.l_reply_drop | None -> 0.0)
+                in
+                if
+                  armed_reply_fires t dst
+                  || (rep_drop > 0.0 && Sim.Rng.chance t.rng rep_drop)
+                then begin
+                  (* The handler DID run; only the reply vanished.  The
+                     caller cannot tell this from request loss — this is
+                     the retry-idempotence hazard the update protocol
+                     must survive. *)
+                  t.stats.reply_dropped <- t.stats.reply_dropped + 1;
+                  waste (req_len + rep_len);
+                  Sim.Engine.advance t.engine t.timeout_ms;
+                  fail t Timeout
+                end
+                else Ok reply
             | exception Host.Crashed point ->
+                t.stats.crashed <- t.stats.crashed + 1;
+                waste req_len;
                 Sim.Engine.advance t.engine t.timeout_ms;
                 fail t (Remote_crash point))
       end
 
 let set_drop_rate t rate = t.drop_rate <- rate
+let set_reply_drop_rate t rate = t.reply_drop_rate <- rate
 let stats t = t.stats
 
 let reset_stats t =
   t.stats.calls <- 0;
   t.stats.bytes <- 0;
-  t.stats.failures <- 0
+  t.stats.failures <- 0;
+  t.stats.req_dropped <- 0;
+  t.stats.reply_dropped <- 0;
+  t.stats.partitioned <- 0;
+  t.stats.down <- 0;
+  t.stats.crashed <- 0;
+  t.stats.wasted_bytes <- 0

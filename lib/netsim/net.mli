@@ -4,8 +4,13 @@
     to the engine clock (base round-trip plus a per-kilobyte transfer
     cost) and can fail the ways the paper's update protocol must survive —
     the peer host is down, the service is absent, the link times out, or
-    the peer crashes mid-request.  Link faults are injected
-    deterministically from the engine RNG. *)
+    the peer crashes mid-request.  Faults are injected deterministically
+    from the engine RNG, in two layers: global rates that apply to every
+    call, and per-link rates keyed by the (unordered) host pair.  Request
+    loss and reply loss are distinct: a lost request never reaches the
+    handler (at-most-once), while a lost reply means the handler DID run
+    but the caller still sees {!Timeout} — the idempotence hazard any
+    retrying caller must survive. *)
 
 type t
 
@@ -14,7 +19,7 @@ type failure =
   | Host_down  (** Peer exists but is down (connection times out). *)
   | No_host  (** No such hostname (connection refused). *)
   | No_service  (** Host up, nothing listening on that service. *)
-  | Timeout  (** Link-level loss: the request or reply vanished. *)
+  | Timeout  (** Link-level loss or partition: request or reply vanished. *)
   | Remote_crash of string  (** Peer crashed mid-handler, at this point. *)
 
 val failure_to_string : failure -> string
@@ -24,6 +29,14 @@ type stats = {
   mutable calls : int;  (** Total calls attempted. *)
   mutable bytes : int;  (** Total payload bytes moved (both directions). *)
   mutable failures : int;  (** Calls that returned an error. *)
+  mutable req_dropped : int;  (** Requests lost before the handler ran. *)
+  mutable reply_dropped : int;  (** Handler ran, reply lost. *)
+  mutable partitioned : int;  (** Calls cut by a partition. *)
+  mutable down : int;  (** Calls to a down host. *)
+  mutable crashed : int;  (** Handler crashed the peer mid-call. *)
+  mutable wasted_bytes : int;
+      (** Bytes carried by calls that ended in an error (the wire cost of
+          failure: lost requests, replies to nobody, retries' fuel). *)
 }
 
 val create :
@@ -57,7 +70,60 @@ val call :
     injection, dispatches to the destination host's service handler. *)
 
 val set_drop_rate : t -> float -> unit
-(** Probability that any single call is lost to the network (default 0). *)
+(** Global probability that a request is lost before reaching the handler
+    (default 0).  Layered with the per-link drop rate. *)
+
+val set_reply_drop_rate : t -> float -> unit
+(** Global probability that a reply is lost after the handler ran
+    (default 0).  Layered with the per-link reply-drop rate. *)
+
+val set_link_faults :
+  t ->
+  a:string ->
+  b:string ->
+  ?drop:float ->
+  ?reply_drop:float ->
+  ?latency_ms:int ->
+  unit ->
+  unit
+(** Set fault parameters for the (unordered) link between hosts [a] and
+    [b]: request-drop probability, reply-drop probability, and extra
+    one-way latency charged on each direction.  Omitted parameters keep
+    their current values (all default 0). *)
+
+val clear_link_faults : t -> unit
+(** Forget all per-link fault state. *)
+
+val set_partition : t -> string list list -> unit
+(** Partition the network into the given groups.  Hosts in the same group
+    can talk; hosts in different groups — or a listed host and an
+    unlisted one — cannot (the caller sees {!Timeout} after the full
+    timeout).  Hosts in no group can all talk to each other.  Replaces
+    any previous partition. *)
+
+val clear_partition : t -> unit
+(** Heal all partitions. *)
+
+val partition_window :
+  t -> hosts:string list -> at:int -> duration_ms:int -> unit
+(** Schedule a transient partition: at engine time [at] the listed hosts
+    are isolated together (cut from everyone else), healing after
+    [duration_ms].  Overlapping windows compose; healing removes only the
+    hosts this window isolated. *)
+
+val schedule_outage : t -> host:string -> at:int -> duration_ms:int -> unit
+(** Schedule a crash/reboot cycle for [host]: crash at engine time [at]
+    (unflushed filesystem state lost), boot at [at + duration_ms]
+    (running the host's boot hooks, which re-register its services).
+    Either event is a no-op if the host is already in the target state
+    or was never registered.  Events run from the sim queue, so they
+    cannot preempt a handler already running — arm a crash point for
+    mid-call crashes. *)
+
+val arm_reply_drop : t -> dst:string -> ?skip:int -> int -> unit
+(** Deterministically drop the replies of the next [n] successful handler
+    executions on [dst] (after ignoring the first [skip]).  For directed
+    reply-loss idempotence tests; independent of the random rates. *)
 
 val stats : t -> stats
 (** Live traffic counters. *)

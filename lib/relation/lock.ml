@@ -25,6 +25,12 @@ let release t ~key ~owner =
   let hs = List.filter (fun (o, _) -> o <> owner) (holders t ~key) in
   if hs = [] then Hashtbl.remove t key else Hashtbl.replace t key hs
 
+let owned t ~owner =
+  Hashtbl.fold
+    (fun k hs acc ->
+      if List.exists (fun (o, _) -> o = owner) hs then k :: acc else acc)
+    t []
+
 let release_all t ~owner =
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t [] in
   List.iter (fun key -> release t ~key ~owner) keys

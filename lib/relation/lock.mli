@@ -22,6 +22,9 @@ val acquire : t -> key:string -> owner:string -> mode -> bool
 val release : t -> key:string -> owner:string -> unit
 (** Drop [owner]'s hold on [key] (no-op if not held). *)
 
+val owned : t -> owner:string -> string list
+(** Every key on which [owner] currently holds a lock. *)
+
 val release_all : t -> owner:string -> unit
 (** Drop every lock held by [owner] — crash cleanup. *)
 

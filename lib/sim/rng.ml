@@ -31,6 +31,13 @@ let float t =
 
 let chance t p = float t < p
 
+let jitter t ~frac x =
+  if frac <= 0.0 then x
+  else
+    let f = 1.0 +. (frac *. ((2.0 *. float t) -. 1.0)) in
+    let v = int_of_float (Float.round (float_of_int x *. f)) in
+    max 0 v
+
 let pick t a =
   if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
   a.(int t (Array.length a))

@@ -28,6 +28,11 @@ val chance : t -> float -> bool
 val float : t -> float
 (** Uniform in [[0, 1)]. *)
 
+val jitter : t -> frac:float -> int -> int
+(** [jitter t ~frac x] is [x] scaled by a uniform factor in
+    [[1 -. frac, 1 +. frac]], clamped to be non-negative — used to
+    de-synchronise retry backoff across hosts. *)
+
 val pick : t -> 'a array -> 'a
 (** A uniformly random element.  @raise Invalid_argument on empty array. *)
 

@@ -68,7 +68,7 @@ let nfs_script host ~staged =
    service's dfgen of 0 must compare earlier than any row modtime. *)
 let epoch_1988_ms = 568_000_000_000
 
-let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 15) () =
+let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 15) ?retry () =
   let engine =
     Sim.Engine.create ~seed:spec.Population.seed ~start:epoch_1988_ms ()
   in
@@ -182,7 +182,7 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
     Dcm.Manager.create ~net ~moira_host:built.Population.moira_machine ~glue
       ~zephyr_to:built.Population.zephyr_machines.(0)
       ~mail_via:(built.Population.mail_hub, "moira-admins")
-      ()
+      ?retry ()
   in
   dcm_ref := Some dcm;
   ignore (Dcm.Manager.schedule dcm engine ~every_min:dcm_every_min);
@@ -242,6 +242,26 @@ let read_mail t ~ws ~login =
       | _ -> Ok [])
   | Ok [] -> Ok []
   | Error f -> Error f
+
+let managed_machines t =
+  Array.to_list t.built.Population.hesiod_machines
+  @ Array.to_list t.built.Population.nfs_machines
+  @ [ t.built.Population.mail_hub ]
+  @ Array.to_list t.built.Population.zephyr_machines
+
+let durable_files t machine =
+  let fs = Netsim.Host.fs (host t machine) in
+  Netsim.Vfs.list fs
+  |> List.filter (fun p ->
+         (not (String.starts_with ~prefix:"/tmp/" p))
+         && (not (Filename.check_suffix p ".moira_update"))
+         && not (Filename.check_suffix p ".moira_old"))
+  |> List.sort compare
+  |> List.map (fun p ->
+         (p, Option.value (Netsim.Vfs.read fs ~path:p) ~default:""))
+
+let installed_state t =
+  List.map (fun m -> (m, durable_files t m)) (managed_machines t)
 
 let journal_file t =
   let fs = Netsim.Host.fs (host t t.built.Population.moira_machine) in

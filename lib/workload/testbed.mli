@@ -20,18 +20,24 @@ type t = {
   userreg : Userreg.server;
 }
 
+val epoch_1988_ms : int
+(** The engine start time: (roughly) January 1988, in ms. *)
+
 val create :
   ?spec:Population.spec ->
   ?backend:Gdb.Server.backend_cost ->
   ?access_cache:bool ->
   ?dcm_every_min:int ->
+  ?retry:Dcm.Manager.retry_policy ->
   unit ->
   t
 (** Build the world: engine + network + KDC + database, populate it
     (default [Population.small]), start every server, arm the DCM cron
     (default every 15 simulated minutes, the paper's minimum
     distribution interval).  The moira server's Trigger_DCM request is
-    wired to an immediate DCM run. *)
+    wired to an immediate DCM run.  [retry] overrides the DCM's retry/
+    backoff/quarantine policy (fault-injection tests shrink the
+    thresholds). *)
 
 val client : t -> src:string -> Moira.Mr_client.t
 (** An application-library handle on the given workstation. *)
@@ -63,6 +69,18 @@ val send_mail :
 (** Submit a message to the campus mail hub; it routes with the
     Moira-generated aliases file.  Returns how many copies were
     delivered. *)
+
+val managed_machines : t -> string list
+(** Every machine the DCM pushes to: hesiod, NFS, mail hub, zephyr. *)
+
+val durable_files : t -> string -> (string * string) list
+(** The (path, contents) of a machine's files, sorted, excluding staging
+    and revert leftovers ([/tmp/*], [*.moira_update], [*.moira_old]) —
+    the state that must end byte-identical between a faulty run and a
+    clean one once the fleet converges. *)
+
+val installed_state : t -> (string * (string * string) list) list
+(** {!durable_files} for every managed machine. *)
 
 val journal_file : t -> Relation.Journal.t option
 (** Parse the server daemon's on-disk journal file

@@ -211,6 +211,155 @@ let test_net_latency_proportional_to_size () =
   Alcotest.(check bool) "roughly per-KiB" true
     (large - small >= 190 && large - small <= 210)
 
+let test_net_reply_loss_executes_handler () =
+  let _, net = fresh_net () in
+  let h = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  let executed = ref 0 in
+  Netsim.Host.register h ~service:"s" (fun ~src:_ _ ->
+      incr executed;
+      "ok");
+  Netsim.Net.set_reply_drop_rate net 1.0;
+  (match Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x" with
+  | Error Netsim.Net.Timeout -> ()
+  | _ -> Alcotest.fail "expected timeout under 100% reply loss");
+  (* the defining property of reply loss: the request WAS processed *)
+  Alcotest.(check int) "handler ran despite caller timeout" 1 !executed;
+  Alcotest.(check int) "counted as reply_dropped" 1
+    (Netsim.Net.stats net).Netsim.Net.reply_dropped;
+  Alcotest.(check int) "not counted as req_dropped" 0
+    (Netsim.Net.stats net).Netsim.Net.req_dropped;
+  Netsim.Net.set_reply_drop_rate net 0.0;
+  match Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x" with
+  | Ok _ -> Alcotest.(check int) "second call also ran" 2 !executed
+  | Error _ -> Alcotest.fail "expected success with reply loss off"
+
+let test_net_arm_reply_drop () =
+  let _, net = fresh_net () in
+  let h = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  let executed = ref 0 in
+  Netsim.Host.register h ~service:"s" (fun ~src:_ _ ->
+      incr executed;
+      "ok");
+  Netsim.Net.arm_reply_drop net ~dst:"SRV" ~skip:1 1;
+  let call () = Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x" in
+  Alcotest.(check bool) "skipped call succeeds" true (call () = Ok "ok");
+  Alcotest.(check bool) "armed drop fires" true
+    (call () = Error Netsim.Net.Timeout);
+  Alcotest.(check bool) "then disarmed" true (call () = Ok "ok");
+  Alcotest.(check int) "every call executed server-side" 3 !executed
+
+let test_net_link_faults () =
+  let _, net = fresh_net () in
+  let h = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  ignore (Netsim.Net.add_host net "OTHER");
+  Netsim.Host.register h ~service:"s" (fun ~src:_ _ -> "ok");
+  Netsim.Net.set_link_faults net ~a:"CLI" ~b:"SRV" ~drop:1.0 ();
+  (match Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x" with
+  | Error Netsim.Net.Timeout -> ()
+  | _ -> Alcotest.fail "faulty link should drop");
+  (* the same destination over a clean link is unaffected *)
+  (match Netsim.Net.call net ~src:"OTHER" ~dst:"SRV" ~service:"s" "x" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "clean link should work");
+  Netsim.Net.clear_link_faults net;
+  match Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "cleared link should work"
+
+let test_net_link_latency () =
+  let e, net = fresh_net () in
+  let h = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  Netsim.Host.register h ~service:"s" (fun ~src:_ _ -> "ok");
+  let cost () =
+    let before = Sim.Engine.now e in
+    ignore (Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x");
+    Sim.Engine.now e - before
+  in
+  let clean = cost () in
+  Netsim.Net.set_link_faults net ~a:"CLI" ~b:"SRV" ~latency_ms:250 ();
+  let slow = cost () in
+  (* 250 ms extra each way *)
+  Alcotest.(check int) "extra latency charged both directions" 500
+    (slow - clean)
+
+let test_net_partition () =
+  let _, net = fresh_net () in
+  List.iter
+    (fun n ->
+      let h = Netsim.Net.add_host net n in
+      Netsim.Host.register h ~service:"s" (fun ~src:_ _ -> "ok"))
+    [ "A"; "B"; "C"; "D" ];
+  Netsim.Net.set_partition net [ [ "A"; "B" ] ];
+  let call src dst = Netsim.Net.call net ~src ~dst ~service:"s" "x" in
+  Alcotest.(check bool) "same group talks" true (call "A" "B" = Ok "ok");
+  Alcotest.(check bool) "cut from unlisted" true
+    (call "A" "C" = Error Netsim.Net.Timeout);
+  Alcotest.(check bool) "unlisted cut from group" true
+    (call "C" "A" = Error Netsim.Net.Timeout);
+  Alcotest.(check bool) "unlisted hosts talk" true (call "C" "D" = Ok "ok");
+  Alcotest.(check bool) "partitioned calls counted" true
+    ((Netsim.Net.stats net).Netsim.Net.partitioned = 2);
+  Netsim.Net.clear_partition net;
+  Alcotest.(check bool) "healed" true (call "A" "C" = Ok "ok")
+
+let test_net_partition_window () =
+  let e, net = fresh_net () in
+  List.iter
+    (fun n ->
+      let h = Netsim.Net.add_host net n in
+      Netsim.Host.register h ~service:"s" (fun ~src:_ _ -> "ok"))
+    [ "A"; "B" ];
+  Netsim.Net.partition_window net ~hosts:[ "B" ] ~at:1000 ~duration_ms:1000;
+  let call () = Netsim.Net.call net ~src:"A" ~dst:"B" ~service:"s" "x" in
+  Alcotest.(check bool) "before window" true (call () = Ok "ok");
+  Sim.Engine.run_until e 1500;
+  Alcotest.(check bool) "inside window" true
+    (call () = Error Netsim.Net.Timeout);
+  Sim.Engine.run_until e 60_000;
+  Alcotest.(check bool) "after window" true (call () = Ok "ok")
+
+let test_net_schedule_outage () =
+  let e, net = fresh_net () in
+  let h = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  (* services re-registered from a boot hook, like Update.serve does *)
+  let install () =
+    Netsim.Host.register h ~service:"s" (fun ~src:_ _ -> "ok")
+  in
+  install ();
+  Netsim.Host.on_boot h (fun _ -> install ());
+  Netsim.Net.schedule_outage net ~host:"SRV" ~at:1000 ~duration_ms:2000;
+  let call () = Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x" in
+  Alcotest.(check bool) "up before outage" true (call () = Ok "ok");
+  Sim.Engine.run_until e 1500;
+  Alcotest.(check bool) "down during outage" true
+    (call () = Error Netsim.Net.Host_down);
+  Alcotest.(check bool) "host marked down" false (Netsim.Host.is_up h);
+  Sim.Engine.run_until e 120_000;
+  Alcotest.(check bool) "rebooted after outage" true (call () = Ok "ok")
+
+let test_net_stats_by_kind () =
+  let _, net = fresh_net () in
+  let h = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "CLI");
+  Netsim.Host.register h ~service:"s" (fun ~src:_ _ -> "ok");
+  Netsim.Net.set_drop_rate net 1.0;
+  ignore (Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x");
+  Netsim.Net.set_drop_rate net 0.0;
+  Netsim.Host.crash h;
+  ignore (Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"s" "x");
+  Netsim.Host.boot h;
+  let s = Netsim.Net.stats net in
+  Alcotest.(check int) "req_dropped" 1 s.Netsim.Net.req_dropped;
+  Alcotest.(check int) "down" 1 s.Netsim.Net.down;
+  Alcotest.(check int) "failures total" 2 s.Netsim.Net.failures;
+  Alcotest.(check bool) "wasted bytes counted" true
+    (s.Netsim.Net.wasted_bytes >= 2)
+
 let test_engine_pending () =
   let e = Sim.Engine.create () in
   let id = Sim.Engine.after e ~delay:10 "a" (fun () -> ()) in
@@ -252,5 +401,16 @@ let suite =
     Alcotest.test_case "net duplicate host" `Quick test_net_duplicate_host;
     Alcotest.test_case "latency proportional" `Quick
       test_net_latency_proportional_to_size;
+    Alcotest.test_case "net reply loss executes handler" `Quick
+      test_net_reply_loss_executes_handler;
+    Alcotest.test_case "net armed reply drop" `Quick test_net_arm_reply_drop;
+    Alcotest.test_case "net link faults" `Quick test_net_link_faults;
+    Alcotest.test_case "net link latency" `Quick test_net_link_latency;
+    Alcotest.test_case "net partition" `Quick test_net_partition;
+    Alcotest.test_case "net partition window" `Quick
+      test_net_partition_window;
+    Alcotest.test_case "net scheduled outage" `Quick
+      test_net_schedule_outage;
+    Alcotest.test_case "net stats by kind" `Quick test_net_stats_by_kind;
     Alcotest.test_case "engine pending" `Quick test_engine_pending;
   ]

@@ -340,6 +340,107 @@ let test_stale_base_on_client_still_correct () =
   Alcotest.(check (option string)) "b correct" (Some "b-v2")
     (Netsim.Vfs.read fs ~path:"/etc/data/b.db")
 
+(* Every durable file on the host except in-flight staging — the state
+   that must match a clean push after a reply-loss retry. *)
+let state_of srv =
+  let fs = Netsim.Host.fs srv in
+  Netsim.Vfs.list fs
+  |> List.filter (fun p -> not (Filename.check_suffix p ".moira_update"))
+  |> List.sort compare
+  |> List.map (fun p ->
+         (p, Option.value (Netsim.Vfs.read fs ~path:p) ~default:""))
+
+(* Reply loss is the idempotence hazard: the server executed the
+   operation, but the DCM saw Timeout and re-sends it.  Drop the reply
+   of each operation of the protocol in turn and check the retried push
+   converges to exactly the clean-push state. *)
+let full_push_ops = [ "manifest"; "xfer"; "script"; "flush"; "exec" ]
+let delta_push_ops = [ "manifest"; "delta"; "script"; "flush"; "exec" ]
+
+let test_reply_loss_idempotent_full_push () =
+  let _, cnet, csrv, _ = setup () in
+  (match push cnet with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "clean reference push failed");
+  let want = state_of csrv in
+  List.iteri
+    (fun i op ->
+      let _, net, srv, _ = setup () in
+      Netsim.Net.arm_reply_drop net ~dst:"SRV" ~skip:i 1;
+      (match
+         Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~attempts:2
+           ~target:"/tmp/out"
+           ~files:[ ("a.db", "alpha\n"); ("b.db", "beta\n") ]
+           ~script:"install.sh" ()
+       with
+      | Ok s ->
+          Alcotest.(check bool)
+            (op ^ " reply lost: op was re-sent")
+            true
+            (s.Dcm.Update.op_retries >= 1)
+      | Error _ -> Alcotest.fail (op ^ " reply lost: push failed"));
+      Alcotest.(check bool)
+        (op ^ " reply lost: state equals clean push")
+        true
+        (state_of srv = want))
+    full_push_ops
+
+let test_reply_loss_idempotent_delta_push () =
+  let v1 = [ ("a.db", "a-v1\n"); ("b.db", "b-v1\n") ] in
+  let v2 = [ ("a.db", "a-v2\n"); ("b.db", "b-v1\n") ] in
+  let delta_push net =
+    Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~base:v1 ~attempts:2
+      ~target:"/tmp/out" ~files:v2 ~script:"install.sh" ()
+  in
+  let _, cnet, csrv, _ = setup () in
+  ignore (push ~files:v1 cnet);
+  (match delta_push cnet with
+  | Ok s ->
+      Alcotest.(check bool) "reference push is a delta" true
+        s.Dcm.Update.delta
+  | Error _ -> Alcotest.fail "clean reference delta push failed");
+  let want = state_of csrv in
+  List.iteri
+    (fun i op ->
+      let _, net, srv, _ = setup () in
+      ignore (push ~files:v1 net);
+      Netsim.Net.arm_reply_drop net ~dst:"SRV" ~skip:i 1;
+      (match delta_push net with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail (op ^ " reply lost: delta push failed"));
+      Alcotest.(check bool)
+        (op ^ " reply lost: state equals clean push")
+        true
+        (state_of srv = want))
+    delta_push_ops
+
+let test_reply_loss_exec_runs_script_once () =
+  (* The exec confirm carries the archive checksum: a server that
+     already installed it must acknowledge the repeat, not run the
+     script twice. *)
+  let engine = Sim.Engine.create () in
+  let net = Netsim.Net.create engine in
+  let srv = Netsim.Net.add_host net "SRV" in
+  ignore (Netsim.Net.add_host net "MOIRA");
+  let up = Dcm.Update.serve srv in
+  let runs = ref 0 in
+  Dcm.Update.register_script up ~name:"install.sh" (fun ~staged ->
+      incr runs;
+      Dcm.Update.install_files srv ~dir:"/etc/data" () ~staged);
+  (* the exec op is the 5th (index 4) of a full push *)
+  Netsim.Net.arm_reply_drop net ~dst:"SRV" ~skip:4 1;
+  (match
+     Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~attempts:2
+       ~target:"/tmp/out"
+       ~files:[ ("a.db", "alpha\n") ]
+       ~script:"install.sh" ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "push failed");
+  Alcotest.(check int) "script ran exactly once" 1 !runs;
+  Alcotest.(check (option string)) "file installed" (Some "alpha\n")
+    (Netsim.Vfs.read (Netsim.Host.fs srv) ~path:"/etc/data/a.db")
+
 let prop_tarlike_roundtrip =
   QCheck.Test.make ~name:"tarlike: pack/unpack roundtrip" ~count:200
     QCheck.(
@@ -374,6 +475,12 @@ let suite =
       test_garbage_last_falls_back_to_full;
     Alcotest.test_case "stale client base still correct" `Quick
       test_stale_base_on_client_still_correct;
+    Alcotest.test_case "reply loss idempotent (full push, every op)" `Quick
+      test_reply_loss_idempotent_full_push;
+    Alcotest.test_case "reply loss idempotent (delta push, every op)" `Quick
+      test_reply_loss_idempotent_delta_push;
+    Alcotest.test_case "reply loss: exec runs script once" `Quick
+      test_reply_loss_exec_runs_script_once;
     Alcotest.test_case "tarlike roundtrip" `Quick test_tarlike_roundtrip;
     Alcotest.test_case "checksum function" `Quick test_checksum_function;
     QCheck_alcotest.to_alcotest prop_tarlike_roundtrip;
