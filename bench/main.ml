@@ -1226,8 +1226,19 @@ let bench_chaos () =
         | Some base -> state = base
       in
       let reports = Dcm.Manager.reports tb.Testbed.dcm in
-      let retries =
-        List.fold_left (fun a r -> a + r.Dcm.Manager.retries) 0 reports
+      (* whole-run telemetry straight from the registry (the per-report
+         fields are deltas of these same counters) *)
+      let o = Testbed.obs tb in
+      let ctr name = Option.value ~default:0 (Obs.find_counter o name) in
+      let retries = ctr "dcm.retries" in
+      let ops_sent = ctr "update.ops.sent" in
+      let ops_ok = ctr "update.ops.ok" in
+      let ops_retried = ctr "update.ops.retried" in
+      let ops_failed =
+        List.fold_left
+          (fun a (n, v) ->
+            if Obs.glob_match "update.ops.failed.*" n then a + v else a)
+          0 (Obs.counters o)
       in
       let count pred =
         List.fold_left
@@ -1251,6 +1262,13 @@ let bench_chaos () =
       if not converged then failures := (name ^ ": did not converge") :: !failures;
       if not identical then
         failures := (name ^ ": installed files differ from baseline") :: !failures;
+      (* every protocol operation is accounted for: it either succeeded,
+         was retried, or ended in a counted failure kind *)
+      if ops_sent <> ops_ok + ops_retried + ops_failed then
+        failures :=
+          Printf.sprintf "%s: ops unaccounted (%d sent <> %d ok + %d retried + %d failed)"
+            name ops_sent ops_ok ops_retried ops_failed
+          :: !failures;
       json_add name
         [
           ("drop_rate", F drop);
@@ -1266,16 +1284,12 @@ let bench_chaos () =
           ("req_dropped", I ns.Netsim.Net.req_dropped);
           ("reply_dropped", I ns.Netsim.Net.reply_dropped);
           ("partitioned_calls", I ns.Netsim.Net.partitioned);
-          ( "notices_sent",
-            I
-              (List.fold_left
-                 (fun a r -> a + r.Dcm.Manager.notices_sent)
-                 0 reports) );
-          ( "notices_dropped",
-            I
-              (List.fold_left
-                 (fun a r -> a + r.Dcm.Manager.notices_dropped)
-                 0 reports) );
+          ("ops_sent", I ops_sent);
+          ("ops_ok", I ops_ok);
+          ("ops_retried", I ops_retried);
+          ("ops_failed", I ops_failed);
+          ("notices_sent", I (ctr "dcm.notices.sent"));
+          ("notices_dropped", I (ctr "dcm.notices.dropped"));
         ];
       Printf.printf "%5.2f / %-9.2f %8d %8d %10d %12d %9b\n" drop reply_drop
         cycles hours retries
@@ -1291,6 +1305,148 @@ let bench_chaos () =
   | fs ->
       List.iter (fun f -> Printf.eprintf "CHAOS FAILURE: %s\n" f) fs;
       exit 1
+
+(* ------------------------------------------------------------------ *)
+(* obs: the observability layer end to end -- per-query latency         *)
+(* quantiles, plan-cache hit rate, DCM cycle breakdown, registry        *)
+(* determinism across identical seeded runs, and a Chrome-loadable      *)
+(* trace (BENCH_obs.json, trace.json).  OBS_SMOKE=1 (CI) shrinks it.    *)
+
+let obs_smoke = Sys.getenv_opt "OBS_SMOKE" <> None || smoke
+let obs_queries = if obs_smoke then 40 else 160
+
+(* A deterministic mixed workload: reads and writes trickling in over
+   simulated hours while the DCM cron fires — everything the PR wires
+   up (query spans, client latency histograms, plan cache, DCM span
+   tree, net counters) gets exercised. *)
+let obs_run () =
+  let tb = Testbed.create () in
+  let o = Testbed.obs tb in
+  Netsim.Net.set_trace_calls tb.Testbed.net true;
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let c = Testbed.admin_client tb ~src:ws in
+  let logins = tb.Testbed.built.Population.logins in
+  for i = 0 to obs_queries - 1 do
+    let login = logins.(i mod Array.length logins) in
+    (match i mod 4 with
+    | 3 ->
+        ignore
+          (Moira.Mr_client.mr_query c ~name:"update_user_shell"
+             [ login; Printf.sprintf "/bin/obs%d" i ]
+             ~callback:(fun _ -> ()))
+    | _ ->
+        ignore
+          (Moira.Mr_client.mr_query_list c ~name:"get_user_by_login" [ login ]));
+    Testbed.run_minutes tb 2
+  done;
+  Testbed.run_hours tb 1;
+  (* the registry surfaced through the Moira wire protocol — part of the
+     workload (not just the demo below) so both determinism runs are
+     identical query-for-query *)
+  let stat_rows =
+    match
+      Moira.Mr_client.mr_query_list c ~name:"_get_server_statistics"
+        [ "dcm.*" ]
+    with
+    | Ok rows -> rows
+    | Error _ -> []
+  in
+  (tb, stat_rows, o)
+
+let span_stats o name =
+  let spans =
+    List.filter (fun s -> s.Obs.sp_name = name) (Obs.completed_spans o)
+  in
+  (List.length spans, List.fold_left (fun a s -> a + s.Obs.sp_dur_ms) 0 spans)
+
+let bench_obs () =
+  header
+    "obs: sim-time observability -- query latency quantiles, plan-cache\n\
+     hit rate, DCM cycle breakdown, registry determinism, Chrome trace\n\
+     (BENCH_obs.json, trace.json)";
+  let _tb, stat_rows, o = obs_run () in
+  (* fingerprint before anything below perturbs the registry *)
+  let dump1 = Obs.dump o in
+  let h name =
+    match Obs.find_histogram o name with
+    | Some s -> s
+    | None ->
+        { Obs.count = 0; sum = 0; min = 0; max = 0; p50 = 0; p95 = 0; p99 = 0 }
+  in
+  let q = h "client.query_ms" in
+  let q_read = h "client.query.get_user_by_login.ms" in
+  let q_write = h "client.query.update_user_shell.ms" in
+  Printf.printf
+    "client round trips: %d  p50=%dms p95=%dms p99=%dms max=%dms\n"
+    q.Obs.count q.Obs.p50 q.Obs.p95 q.Obs.p99 q.Obs.max;
+  Printf.printf "  get_user_by_login:  p50=%dms p95=%dms\n" q_read.Obs.p50
+    q_read.Obs.p95;
+  Printf.printf "  update_user_shell:  p50=%dms p95=%dms\n" q_write.Obs.p50
+    q_write.Obs.p95;
+  let hits, misses, entries = Relation.Plan.cache_stats () in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf "plan cache: %d hits / %d misses (%.1f%% hit rate), %d plans\n"
+    hits misses (100. *. hit_rate) entries;
+  let cycles, cycle_ms = span_stats o "dcm.cycle" in
+  let _, gen_ms = span_stats o "dcm.generate" in
+  let _, hosts_ms = span_stats o "dcm.hosts" in
+  let pushes, push_ms = span_stats o "dcm.push" in
+  Printf.printf
+    "dcm (ring window): %d cycles, %d sim-ms -- generate %dms, host scans\n\
+    \  %dms of which %d pushes took %dms\n"
+    cycles cycle_ms gen_ms hosts_ms pushes push_ms;
+  Printf.printf "_get_server_statistics \"dcm.*\": %d rows, e.g.\n"
+    (List.length stat_rows);
+  List.iteri
+    (fun i row -> if i < 4 then Printf.printf "  %s\n" (String.concat " " row))
+    stat_rows;
+  let trace = Obs.trace_json o in
+  let n_events = List.length (Obs.trace_events o) in
+  let oc = open_out "trace.json" in
+  output_string oc trace;
+  close_out oc;
+  Printf.printf "wrote trace.json (%d events, %d bytes)\n" n_events
+    (String.length trace);
+  (* a second identical seeded run must fingerprint identically: every
+     timestamp is sim time, so wall clock never leaks into a metric *)
+  let _, _, o2 = obs_run () in
+  let deterministic = String.equal dump1 (Obs.dump o2) in
+  Printf.printf "registry identical across two same-seed runs: %b\n"
+    deterministic;
+  json_add "obs"
+    [
+      ("queries", I q.Obs.count);
+      ("query_p50_ms", I q.Obs.p50);
+      ("query_p95_ms", I q.Obs.p95);
+      ("query_p99_ms", I q.Obs.p99);
+      ("query_max_ms", I q.Obs.max);
+      ("read_p50_ms", I q_read.Obs.p50);
+      ("read_p95_ms", I q_read.Obs.p95);
+      ("write_p50_ms", I q_write.Obs.p50);
+      ("write_p95_ms", I q_write.Obs.p95);
+      ("plan_cache_hits", I hits);
+      ("plan_cache_misses", I misses);
+      ("plan_cache_hit_rate", F hit_rate);
+      ("plan_cache_entries", I entries);
+      ("dcm_cycles", I cycles);
+      ("dcm_cycle_ms", I cycle_ms);
+      ("dcm_generate_ms", I gen_ms);
+      ("dcm_hosts_ms", I hosts_ms);
+      ("dcm_pushes", I pushes);
+      ("dcm_push_ms", I push_ms);
+      ("trace_events", I n_events);
+      ("deterministic", B deterministic);
+    ];
+  json_write "BENCH_obs.json";
+  if not deterministic then begin
+    let save p s = let oc = open_out p in output_string oc s; close_out oc in
+    save "OBS_dump1.txt" dump1;
+    save "OBS_dump2.txt" (Obs.dump o2);
+    Printf.eprintf
+      "OBS FAILURE: two identical seeded runs produced different registries\n\
+       (dumps in OBS_dump1.txt / OBS_dump2.txt)\n";
+    exit 1
+  end
 
 let experiments =
   [
@@ -1308,6 +1464,7 @@ let experiments =
     ("clusterdb", bench_clusterdb);
     ("scale", bench_scale);
     ("chaos", bench_chaos);
+    ("obs", bench_obs);
   ]
 
 let () =

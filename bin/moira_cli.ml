@@ -112,6 +112,66 @@ let shell_cmd =
     (Cmd.info "shell" ~doc:"Read query lines from stdin.")
     Term.(const run $ users_arg)
 
+(* A little traffic (client queries plus a couple of DCM cron fires) so
+   the registry has something to show before we read it back. *)
+let warm tb c =
+  let logins = tb.Testbed.built.Population.logins in
+  Array.iteri
+    (fun i login ->
+      if i < 8 then
+        ignore
+          (Moira.Mr_client.mr_query_list c ~name:"get_user_by_login" [ login ]))
+    logins;
+  Testbed.run_minutes tb 35
+
+let stats_cmd =
+  let pattern =
+    let doc = "Metric-name glob ([*] matches any run of characters)." in
+    Arg.(value & pos 0 string "*" & info [] ~docv:"PATTERN" ~doc)
+  in
+  let run users pattern =
+    with_client ~users (fun tb c ->
+        warm tb c;
+        Printf.printf "-- counters and gauges matching %s\n" pattern;
+        let rc1 = run_one c "_get_server_statistics" [ pattern ] in
+        Printf.printf "\n-- latency histograms matching %s\n" pattern;
+        ignore (run_one c "_get_query_statistics" [ pattern ]);
+        Printf.printf "\n-- slow-query log\n";
+        ignore (run_one c "_get_slow_queries" []);
+        rc1)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a short workload and read the server's telemetry back through \
+          the _get_server_statistics query family.")
+    Term.(const run $ users_arg $ pattern)
+
+let trace_cmd =
+  let out =
+    let doc = "Output file (Chrome trace_event JSON)." in
+    Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run users out =
+    with_client ~users (fun tb c ->
+        Netsim.Net.set_trace_calls tb.Testbed.net true;
+        warm tb c;
+        let json = Obs.trace_json (Testbed.obs tb) in
+        let oc = open_out out in
+        output_string oc json;
+        close_out oc;
+        Printf.printf
+          "wrote %s (%d bytes); load it in chrome://tracing or ui.perfetto.dev\n"
+          out (String.length json);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a short workload with call tracing on and dump the span ring \
+          as a Chrome-loadable trace.")
+    Term.(const run $ users_arg $ out)
+
 let () =
   let info =
     Cmd.info "moira_cli"
@@ -122,4 +182,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ query_cmd; access_cmd; list_queries_cmd; help_cmd; shell_cmd ]))
+          [
+            query_cmd; access_cmd; list_queries_cmd; help_cmd; shell_cmd;
+            stats_cmd; trace_cmd;
+          ]))

@@ -108,9 +108,13 @@ type t = {
   policy : retry_policy;
   rng : Sim.Rng.t;
   retry : (string, rstate) Hashtbl.t;  (* key: service ^ "/" ^ machine *)
-  mutable retries_total : int;
-  mutable notices_sent : int;
-  mutable notices_dropped : int;
+  obs : Obs.t;
+  (* The run totals are Obs counters, not parallel bookkeeping: the
+     report fields are deltas of the same numbers the stats queries
+     read. *)
+  c_retries : Obs.Counter.counter;
+  c_notices_sent : Obs.Counter.counter;
+  c_notices_dropped : Obs.Counter.counter;
   outputs : (string, Gen.output) Hashtbl.t;
   prev_outputs : (string, Gen.output) Hashtbl.t;
       (* generation n-1, kept as the patch base for delta pushes *)
@@ -148,8 +152,56 @@ let recovery_sweep t =
   Lock.release_all locks ~owner:"dcm";
   { services_cleared; hosts_cleared; locks_released = List.length orphaned }
 
+(* The retry/backoff state persisted into the serverhosts value columns
+   (ROADMAP item): value1 is the consecutive-soft-failure count, stored
+   negated while a quarantine incident is open (notified); value2 is
+   the earliest next attempt in engine seconds.  value3 stays untouched
+   (the NFS generator owns it), and the only serverhosts rows that use
+   value1/value2 for anything else are POP pobox-load rows — POP is not
+   DCM-managed, so DCM rows have both columns free.  Only the value
+   columns are written, and every generator watch on serverhosts is on
+   [modtime], so persistence never triggers a rebuild. *)
+let persist_rstate t ~service ~mach_id rs =
+  ignore
+    (Plan.set_fields
+       (Moira.Mdb.table (mdb t) "serverhosts")
+       (Pred.conj
+          [ Pred.eq_str "service" service; Pred.eq_int "mach_id" mach_id ])
+       [
+         ("value1", Value.Int (if rs.notified then -rs.fails else rs.fails));
+         ("value2", Value.Int rs.next_attempt);
+       ])
+
+(* Startup counterpart: a restarted DCM resumes where the last one left
+   off — a flapping host keeps its failure count and backoff window
+   instead of getting a fresh slate. *)
+let load_retry_state t =
+  let db = mdb t in
+  let shosts = Moira.Mdb.table db "serverhosts" in
+  let managed = List.map (fun g -> g.Gen.service) t.generators in
+  List.iter
+    (fun (_, row) ->
+      let service = Value.str (Table.field shosts row "service") in
+      if List.mem service managed then begin
+        let v1 = Value.int (Table.field shosts row "value1") in
+        let v2 = Value.int (Table.field shosts row "value2") in
+        if v1 <> 0 || v2 <> 0 then
+          match
+            Moira.Lookup.machine_name db
+              (Value.int (Table.field shosts row "mach_id"))
+          with
+          | None -> ()
+          | Some machine ->
+              Hashtbl.replace t.retry
+                (service ^ "/" ^ machine)
+                { fails = abs v1; next_attempt = v2; notified = v1 < 0 }
+      end)
+    (Table.select shosts Pred.True)
+
 let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
-    ?(generators = standard_generators) ?(retry = default_retry_policy) () =
+    ?(generators = standard_generators) ?(retry = default_retry_policy) ?obs
+    () =
+  let obs = match obs with Some o -> o | None -> Netsim.Net.obs net in
   let t =
     {
       net;
@@ -162,9 +214,10 @@ let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
       policy = retry;
       rng = Sim.Rng.split (Sim.Engine.rng (Netsim.Net.engine net));
       retry = Hashtbl.create 31;
-      retries_total = 0;
-      notices_sent = 0;
-      notices_dropped = 0;
+      obs;
+      c_retries = Obs.Counter.make obs "dcm.retries";
+      c_notices_sent = Obs.Counter.make obs "dcm.notices.sent";
+      c_notices_dropped = Obs.Counter.make obs "dcm.notices.dropped";
       outputs = Hashtbl.create 7;
       prev_outputs = Hashtbl.create 7;
       parts_cache = Hashtbl.create 7;
@@ -172,6 +225,7 @@ let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
     }
   in
   ignore (recovery_sweep t);
+  load_retry_state t;
   t
 
 let reports t = List.rev t.history
@@ -248,6 +302,7 @@ let now_sec t = Moira.Mdb.now (mdb t)
    configured channel failed — which the run report surfaces, so alerts
    no longer vanish silently when the notification host is down. *)
 let notify t msg =
+  Obs.log t.obs ~channel:"dcm.notify" msg;
   let zeph =
     match t.zephyr_to with
     | None -> None
@@ -274,8 +329,8 @@ let notify t msg =
   | None, None -> () (* no channel configured: nothing to deliver *)
   | _ ->
       if zeph = Some true || mail = Some true then
-        t.notices_sent <- t.notices_sent + 1
-      else t.notices_dropped <- t.notices_dropped + 1
+        Obs.Counter.incr t.c_notices_sent
+      else Obs.Counter.incr t.c_notices_dropped
 
 (* Set the service's internal flags through the query layer, as the real
    DCM does. *)
@@ -448,6 +503,9 @@ let host_phase t gen =
                     let override =
                       Value.bool (Table.field shosts sh "override")
                     in
+                    let mach_id =
+                      Value.int (Table.field shosts sh "mach_id")
+                    in
                     let rs =
                       let rkey = service ^ "/" ^ machine in
                       match Hashtbl.find_opt t.retry rkey with
@@ -459,13 +517,26 @@ let host_phase t gen =
                           Hashtbl.replace t.retry rkey rs;
                           rs
                     in
+                    (* persist only when the durable copy would change:
+                       healthy hosts never touch the row *)
+                    let persist () =
+                      let want1 =
+                        if rs.notified then -rs.fails else rs.fails
+                      in
+                      if
+                        Value.int (Table.field shosts sh "value1") <> want1
+                        || Value.int (Table.field shosts sh "value2")
+                           <> rs.next_attempt
+                      then persist_rstate t ~service ~mach_id rs
+                    in
                     (* a quarantined host reappearing in the scan means the
                        operator reset its error: that closes the incident
                        and starts the failure count afresh *)
                     if rs.notified then begin
                       rs.fails <- 0;
                       rs.next_attempt <- 0;
-                      rs.notified <- false
+                      rs.notified <- false;
+                      persist ()
                     end;
                     if lts >= dfgen && not override then
                       results := (machine, Up_to_date) :: !results
@@ -519,7 +590,9 @@ let host_phase t gen =
                           | Ok _ as ok -> ok
                           | Error (Update.Soft _)
                             when n < t.policy.push_attempts ->
-                              t.retries_total <- t.retries_total + 1;
+                              Obs.Counter.incr t.c_retries;
+                              Obs.Counter.incr
+                                (Obs.Counter.make t.obs "dcm.push.reattempts");
                               attempt (n + 1)
                           | Error _ as e -> e
                         in
@@ -527,10 +600,11 @@ let host_phase t gen =
                         let now = now_sec t in
                         match outcome with
                         | Ok stats ->
-                            t.retries_total <-
-                              t.retries_total + stats.Update.op_retries;
+                            Obs.Counter.add t.c_retries
+                              stats.Update.op_retries;
                             rs.fails <- 0;
                             rs.next_attempt <- 0;
+                            persist ();
                             sshi t ~service ~machine ~override:false
                               ~success:true ~inprogress:false ~hosterror:0
                               ~errmsg:"" ~ltt:now ~lts:now;
@@ -563,6 +637,7 @@ let host_phase t gen =
                                     consecutive soft failures: %s"
                                    service machine rs.fails msg);
                               rs.notified <- true;
+                              persist ();
                               results :=
                                 (machine, Quarantined msg) :: !results
                             end
@@ -577,6 +652,7 @@ let host_phase t gen =
                                   ~frac:t.policy.backoff_jitter backoff
                               in
                               rs.next_attempt <- now + backoff;
+                              persist ();
                               sshi t ~service ~machine ~override
                                 ~success:false ~inprogress:false ~hosterror:0
                                 ~errmsg:msg ~ltt:now ~lts;
@@ -586,6 +662,7 @@ let host_phase t gen =
                         | Error (Update.Hard (code, msg)) ->
                             rs.fails <- 0;
                             rs.next_attempt <- 0;
+                            persist ();
                             sshi t ~service ~machine ~override
                               ~success:false ~inprogress:false
                               ~hosterror:code ~errmsg:msg ~ltt:now ~lts;
@@ -608,6 +685,31 @@ let host_phase t gen =
               List.rev !results)
       end
 
+(* Derive the per-outcome counters from the same service reports the
+   history records — one source of truth for reports, stats queries and
+   benches. *)
+let count_outcomes t services =
+  let bump name = Obs.Counter.incr (Obs.Counter.make t.obs name) in
+  List.iter
+    (fun s ->
+      (match s.gen with
+      | Generated _ -> bump "dcm.gen.generated"
+      | No_change -> bump "dcm.gen.no_change"
+      | Not_due -> bump "dcm.gen.not_due"
+      | Gen_failed _ -> bump "dcm.gen.failed"
+      | Locked -> bump "dcm.gen.locked");
+      List.iter
+        (fun (_, h) ->
+          match h with
+          | Updated _ -> bump "dcm.host.updated"
+          | Up_to_date -> bump "dcm.host.up_to_date"
+          | Soft_failed _ -> bump "dcm.host.soft_failed"
+          | Hard_failed _ -> bump "dcm.host.hard_failed"
+          | Backed_off _ -> bump "dcm.host.backed_off"
+          | Quarantined _ -> bump "dcm.host.quarantined")
+        s.hosts)
+    services
+
 let run t =
   let at = now_sec t in
   let host = Netsim.Net.host t.net t.moira_host in
@@ -618,27 +720,38 @@ let run t =
     || Netsim.Vfs.exists fs ~path:"/etc/nodcm"
     || Moira.Mdb.get_value (mdb t) "dcm_enable" = Some 0
   in
-  let retries0 = t.retries_total in
-  let sent0 = t.notices_sent in
-  let dropped0 = t.notices_dropped in
+  let retries0 = Obs.Counter.get t.c_retries in
+  let sent0 = Obs.Counter.get t.c_notices_sent in
+  let dropped0 = Obs.Counter.get t.c_notices_dropped in
+  Obs.Counter.incr (Obs.Counter.make t.obs "dcm.cycles");
   let services =
     if disabled then []
     else
+      Obs.with_span t.obs "dcm.cycle" @@ fun () ->
       List.map
         (fun gen ->
-          let g, rebuilt, spliced = generate_phase t gen in
-          let hosts = host_phase t gen in
+          Obs.with_span t.obs "dcm.service"
+            ~attrs:[ ("service", gen.Gen.service) ]
+          @@ fun () ->
+          let g, rebuilt, spliced =
+            Obs.with_span t.obs "dcm.generate" (fun () ->
+                generate_phase t gen)
+          in
+          let hosts =
+            Obs.with_span t.obs "dcm.hosts" (fun () -> host_phase t gen)
+          in
           { service = gen.Gen.service; gen = g; rebuilt; spliced; hosts })
         t.generators
   in
+  count_outcomes t services;
   let report =
     {
       at;
       disabled;
       services;
-      retries = t.retries_total - retries0;
-      notices_sent = t.notices_sent - sent0;
-      notices_dropped = t.notices_dropped - dropped0;
+      retries = Obs.Counter.get t.c_retries - retries0;
+      notices_sent = Obs.Counter.get t.c_notices_sent - sent0;
+      notices_dropped = Obs.Counter.get t.c_notices_dropped - dropped0;
     }
   in
   t.history <- report :: t.history;

@@ -113,6 +113,7 @@ val create :
   ?mail_via:string * string ->
   ?generators:Gen.t list ->
   ?retry:retry_policy ->
+  ?obs:Obs.t ->
   unit ->
   t
 (** A DCM bound to the Moira host.  [zephyr_to] names the host running a
@@ -127,7 +128,20 @@ val create :
     (a restarted daemon after a Moira crash, section 5.9 case C) finds
     the files of previous generations and can resume pushing stale
     hosts without regenerating — "crashes of the Moira machine will
-    result in (at worst) delays in updates". *)
+    result in (at worst) delays in updates".
+
+    Per-host retry/backoff/quarantine state is persisted into the
+    serverhosts [value1]/[value2] columns ([value1] = consecutive soft
+    failures, negated while a quarantine incident has been notified;
+    [value2] = next-attempt engine seconds) and reloaded by [create],
+    so a restarted DCM also resumes its backoff schedule instead of
+    hammering every flapping host afresh.
+
+    Telemetry goes to [obs] (default: the net's registry): a
+    [dcm.cycle] → [dcm.service] → [dcm.generate]/[dcm.hosts] →
+    [dcm.push] span tree, per-outcome [dcm.gen.*]/[dcm.host.*]
+    counters, [dcm.retries], [dcm.notices.*], and a [dcm.notify] log
+    channel.  The report fields are deltas of those same counters. *)
 
 val run : t -> report
 (** One DCM invocation. *)

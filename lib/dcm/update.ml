@@ -306,6 +306,16 @@ type push_stats = {
 let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
     ~files ~script () =
   let wire = ref 0 and retries = ref 0 and wasted = ref 0 in
+  (* Protocol-op accounting on the net's registry.  The invariant the
+     chaos tests cross-check: every op sent is accounted exactly once —
+     sent = ok + retried + failed.<kind>. *)
+  let obs = Netsim.Net.obs net in
+  let c_sent = Obs.Counter.make obs "update.ops.sent" in
+  let c_ok = Obs.Counter.make obs "update.ops.ok" in
+  let c_retried = Obs.Counter.make obs "update.ops.retried" in
+  let c_failed f =
+    Obs.Counter.make obs ("update.ops.failed." ^ Netsim.Net.failure_slug f)
+  in
   let call op args =
     let payload =
       Gdb.Wire.encode_request
@@ -322,14 +332,17 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
        already-applied install is acknowledged without re-running. *)
     let rec go attempt =
       wire := !wire + String.length payload;
+      Obs.Counter.incr c_sent;
       match Netsim.Net.call net ~src ~dst ~service:service_name payload with
       | Error f ->
           if attempt < attempts then begin
             incr retries;
+            Obs.Counter.incr c_retried;
             wasted := !wasted + String.length payload;
             go (attempt + 1)
           end
-          else
+          else begin
+            Obs.Counter.incr (c_failed f);
             Error
               (Soft
                  ( (match f with
@@ -337,27 +350,37 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
                        Moira.Mr_err.host_unreachable
                    | _ -> Moira.Mr_err.update_timeout),
                    Netsim.Net.failure_to_string f ))
+          end
       | Ok raw -> (
+          Obs.Counter.incr c_ok;
           wire := !wire + String.length raw;
           match Gdb.Wire.decode_reply raw with
           | Error e -> Error (Soft (Moira.Mr_err.aborted, e))
           | Ok reply ->
               if reply.Gdb.Wire.code = 0 then Ok reply.Gdb.Wire.tuples
-              else if reply.Gdb.Wire.code = Moira.Mr_err.update_checksum then
+              else if reply.Gdb.Wire.code = Moira.Mr_err.update_checksum then begin
+                Obs.Counter.incr (Obs.Counter.make obs "update.proto.soft");
                 Error (Soft (reply.Gdb.Wire.code, "checksum mismatch"))
-              else if reply.Gdb.Wire.code = Moira.Mr_err.perm then
+              end
+              else if reply.Gdb.Wire.code = Moira.Mr_err.perm then begin
+                Obs.Counter.incr (Obs.Counter.make obs "update.proto.hard");
                 Error (Hard (reply.Gdb.Wire.code, "authentication rejected"))
-              else
+              end
+              else begin
+                Obs.Counter.incr (Obs.Counter.make obs "update.proto.hard");
                 let detail =
                   match reply.Gdb.Wire.tuples with
                   | [ [ msg ] ] -> msg
                   | _ -> Comerr.Com_err.error_message reply.Gdb.Wire.code
                 in
-                Error (Hard (reply.Gdb.Wire.code, detail)))
+                Error (Hard (reply.Gdb.Wire.code, detail))
+              end)
     in
     go 1
   in
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  Obs.with_span obs "dcm.push" ~attrs:[ ("host", dst); ("target", target) ]
+  @@ fun () ->
   let archive = Tarlike.pack files in
   let cksum = Checksum.to_hex (Checksum.adler32 archive) in
   let full () =

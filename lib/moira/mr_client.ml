@@ -73,12 +73,26 @@ let mr_access t ~name args =
 
 let mr_query t ~name args ~callback =
   with_conn t (fun c ->
-      match Gdb.Client.call c ~op:Protocol.op_query (name :: args) with
-      | Ok (0, tuples) ->
-          List.iter callback tuples;
-          0
-      | Ok (code, _) -> code
-      | Error e -> code_of_gdb_error e)
+      (* Client-observed round-trip latency, in engine ms: unlike the
+         server-side handler time this includes RPC transfer cost, so
+         it is the number an application would actually wait. *)
+      let obs = Netsim.Net.obs t.net in
+      let clock = Sim.Engine.clock (Netsim.Net.engine t.net) in
+      let t0 = clock () in
+      let code =
+        match Gdb.Client.call c ~op:Protocol.op_query (name :: args) with
+        | Ok (0, tuples) ->
+            List.iter callback tuples;
+            0
+        | Ok (code, _) -> code
+        | Error e -> code_of_gdb_error e
+      in
+      let dur = clock () - t0 in
+      Obs.Histogram.observe (Obs.Histogram.make obs "client.query_ms") dur;
+      Obs.Histogram.observe
+        (Obs.Histogram.make obs ("client.query." ^ name ^ ".ms"))
+        dur;
+      code)
 
 let mr_query_list t ~name args =
   let acc = ref [] in

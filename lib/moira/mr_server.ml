@@ -3,37 +3,56 @@ type conn_state = {
   mutable client_name : string;
 }
 
+(* Immutable snapshot; the live counts are Obs counters. *)
 type cache_stats = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable invalidations : int;
+  hits : int;
+  misses : int;
+  invalidations : int;
 }
 
 type t = {
   mdb : Mdb.t;
   registry : Query.registry;
   gdb : conn_state Gdb.Server.t;
-  mutable queries_served : int;
+  obs : Obs.t;
+  clock : unit -> int;  (* engine ms, for handler durations *)
+  slow_query_ms : int;
+  c_served : Obs.Counter.counter;
+  c_errors : Obs.Counter.counter;
+  h_handler : Obs.Histogram.histogram;
+  c_hits : Obs.Counter.counter;
+  c_misses : Obs.Counter.counter;
+  c_invalidations : Obs.Counter.counter;
   (* The access cache the paper anticipates in section 5.5: verdicts of
      Access requests keyed by (principal, query, args), flushed whenever
      any side-effecting query commits (ACLs live in the database, so any
      write may change them; flushing on every write is conservative but
      always correct). *)
   access_cache : (string, int) Hashtbl.t option;
-  cache_stats : cache_stats;
 }
 
 let registry t = t.registry
 let mdb t = t.mdb
-let queries_served t = t.queries_served
+let queries_served t = Obs.Counter.get t.c_served
 let connection_count t = Gdb.Server.connection_count t.gdb
-let access_cache_stats t = t.cache_stats
+
+let access_cache_stats t =
+  {
+    hits = Obs.Counter.get t.c_hits;
+    misses = Obs.Counter.get t.c_misses;
+    invalidations = Obs.Counter.get t.c_invalidations;
+  }
 
 let cache_key principal name args =
   String.concat "\000" (principal :: name :: args)
 
 let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
-    ?extra_queries ~net ~host ~mdb ~kdc ?(trigger_dcm = fun () -> ()) () =
+    ?extra_queries ?obs ?(slow_query_ms = 1000) ~net ~host
+    ~mdb ~kdc ?(trigger_dcm = fun () -> ()) () =
+  (* Default to the net's registry: in a testbed that is [Obs.default],
+     in an isolated unit test it is the net's private registry, so two
+     servers in one process never share counters by accident. *)
+  let obs = match obs with Some o -> o | None -> Netsim.Net.obs net in
   ignore (Krb.Kdc.register_service kdc Protocol.moira_service);
   let krb_ctx =
     match Krb.Kdc.server_ctx kdc ~service:Protocol.moira_service with
@@ -80,10 +99,10 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
         let key = cache_key info.Gdb.Server.state.principal name args in
         match Hashtbl.find_opt cache key with
         | Some verdict ->
-            t.cache_stats.hits <- t.cache_stats.hits + 1;
+            Obs.Counter.incr t.c_hits;
             verdict
         | None ->
-            t.cache_stats.misses <- t.cache_stats.misses + 1;
+            Obs.Counter.incr t.c_misses;
             let verdict = check () in
             Hashtbl.replace cache key verdict;
             verdict)
@@ -91,9 +110,47 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
   let invalidate t =
     match t.access_cache with
     | Some cache when Hashtbl.length cache > 0 ->
-        t.cache_stats.invalidations <- t.cache_stats.invalidations + 1;
+        Obs.Counter.incr t.c_invalidations;
         Hashtbl.reset cache
     | _ -> ()
+  in
+  let run_query t info name args =
+    (* Span + latency histogram per query.  Durations are engine time:
+       a pure handler reads as 0 ms, nested RPCs (trigger_dcm, remote
+       lookups) charge their real simulated cost — exactly what a
+       slow-query log should surface. *)
+    let sp =
+      Obs.span_begin t.obs "query"
+        ~attrs:[ ("name", name); ("caller", info.Gdb.Server.state.principal) ]
+    in
+    let t0 = t.clock () in
+    let code, tuples =
+      match Query.execute t.registry (ctx_of info) ~name args with
+      | Ok tuples ->
+          (match Query.find t.registry name with
+          | Some q when q.Query.kind <> Query.Retrieve -> invalidate t
+          | _ -> ());
+          (0, tuples)
+      | Error code -> (code, [])
+    in
+    let dur = t.clock () - t0 in
+    Obs.Histogram.observe t.h_handler dur;
+    Obs.Histogram.observe
+      (Obs.Histogram.make t.obs ("query." ^ name ^ ".handler_ms"))
+      dur;
+    if code <> 0 then Obs.Counter.incr t.c_errors;
+    if dur >= t.slow_query_ms then
+      Obs.log t.obs ~channel:"slow_query"
+        ~attrs:
+          [
+            ("query", name);
+            ("ms", string_of_int dur);
+            ("caller", info.Gdb.Server.state.principal);
+            ("code", string_of_int code);
+          ]
+        name;
+    Obs.span_end t.obs sp ~attrs:[ ("code", string_of_int code) ];
+    (code, tuples)
   in
   let handler info (req : Gdb.Wire.request) =
     let t = match !t_ref with Some t -> t | None -> assert false in
@@ -110,16 +167,9 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
       | _ -> (Mr_err.args, [])
     end
     else if req.op = Protocol.op_query then begin
-      t.queries_served <- t.queries_served + 1;
+      Obs.Counter.incr t.c_served;
       match req.args with
-      | name :: args -> (
-          match Query.execute registry (ctx_of info) ~name args with
-          | Ok tuples ->
-              (match Query.find registry name with
-              | Some q when q.Query.kind <> Query.Retrieve -> invalidate t
-              | _ -> ());
-              (0, tuples)
-          | Error code -> (code, []))
+      | name :: args -> run_query t info name args
       | [] -> (Mr_err.args, [])
     end
     else if req.op = Protocol.op_access then begin
@@ -146,10 +196,17 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
       mdb;
       registry;
       gdb;
-      queries_served = 0;
+      obs;
+      clock = Sim.Engine.clock (Netsim.Net.engine net);
+      slow_query_ms;
+      c_served = Obs.Counter.make obs "query.served";
+      c_errors = Obs.Counter.make obs "query.errors";
+      h_handler = Obs.Histogram.make obs "query.handler_ms";
+      c_hits = Obs.Counter.make obs "access_cache.hits";
+      c_misses = Obs.Counter.make obs "access_cache.misses";
+      c_invalidations = Obs.Counter.make obs "access_cache.invalidations";
       access_cache =
         (if access_cache then Some (Hashtbl.create 256) else None);
-      cache_stats = { hits = 0; misses = 0; invalidations = 0 };
     }
   in
   t_ref := Some t;

@@ -6,16 +6,19 @@
 
 type t
 
+(** Snapshot of the access-cache counters. *)
 type cache_stats = {
-  mutable hits : int;  (** Access verdicts served from the cache. *)
-  mutable misses : int;  (** Access verdicts computed. *)
-  mutable invalidations : int;  (** Cache flushes (on any write). *)
+  hits : int;  (** Access verdicts served from the cache. *)
+  misses : int;  (** Access verdicts computed. *)
+  invalidations : int;  (** Cache flushes (on any write). *)
 }
 
 val create :
   ?backend:Gdb.Server.backend_cost ->
   ?access_cache:bool ->
   ?extra_queries:Query.t list ->
+  ?obs:Obs.t ->
+  ?slow_query_ms:int ->
   net:Netsim.Net.t ->
   host:Netsim.Host.t ->
   mdb:Mdb.t ->
@@ -32,7 +35,13 @@ val create :
     the cache is flushed whenever a side-effecting query commits.
     [extra_queries] adds handles beyond the standard catalogue (e.g.
     ones bound to a secondary database with [Catalog.bind_database]).
-    [trigger_dcm] is invoked by the Trigger_DCM request. *)
+    [trigger_dcm] is invoked by the Trigger_DCM request.
+
+    Every Query request records a [query] span, a [query.handler_ms]
+    histogram sample (engine time: pure handlers read as 0 ms, nested
+    RPCs charge their simulated cost) and, past [slow_query_ms]
+    (default 1000), a [slow_query] log entry — all into [obs], which
+    defaults to the net's registry. *)
 
 val access_cache_stats : t -> cache_stats
 (** Live counters of the access cache (zeros when disabled). *)

@@ -515,6 +515,101 @@ let q_get_all_table_stats =
              (Plan.select tbl Pred.True)));
   }
 
+(* Telemetry read back through the query protocol, as the paper's
+   reporting story (section 5.7) would have it.  These read the global
+   [Obs.default] registry: everything inside one testbed — network,
+   server, plan cache, DCM — records there, and [Query.ctx] carries no
+   registry handle. *)
+
+let q_get_server_statistics =
+  {
+    Query.name = "_get_server_statistics";
+    short = "gsst";
+    kind = Retrieve;
+    inputs = [ "pattern" ];
+    outputs = [ "name"; "kind"; "value" ];
+    check_access = Query.access_anyone;
+    handler =
+      (fun _ args ->
+        match args with
+        | [ pattern ] ->
+            let o = Obs.default in
+            let rows =
+              List.map
+                (fun (n, v) -> [ n; "counter"; string_of_int v ])
+                (List.filter
+                   (fun (n, _) -> Obs.glob_match pattern n)
+                   (Obs.counters o))
+              @ List.map
+                  (fun (n, v) -> [ n; "gauge"; string_of_int v ])
+                  (List.filter
+                     (fun (n, _) -> Obs.glob_match pattern n)
+                     (Obs.gauges o))
+            in
+            if rows = [] then Error Mr_err.no_match else Ok rows
+        | _ -> Error Mr_err.args);
+  }
+
+let q_get_query_statistics =
+  {
+    Query.name = "_get_query_statistics";
+    short = "gqst";
+    kind = Retrieve;
+    inputs = [ "pattern" ];
+    outputs =
+      [ "name"; "count"; "sum"; "min"; "max"; "p50"; "p95"; "p99" ];
+    check_access = Query.access_anyone;
+    handler =
+      (fun _ args ->
+        match args with
+        | [ pattern ] ->
+            let rows =
+              List.filter_map
+                (fun (n, s) ->
+                  if Obs.glob_match pattern n then
+                    Some
+                      [
+                        n;
+                        string_of_int s.Obs.count;
+                        string_of_int s.Obs.sum;
+                        string_of_int s.Obs.min;
+                        string_of_int s.Obs.max;
+                        string_of_int s.Obs.p50;
+                        string_of_int s.Obs.p95;
+                        string_of_int s.Obs.p99;
+                      ]
+                  else None)
+                (Obs.histograms Obs.default)
+            in
+            if rows = [] then Error Mr_err.no_match else Ok rows
+        | _ -> Error Mr_err.args);
+  }
+
+let q_get_slow_queries =
+  {
+    Query.name = "_get_slow_queries";
+    short = "gslq";
+    kind = Retrieve;
+    inputs = [];
+    outputs = [ "time"; "query"; "ms"; "caller" ];
+    check_access = Query.access_anyone;
+    handler =
+      (fun _ _ ->
+        let attr k e =
+          match List.assoc_opt k e.Obs.l_attrs with Some v -> v | None -> ""
+        in
+        Ok
+          (List.map
+             (fun e ->
+               [
+                 string_of_int (e.Obs.l_ts_ms / 1000);
+                 e.Obs.l_msg;
+                 attr "ms" e;
+                 attr "caller" e;
+               ])
+             (Obs.logs Obs.default ~channel:"slow_query" ())));
+  }
+
 let queries =
   [
     q_get_server_host_access; q_add_server_host_access;
@@ -522,4 +617,5 @@ let queries =
     q_add_service; q_delete_service; q_get_printcap; q_add_printcap;
     q_delete_printcap; q_get_alias; q_add_alias; q_delete_alias; q_get_value;
     q_add_value; q_update_value; q_delete_value; q_get_all_table_stats;
+    q_get_server_statistics; q_get_query_statistics; q_get_slow_queries;
   ]

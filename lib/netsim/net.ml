@@ -13,16 +13,48 @@ let failure_to_string = function
   | Remote_crash p -> Printf.sprintf "peer crashed (%s)" p
 
 type stats = {
-  mutable calls : int;
-  mutable bytes : int;
-  mutable failures : int;
-  mutable req_dropped : int;
-  mutable reply_dropped : int;
-  mutable partitioned : int;
-  mutable down : int;
-  mutable crashed : int;
-  mutable wasted_bytes : int;
+  calls : int;
+  bytes : int;
+  failures : int;
+  req_dropped : int;
+  reply_dropped : int;
+  partitioned : int;
+  down : int;
+  crashed : int;
+  wasted_bytes : int;
 }
+
+(* The traffic counters live in an [Obs] registry (a private one unless
+   the caller shares its own), so the same numbers that [stats] reports
+   are visible to stats queries, benches and traces. *)
+type counters = {
+  c_calls : Obs.Counter.counter;
+  c_bytes : Obs.Counter.counter;
+  c_bytes_req : Obs.Counter.counter;
+  c_bytes_reply : Obs.Counter.counter;
+  c_failures : Obs.Counter.counter;
+  c_req_dropped : Obs.Counter.counter;
+  c_reply_dropped : Obs.Counter.counter;
+  c_partitioned : Obs.Counter.counter;
+  c_down : Obs.Counter.counter;
+  c_crashed : Obs.Counter.counter;
+  c_wasted : Obs.Counter.counter;
+}
+
+let make_counters o =
+  {
+    c_calls = Obs.Counter.make o "net.calls";
+    c_bytes = Obs.Counter.make o "net.bytes";
+    c_bytes_req = Obs.Counter.make o "net.bytes_req";
+    c_bytes_reply = Obs.Counter.make o "net.bytes_reply";
+    c_failures = Obs.Counter.make o "net.failures";
+    c_req_dropped = Obs.Counter.make o "net.req_dropped";
+    c_reply_dropped = Obs.Counter.make o "net.reply_dropped";
+    c_partitioned = Obs.Counter.make o "net.partitioned";
+    c_down = Obs.Counter.make o "net.down";
+    c_crashed = Obs.Counter.make o "net.crashed";
+    c_wasted = Obs.Counter.make o "net.wasted_bytes";
+  }
 
 (* Per-link fault state, keyed by the unordered host pair. *)
 type link = {
@@ -47,10 +79,22 @@ type t = {
   partition : (string, int) Hashtbl.t;
   mutable partition_gen : int;
   armed_replies : (string, armed_reply_drop) Hashtbl.t;
-  stats : stats;
+  obs : Obs.t;
+  ctr : counters;
+  mutable trace_calls : bool;
 }
 
-let create ?(base_rtt_ms = 4) ?(per_kb_ms = 1) ?(timeout_ms = 30_000) engine =
+let create ?(base_rtt_ms = 4) ?(per_kb_ms = 1) ?(timeout_ms = 30_000) ?obs engine =
+  let obs =
+    match obs with
+    | Some o -> o
+    | None ->
+        (* A private registry keeps per-instance stats semantics: two
+           nets on one engine never share counters unless asked to. *)
+        let o = Obs.create () in
+        Obs.set_clock o (Sim.Engine.clock engine);
+        o
+  in
   {
     engine;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
@@ -65,21 +109,14 @@ let create ?(base_rtt_ms = 4) ?(per_kb_ms = 1) ?(timeout_ms = 30_000) engine =
     partition = Hashtbl.create 7;
     partition_gen = 0;
     armed_replies = Hashtbl.create 7;
-    stats =
-      {
-        calls = 0;
-        bytes = 0;
-        failures = 0;
-        req_dropped = 0;
-        reply_dropped = 0;
-        partitioned = 0;
-        down = 0;
-        crashed = 0;
-        wasted_bytes = 0;
-      };
+    obs;
+    ctr = make_counters obs;
+    trace_calls = false;
   }
 
 let engine t = t.engine
+let obs t = t.obs
+let set_trace_calls t on = t.trace_calls <- on
 
 let add_host t name =
   if Hashtbl.mem t.by_name name then
@@ -194,31 +231,49 @@ let charge t bytes =
   let cost = t.base_rtt_ms + (t.per_kb_ms * (bytes / 1024)) in
   Sim.Engine.advance t.engine cost
 
-let fail t failure =
-  t.stats.failures <- t.stats.failures + 1;
+let failure_slug = function
+  | Host_down -> "host_down"
+  | No_host -> "no_host"
+  | No_service -> "no_service"
+  | Timeout -> "timeout"
+  | Remote_crash _ -> "remote_crash"
+
+let fail t ~src ~dst ~service failure =
+  Obs.Counter.incr t.ctr.c_failures;
+  Obs.instant t.obs "net.fail"
+    ~attrs:
+      [ ("kind", failure_slug failure); ("src", src); ("dst", dst); ("service", service) ];
   Error failure
 
 let call t ~src ~dst ~service payload =
   let req_len = String.length payload in
-  t.stats.calls <- t.stats.calls + 1;
-  t.stats.bytes <- t.stats.bytes + req_len;
-  let waste extra = t.stats.wasted_bytes <- t.stats.wasted_bytes + extra in
+  let fail = fail t ~src ~dst ~service in
+  Obs.Counter.incr t.ctr.c_calls;
+  Obs.Counter.add t.ctr.c_bytes req_len;
+  Obs.Counter.add t.ctr.c_bytes_req req_len;
+  Obs.Counter.incr (Obs.Counter.make t.obs ("net.service." ^ service ^ ".calls"));
+  let svc_bytes = Obs.Counter.make t.obs ("net.service." ^ service ^ ".bytes") in
+  Obs.Counter.add svc_bytes req_len;
+  if t.trace_calls then
+    Obs.instant t.obs "net.send"
+      ~attrs:[ ("src", src); ("dst", dst); ("service", service) ];
+  let waste extra = Obs.Counter.add t.ctr.c_wasted extra in
   match Hashtbl.find_opt t.by_name dst with
   | None ->
       charge t 0;
-      fail t No_host
+      fail No_host
   | Some _ when partitioned t src dst ->
       (* Neither side can reach the other: indistinguishable from loss. *)
-      t.stats.partitioned <- t.stats.partitioned + 1;
+      Obs.Counter.incr t.ctr.c_partitioned;
       waste req_len;
       Sim.Engine.advance t.engine t.timeout_ms;
-      fail t Timeout
+      fail Timeout
   | Some h when not (Host.is_up h) ->
       (* A down host looks like a connection that never completes. *)
-      t.stats.down <- t.stats.down + 1;
+      Obs.Counter.incr t.ctr.c_down;
       waste req_len;
       Sim.Engine.advance t.engine t.timeout_ms;
-      fail t Host_down
+      fail Host_down
   | Some h ->
       let lk = Hashtbl.find_opt t.links (link_key src dst) in
       let extra_ms = match lk with Some l -> l.l_latency_ms | None -> 0 in
@@ -227,23 +282,27 @@ let call t ~src ~dst ~service payload =
       in
       if req_drop > 0.0 && Sim.Rng.chance t.rng req_drop then begin
         (* Request lost in flight: the handler never runs (at-most-once). *)
-        t.stats.req_dropped <- t.stats.req_dropped + 1;
+        Obs.Counter.incr t.ctr.c_req_dropped;
+        Obs.instant t.obs "net.drop"
+          ~attrs:[ ("kind", "request"); ("src", src); ("dst", dst); ("service", service) ];
         waste req_len;
         Sim.Engine.advance t.engine t.timeout_ms;
-        fail t Timeout
+        fail Timeout
       end
       else begin
         match Host.lookup h ~service with
         | None ->
             charge t 0;
-            fail t No_service
+            fail No_service
         | Some handler -> (
             charge t req_len;
             if extra_ms > 0 then Sim.Engine.advance t.engine extra_ms;
             match handler ~src payload with
             | reply ->
                 let rep_len = String.length reply in
-                t.stats.bytes <- t.stats.bytes + rep_len;
+                Obs.Counter.add t.ctr.c_bytes rep_len;
+                Obs.Counter.add t.ctr.c_bytes_reply rep_len;
+                Obs.Counter.add svc_bytes rep_len;
                 charge t rep_len;
                 if extra_ms > 0 then Sim.Engine.advance t.engine extra_ms;
                 let rep_drop =
@@ -258,30 +317,53 @@ let call t ~src ~dst ~service payload =
                      caller cannot tell this from request loss — this is
                      the retry-idempotence hazard the update protocol
                      must survive. *)
-                  t.stats.reply_dropped <- t.stats.reply_dropped + 1;
+                  Obs.Counter.incr t.ctr.c_reply_dropped;
+                  Obs.instant t.obs "net.drop"
+                    ~attrs:
+                      [ ("kind", "reply"); ("src", src); ("dst", dst); ("service", service) ];
                   waste (req_len + rep_len);
                   Sim.Engine.advance t.engine t.timeout_ms;
-                  fail t Timeout
+                  fail Timeout
                 end
-                else Ok reply
+                else begin
+                  if t.trace_calls then
+                    Obs.instant t.obs "net.deliver"
+                      ~attrs:[ ("src", src); ("dst", dst); ("service", service) ];
+                  Ok reply
+                end
             | exception Host.Crashed point ->
-                t.stats.crashed <- t.stats.crashed + 1;
+                Obs.Counter.incr t.ctr.c_crashed;
                 waste req_len;
                 Sim.Engine.advance t.engine t.timeout_ms;
-                fail t (Remote_crash point))
+                fail (Remote_crash point))
       end
 
 let set_drop_rate t rate = t.drop_rate <- rate
 let set_reply_drop_rate t rate = t.reply_drop_rate <- rate
-let stats t = t.stats
+
+let stats t =
+  {
+    calls = Obs.Counter.get t.ctr.c_calls;
+    bytes = Obs.Counter.get t.ctr.c_bytes;
+    failures = Obs.Counter.get t.ctr.c_failures;
+    req_dropped = Obs.Counter.get t.ctr.c_req_dropped;
+    reply_dropped = Obs.Counter.get t.ctr.c_reply_dropped;
+    partitioned = Obs.Counter.get t.ctr.c_partitioned;
+    down = Obs.Counter.get t.ctr.c_down;
+    crashed = Obs.Counter.get t.ctr.c_crashed;
+    wasted_bytes = Obs.Counter.get t.ctr.c_wasted;
+  }
 
 let reset_stats t =
-  t.stats.calls <- 0;
-  t.stats.bytes <- 0;
-  t.stats.failures <- 0;
-  t.stats.req_dropped <- 0;
-  t.stats.reply_dropped <- 0;
-  t.stats.partitioned <- 0;
-  t.stats.down <- 0;
-  t.stats.crashed <- 0;
-  t.stats.wasted_bytes <- 0
+  let zero c = Obs.Counter.add c (-Obs.Counter.get c) in
+  zero t.ctr.c_calls;
+  zero t.ctr.c_bytes;
+  zero t.ctr.c_bytes_req;
+  zero t.ctr.c_bytes_reply;
+  zero t.ctr.c_failures;
+  zero t.ctr.c_req_dropped;
+  zero t.ctr.c_reply_dropped;
+  zero t.ctr.c_partitioned;
+  zero t.ctr.c_down;
+  zero t.ctr.c_crashed;
+  zero t.ctr.c_wasted

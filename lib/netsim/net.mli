@@ -25,30 +25,48 @@ type failure =
 val failure_to_string : failure -> string
 (** Human-readable failure description. *)
 
+(** A point-in-time snapshot of the traffic counters ({!stats}). *)
 type stats = {
-  mutable calls : int;  (** Total calls attempted. *)
-  mutable bytes : int;  (** Total payload bytes moved (both directions). *)
-  mutable failures : int;  (** Calls that returned an error. *)
-  mutable req_dropped : int;  (** Requests lost before the handler ran. *)
-  mutable reply_dropped : int;  (** Handler ran, reply lost. *)
-  mutable partitioned : int;  (** Calls cut by a partition. *)
-  mutable down : int;  (** Calls to a down host. *)
-  mutable crashed : int;  (** Handler crashed the peer mid-call. *)
-  mutable wasted_bytes : int;
+  calls : int;  (** Total calls attempted. *)
+  bytes : int;  (** Total payload bytes moved (both directions). *)
+  failures : int;  (** Calls that returned an error. *)
+  req_dropped : int;  (** Requests lost before the handler ran. *)
+  reply_dropped : int;  (** Handler ran, reply lost. *)
+  partitioned : int;  (** Calls cut by a partition. *)
+  down : int;  (** Calls to a down host. *)
+  crashed : int;  (** Handler crashed the peer mid-call. *)
+  wasted_bytes : int;
       (** Bytes carried by calls that ended in an error (the wire cost of
           failure: lost requests, replies to nobody, retries' fuel). *)
 }
 
 val create :
-  ?base_rtt_ms:int -> ?per_kb_ms:int -> ?timeout_ms:int -> Sim.Engine.t -> t
+  ?base_rtt_ms:int -> ?per_kb_ms:int -> ?timeout_ms:int -> ?obs:Obs.t ->
+  Sim.Engine.t -> t
 (** A network on the given engine.  Latency model: each successful call
     advances the clock by [base_rtt_ms] (default 4) plus [per_kb_ms]
     (default 1) per KiB of payload moved.  A lost message costs the full
     [timeout_ms] (default 30_000) before the caller sees {!Timeout} —
-    the paper's "reasonable amount of time" guard. *)
+    the paper's "reasonable amount of time" guard.
+
+    Traffic counters ([net.calls], [net.bytes], per-service
+    [net.service.<svc>.*], drop/failure events) live in [obs]; by
+    default each net gets a private registry clocked off [engine], so
+    two nets never share counters unless handed the same registry. *)
 
 val engine : t -> Sim.Engine.t
 (** The engine this network runs on. *)
+
+val obs : t -> Obs.t
+(** The registry this net records into — shared by callers (the update
+    protocol, the Moira client library) that want their telemetry in
+    the same place. *)
+
+val set_trace_calls : t -> bool -> unit
+(** When on, every call also records [net.send]/[net.deliver] instant
+    events in the trace ring (drop and failure events are always
+    recorded).  Off by default: a busy run would otherwise evict the
+    interesting spans from the bounded ring. *)
 
 val add_host : t -> string -> Host.t
 (** Create and register a host.
@@ -125,8 +143,13 @@ val arm_reply_drop : t -> dst:string -> ?skip:int -> int -> unit
     executions on [dst] (after ignoring the first [skip]).  For directed
     reply-loss idempotence tests; independent of the random rates. *)
 
+val failure_slug : failure -> string
+(** Short machine-readable failure kind ([timeout], [host_down], ...) —
+    the [kind] attribute on [net.fail] events and the suffix on
+    per-kind retry counters. *)
+
 val stats : t -> stats
-(** Live traffic counters. *)
+(** Snapshot of the traffic counters. *)
 
 val reset_stats : t -> unit
 (** Zero the counters. *)

@@ -1,0 +1,481 @@
+(* Sim-time observability: metrics registry, span ring, log channels.
+   Zero dependencies; time is an injected clock so recorded values are
+   deterministic under the discrete-event engine. *)
+
+(* ---- histograms: exact below 64, then 32 sub-buckets per octave ---- *)
+
+let octaves = 57 (* msb 6 .. 62 on 63-bit ints *)
+let n_buckets = 64 + (octaves * 32)
+
+let bucket_of v =
+  let v = if v < 0 then 0 else v in
+  if v < 64 then v
+  else begin
+    let m = ref 6 in
+    while v lsr (!m + 1) <> 0 do
+      incr m
+    done;
+    64 + ((!m - 6) * 32) + ((v lsr (!m - 5)) land 31)
+  end
+
+let bucket_upper idx =
+  if idx < 64 then idx
+  else
+    let m = 6 + ((idx - 64) / 32) in
+    let sub = (idx - 64) mod 32 in
+    ((1 lsl m) lor (sub lsl (m - 5))) + (1 lsl (m - 5)) - 1
+
+type hist = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+let hist_reset h =
+  Array.fill h.buckets 0 n_buckets 0;
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_min <- 0;
+  h.h_max <- 0
+
+let hist_observe h v =
+  let v = if v < 0 then 0 else v in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  if h.h_count = 0 || v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+let hist_quantile h p =
+  if h.h_count = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int h.h_count)) in
+    let rank = if rank < 1 then 1 else if rank > h.h_count then h.h_count else rank in
+    let res = ref h.h_max in
+    (try
+       let acc = ref 0 in
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= rank then begin
+           res := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !res > h.h_max then h.h_max else if !res < h.h_min then h.h_min else !res
+  end
+
+type summary = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+let summarize h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    p50 = hist_quantile h 0.50;
+    p95 = hist_quantile h 0.95;
+    p99 = hist_quantile h 0.99;
+  }
+
+(* ---- registry ---- *)
+
+type metric = C of int ref | G of int ref | H of hist
+
+type span = {
+  id : int;
+  seq : int;
+  name : string;
+  mutable attrs : (string * string) list;
+  start_ms : int;
+  mutable stop_ms : int;
+  parent_name : string option;
+}
+
+type event =
+  | Ev_span of span
+  | Ev_instant of { i_seq : int; i_name : string; i_ts : int; i_attrs : (string * string) list }
+
+type log_entry = {
+  l_ts_ms : int;
+  l_channel : string;
+  l_msg : string;
+  l_attrs : (string * string) list;
+}
+
+type t = {
+  mutable clock : unit -> int;
+  metrics : (string, metric) Hashtbl.t;
+  mutable next_seq : int;
+  mutable next_id : int;
+  ring : event option array;
+  mutable ring_written : int;
+  lring : log_entry option array;
+  mutable lring_written : int;
+  mutable open_spans : span list;  (* innermost first *)
+}
+
+let create ?(ring = 4096) ?(log_ring = 1024) () =
+  {
+    clock = (fun () -> 0);
+    metrics = Hashtbl.create 64;
+    next_seq = 0;
+    next_id = 0;
+    ring = Array.make (max 1 ring) None;
+    ring_written = 0;
+    lring = Array.make (max 1 log_ring) None;
+    lring_written = 0;
+    open_spans = [];
+  }
+
+let default = create ()
+let set_clock t f = t.clock <- f
+let now_ms t = t.clock ()
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C r | G r -> r := 0
+      | H h -> hist_reset h)
+    t.metrics;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.ring_written <- 0;
+  Array.fill t.lring 0 (Array.length t.lring) None;
+  t.lring_written <- 0;
+  t.open_spans <- [];
+  t.next_seq <- 0;
+  t.next_id <- 0;
+  t.clock <- (fun () -> 0)
+
+let kind_err name = invalid_arg ("Obs: metric kind mismatch for " ^ name)
+
+let find_or_add t name mk classify =
+  match Hashtbl.find_opt t.metrics name with
+  | Some m -> ( match classify m with Some v -> v | None -> kind_err name)
+  | None ->
+      let m, v = mk () in
+      Hashtbl.add t.metrics name m;
+      v
+
+module Counter = struct
+  type counter = int ref
+
+  let make t name =
+    find_or_add t name
+      (fun () ->
+        let r = ref 0 in
+        (C r, r))
+      (function C r -> Some r | _ -> None)
+
+  let incr r = incr r
+  let add r n = r := !r + n
+  let get r = !r
+end
+
+module Gauge = struct
+  type gauge = int ref
+
+  let make t name =
+    find_or_add t name
+      (fun () ->
+        let r = ref 0 in
+        (G r, r))
+      (function G r -> Some r | _ -> None)
+
+  let set r v = r := v
+  let add r n = r := !r + n
+  let get r = !r
+end
+
+module Histogram = struct
+  type histogram = hist
+
+  let make t name =
+    find_or_add t name
+      (fun () ->
+        let h =
+          { buckets = Array.make n_buckets 0; h_count = 0; h_sum = 0; h_min = 0; h_max = 0 }
+        in
+        (H h, h))
+      (function H h -> Some h | _ -> None)
+
+  let observe = hist_observe
+  let count h = h.h_count
+  let sum h = h.h_sum
+  let quantile = hist_quantile
+end
+
+(* ---- rings ---- *)
+
+let push_ring slots written ev =
+  let cap = Array.length slots in
+  slots.(written mod cap) <- Some ev;
+  written + 1
+
+let ring_to_list slots written =
+  let cap = Array.length slots in
+  let n = if written < cap then written else cap in
+  let first = if written < cap then 0 else written mod cap in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match slots.((first + i) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+(* ---- spans ---- *)
+
+type span_id = span
+
+let span_begin t ?(attrs = []) name =
+  let parent_name =
+    match t.open_spans with [] -> None | s :: _ -> Some s.name
+  in
+  let s =
+    {
+      id = t.next_id;
+      seq = t.next_seq;
+      name;
+      attrs;
+      start_ms = now_ms t;
+      stop_ms = -1;
+      parent_name;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.next_seq <- t.next_seq + 1;
+  t.open_spans <- s :: t.open_spans;
+  s
+
+let span_end t ?(attrs = []) s =
+  if s.stop_ms < 0 then begin
+    s.stop_ms <- now_ms t;
+    if attrs <> [] then s.attrs <- s.attrs @ attrs;
+    t.open_spans <- List.filter (fun o -> o.id <> s.id) t.open_spans;
+    t.ring_written <- push_ring t.ring t.ring_written (Ev_span s)
+  end
+
+let with_span t ?attrs name f =
+  let s = span_begin t ?attrs name in
+  Fun.protect ~finally:(fun () -> span_end t s) f
+
+let instant t ?(attrs = []) name =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  t.ring_written <-
+    push_ring t.ring t.ring_written
+      (Ev_instant { i_seq = seq; i_name = name; i_ts = now_ms t; i_attrs = attrs })
+
+type span_info = {
+  sp_name : string;
+  sp_start_ms : int;
+  sp_dur_ms : int;
+  sp_parent : string option;
+  sp_attrs : (string * string) list;
+}
+
+let completed_spans t =
+  List.filter_map
+    (function
+      | Ev_span s ->
+          Some
+            {
+              sp_name = s.name;
+              sp_start_ms = s.start_ms;
+              sp_dur_ms = s.stop_ms - s.start_ms;
+              sp_parent = s.parent_name;
+              sp_attrs = s.attrs;
+            }
+      | Ev_instant _ -> None)
+    (ring_to_list t.ring t.ring_written)
+
+(* ---- trace export ---- *)
+
+type trace_ev = { ph : char; ev_name : string; ts_us : int; ev_args : (string * string) list }
+
+let trace_events t =
+  let now = now_ms t in
+  let spans =
+    List.filter_map (function Ev_span s -> Some s | Ev_instant _ -> None)
+      (ring_to_list t.ring t.ring_written)
+    @ List.map
+        (fun s -> { s with stop_ms = (if now > s.start_ms then now else s.start_ms) })
+        t.open_spans
+  in
+  let spans =
+    List.sort
+      (fun a b ->
+        if a.start_ms <> b.start_ms then compare a.start_ms b.start_ms
+        else if a.stop_ms <> b.stop_ms then compare b.stop_ms a.stop_ms
+        else compare a.seq b.seq)
+      spans
+  in
+  (* Stack-based emission: clamp so B/E pairs balance, nest, and the
+     timestamp stream is non-decreasing even when CPS-style code closes
+     spans out of LIFO order. *)
+  let out = ref [] in
+  let last = ref 0 in
+  let emit ph name ts args =
+    let ts = if ts < !last then !last else ts in
+    last := ts;
+    out := { ph; ev_name = name; ts_us = ts * 1000; ev_args = args } :: !out
+  in
+  let stack = ref [] in
+  let pop_until start =
+    while
+      match !stack with
+      | top :: rest when top.stop_ms <= start ->
+          emit 'E' top.name top.stop_ms [];
+          stack := rest;
+          true
+      | _ -> false
+    do
+      ()
+    done
+  in
+  List.iter
+    (fun s ->
+      pop_until s.start_ms;
+      let s =
+        match !stack with
+        | top :: _ when s.stop_ms > top.stop_ms -> { s with stop_ms = top.stop_ms }
+        | _ -> s
+      in
+      emit 'B' s.name s.start_ms s.attrs;
+      stack := s :: !stack)
+    spans;
+  List.iter (fun s -> emit 'E' s.name s.stop_ms []) !stack;
+  stack := [];
+  let bes = List.rev !out in
+  let instants =
+    List.filter_map
+      (function
+        | Ev_instant { i_seq; i_name; i_ts; i_attrs } -> Some (i_seq, i_name, i_ts, i_attrs)
+        | Ev_span _ -> None)
+      (ring_to_list t.ring t.ring_written)
+    |> List.sort (fun (qa, _, ta, _) (qb, _, tb, _) ->
+           if ta <> tb then compare ta tb else compare qa qb)
+    |> List.map (fun (_, name, ts, attrs) ->
+           { ph = 'i'; ev_name = name; ts_us = ts * 1000; ev_args = attrs })
+  in
+  bes @ instants
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let trace_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
+      let tid = if e.ph = 'i' then 2 else 1 in
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%d,\"pid\":1,\"tid\":%d"
+           (json_escape e.ev_name) e.ph e.ts_us tid);
+      if e.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+      if e.ev_args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        let f = ref true in
+        List.iter
+          (fun (k, v) ->
+            if not !f then Buffer.add_char b ',';
+            f := false;
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          e.ev_args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    (trace_events t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ---- log channels ---- *)
+
+let log t ~channel ?(attrs = []) msg =
+  t.lring_written <-
+    push_ring t.lring t.lring_written
+      { l_ts_ms = now_ms t; l_channel = channel; l_msg = msg; l_attrs = attrs }
+
+let logs t ?channel () =
+  let all = ring_to_list t.lring t.lring_written in
+  match channel with
+  | None -> all
+  | Some c -> List.filter (fun e -> e.l_channel = c) all
+
+(* ---- reading back ---- *)
+
+let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let counters t =
+  Hashtbl.fold (fun k m acc -> match m with C r -> (k, !r) :: acc | _ -> acc) t.metrics []
+  |> by_name
+
+let gauges t =
+  Hashtbl.fold (fun k m acc -> match m with G r -> (k, !r) :: acc | _ -> acc) t.metrics []
+  |> by_name
+
+let histograms t =
+  Hashtbl.fold (fun k m acc -> match m with H h -> (k, summarize h) :: acc | _ -> acc)
+    t.metrics []
+  |> by_name
+
+let find_counter t name =
+  match Hashtbl.find_opt t.metrics name with Some (C r) -> Some !r | _ -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.metrics name with Some (H h) -> Some (summarize h) | _ -> None
+
+let dump t =
+  let b = Buffer.create 1024 in
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "counter %s %d\n" k v)) (counters t);
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "gauge %s %d\n" k v)) (gauges t);
+  List.iter
+    (fun (k, s) ->
+      Buffer.add_string b
+        (Printf.sprintf "histogram %s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n" k
+           s.count s.sum s.min s.max s.p50 s.p95 s.p99))
+    (histograms t);
+  Buffer.contents b
+
+(* ---- glob ---- *)
+
+let glob_match pat s =
+  let np = String.length pat and ns = String.length s in
+  let rec go p i =
+    if p = np then i = ns
+    else
+      match pat.[p] with
+      | '*' ->
+          let rec try_from j = if go (p + 1) j then true else if j < ns then try_from (j + 1) else false in
+          try_from i
+      | c -> i < ns && s.[i] = c && go (p + 1) (i + 1)
+  in
+  go 0 0

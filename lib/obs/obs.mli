@@ -1,0 +1,172 @@
+(** Sim-time observability: a metrics registry (named counters, gauges,
+    log-scale histograms with quantile summaries), structured spans
+    recorded into a bounded ring buffer and exportable as Chrome
+    [trace_event] JSON, and bounded log channels (the slow-query log).
+
+    Zero dependencies; every timestamp comes from an injected clock.
+    In the simulator that clock is [Sim.Engine.clock], so for a given
+    seed two runs record byte-identical telemetry — wall time never
+    leaks in.  Cheap enough to leave on: a counter bump is one [incr],
+    a histogram observation one array increment.
+
+    Metric names are dotted lowercase paths ([net.calls],
+    [plan.cache.hits], [dcm.push.sent]); histogram names carry their
+    unit as a suffix ([query.latency_ms], [net.call_bytes]). *)
+
+type t
+(** A registry.  Handles ({!Counter.counter} etc.) stay valid across
+    {!reset} — resetting zeroes values in place, it never invalidates
+    a handle, so modules may safely cache handles at top level. *)
+
+val create : ?ring:int -> ?log_ring:int -> unit -> t
+(** Fresh registry.  [ring] bounds the completed-span/instant event
+    ring (default 4096); [log_ring] bounds the log-channel ring
+    (default 1024).  When a ring is full the oldest entry is dropped. *)
+
+val default : t
+(** The process-global registry.  Everything inside one
+    {!Workload.Testbed} records here (the testbed {!reset}s it and
+    points its clock at the engine), which is what lets the
+    [_get_server_statistics] family of Moira queries read telemetry
+    without threading a handle through [Query.ctx]. *)
+
+val reset : t -> unit
+(** Zero every counter/gauge/histogram (handles stay valid), clear the
+    span and log rings, drop open spans, and detach the clock. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the time source, in milliseconds.  Until one is installed
+    the registry reads time as 0. *)
+
+val now_ms : t -> int
+
+module Counter : sig
+  type counter
+
+  val make : t -> string -> counter
+  (** Find-or-create.  @raise Invalid_argument if [name] already names
+      a gauge or histogram. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val get : counter -> int
+end
+
+module Gauge : sig
+  type gauge
+
+  val make : t -> string -> gauge
+  val set : gauge -> int -> unit
+  val add : gauge -> int -> unit
+  val get : gauge -> int
+end
+
+module Histogram : sig
+  type histogram
+
+  val make : t -> string -> histogram
+
+  val observe : histogram -> int -> unit
+  (** Record a non-negative sample (negatives clamp to 0).  Buckets
+      are exact below 64, then log-linear with 32 sub-buckets per
+      power of two — relative quantile error is at most 1/32. *)
+
+  val count : histogram -> int
+  val sum : histogram -> int
+
+  val quantile : histogram -> float -> int
+  (** [quantile h 0.95] is the p95 as a bucket upper bound, clamped to
+      the observed min/max.  0 when empty. *)
+end
+
+type summary = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when empty. *)
+  max : int;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+(** {1 Spans and instants} *)
+
+type span_id
+
+val span_begin : t -> ?attrs:(string * string) list -> string -> span_id
+(** Open a span at [now_ms].  Its parent is the innermost span still
+    open on this registry (spans need not close in LIFO order). *)
+
+val span_end : t -> ?attrs:(string * string) list -> span_id -> unit
+(** Close the span and commit it to the ring; extra [attrs] are
+    appended.  Ending a span twice is a no-op. *)
+
+val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Scoped {!span_begin}/{!span_end}; the span closes even on raise. *)
+
+val instant : t -> ?attrs:(string * string) list -> string -> unit
+(** A point event in the ring (exported as a trace [ph:"i"]). *)
+
+type span_info = {
+  sp_name : string;
+  sp_start_ms : int;
+  sp_dur_ms : int;
+  sp_parent : string option;  (** Parent span's name, if any. *)
+  sp_attrs : (string * string) list;
+}
+
+val completed_spans : t -> span_info list
+(** Spans still in the ring, oldest first. *)
+
+(** {1 Chrome trace export} *)
+
+type trace_ev = {
+  ph : char;  (** ['B'], ['E'] or ['i']. *)
+  ev_name : string;
+  ts_us : int;
+  ev_args : (string * string) list;
+}
+
+val trace_events : t -> trace_ev list
+(** The ring rendered as a well-formed duration-event stream: B/E
+    pairs balance, nest properly, and timestamps are non-decreasing
+    (overlapping spans are clamped into their enclosing span; spans
+    still open are closed at [now_ms]).  Instants follow, in time
+    order. *)
+
+val trace_json : t -> string
+(** {!trace_events} as a Chrome [trace_event] JSON document
+    ([{"traceEvents": [...]}]), timestamps in microseconds. *)
+
+(** {1 Log channels} *)
+
+type log_entry = {
+  l_ts_ms : int;
+  l_channel : string;
+  l_msg : string;
+  l_attrs : (string * string) list;
+}
+
+val log : t -> channel:string -> ?attrs:(string * string) list -> string -> unit
+val logs : t -> ?channel:string -> unit -> log_entry list
+(** Oldest first; [?channel] filters. *)
+
+(** {1 Reading back} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * int) list
+val histograms : t -> (string * summary) list
+
+val find_counter : t -> string -> int option
+val find_histogram : t -> string -> summary option
+
+val dump : t -> string
+(** Every metric, one per line, sorted — a deterministic fingerprint
+    of a run ([counter net.calls 42], [histogram query.latency_ms
+    count=...]). *)
+
+val glob_match : string -> string -> bool
+(** [glob_match pattern name]: [*] matches any run of characters —
+    the filter used by the stats queries. *)

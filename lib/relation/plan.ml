@@ -13,27 +13,30 @@
 
 type t = { compiled : Table.compiled; params : Value.t array }
 
-type cache_stats = { mutable hits : int; mutable misses : int }
-
 let cache : (int * Pred.shape, Table.compiled) Hashtbl.t = Hashtbl.create 256
-let stats = { hits = 0; misses = 0 }
+
+(* Hit/miss counters live on the global registry so stats queries and
+   benches read the same numbers [cache_stats] reports. *)
+let hits = Obs.Counter.make Obs.default "plan.cache.hits"
+let misses = Obs.Counter.make Obs.default "plan.cache.misses"
 let cache_cap = 1024
 
 let reset_cache () =
   Hashtbl.reset cache;
-  stats.hits <- 0;
-  stats.misses <- 0
+  Obs.Counter.add hits (-Obs.Counter.get hits);
+  Obs.Counter.add misses (-Obs.Counter.get misses)
 
-let cache_stats () = (stats.hits, stats.misses, Hashtbl.length cache)
+let cache_stats () =
+  (Obs.Counter.get hits, Obs.Counter.get misses, Hashtbl.length cache)
 
 let prepare tbl shape =
   let key = (Table.uid tbl, shape) in
   match Hashtbl.find_opt cache key with
   | Some c when Table.plan_table c == tbl ->
-      stats.hits <- stats.hits + 1;
+      Obs.Counter.incr hits;
       c
   | _ ->
-      stats.misses <- stats.misses + 1;
+      Obs.Counter.incr misses;
       let c = Table.compile_shape tbl shape in
       if Hashtbl.length cache >= cache_cap then Hashtbl.reset cache;
       Hashtbl.replace cache key c;

@@ -462,9 +462,21 @@ let best_candidate params = function
         cs;
       !best
 
+(* Access-path counters on the global registry: how often each plan
+   shape actually runs (module-level handles survive registry resets). *)
+let path_scan = Obs.Counter.make Obs.default "plan.path.scan"
+let path_probe = Obs.Counter.make Obs.default "plan.path.probe"
+let path_range = Obs.Counter.make Obs.default "plan.path.range"
+let path_prefix = Obs.Counter.make Obs.default "plan.path.prefix"
+
 let plan_matching c params =
   let t = c.ctable in
   let eval = c.ceval in
+  (match c.cpath with
+  | P_scan -> Obs.Counter.incr path_scan
+  | P_probe _ -> Obs.Counter.incr path_probe
+  | P_range _ -> Obs.Counter.incr path_range
+  | P_prefix _ -> Obs.Counter.incr path_prefix);
   let from_set set =
     Int_set.fold
       (fun id acc ->

@@ -22,6 +22,8 @@ type t = {
   mutable queue : event Queue_map.t;
   cancelled : (event_id, unit) Hashtbl.t;
   rng : Rng.t;
+  mutable obs : (Obs.Counter.counter * Obs.Counter.counter) option;
+      (* (events_scheduled, events_fired) *)
 }
 
 let create ?(seed = 42) ?(start = 0) () =
@@ -32,6 +34,7 @@ let create ?(seed = 42) ?(start = 0) () =
     queue = Queue_map.empty;
     cancelled = Hashtbl.create 17;
     rng = Rng.create seed;
+    obs = None;
   }
 
 let now t = t.now
@@ -41,11 +44,22 @@ let clock t () = t.now
 let clock_sec t () = t.now / 1000
 let rng t = t.rng
 
+let attach_obs t o =
+  Obs.set_clock o (clock t);
+  t.obs <-
+    Some
+      ( Obs.Counter.make o "engine.events_scheduled",
+        Obs.Counter.make o "engine.events_fired" )
+
+let count_scheduled t =
+  match t.obs with Some (s, _) -> Obs.Counter.incr s | None -> ()
+
 let schedule t ~at label action =
   let at = max at t.now in
   let id = t.next_id in
   t.next_id <- id + 1;
   t.seq <- t.seq + 1;
+  count_scheduled t;
   t.queue <- Queue_map.add (at, t.seq) { id; label; action } t.queue;
   id
 
@@ -60,6 +74,7 @@ let every t ~interval ?phase label action =
   t.next_id <- id + 1;
   let rec arm at =
     t.seq <- t.seq + 1;
+    count_scheduled t;
     let fire () =
       if not (Hashtbl.mem t.cancelled id) then begin
         arm (t.now + interval);
@@ -77,7 +92,10 @@ let step t =
   | Some ((at, _seq) as key, ev) ->
       t.queue <- Queue_map.remove key t.queue;
       t.now <- max t.now at;
-      if not (Hashtbl.mem t.cancelled ev.id) then ev.action ();
+      if not (Hashtbl.mem t.cancelled ev.id) then begin
+        (match t.obs with Some (_, f) -> Obs.Counter.incr f | None -> ());
+        ev.action ()
+      end;
       true
 
 let run_until t limit =

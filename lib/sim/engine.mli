@@ -35,6 +35,12 @@ val clock_sec : t -> unit -> int
 val rng : t -> Rng.t
 (** The engine's root RNG (use {!Rng.split} for subsystem streams). *)
 
+val attach_obs : t -> Obs.t -> unit
+(** Point the registry's clock at this engine's virtual clock and count
+    event activity into it ([engine.events_scheduled],
+    [engine.events_fired]).  The one wiring point that makes every
+    metric and span in the registry sim-time-deterministic. *)
+
 val schedule : t -> at:int -> string -> (unit -> unit) -> event_id
 (** [schedule t ~at label f] queues [f] to run at absolute time [at] ms
     (clamped to [now] if in the past).  [label] appears in traces.

@@ -14,6 +14,8 @@ type t = {
   userreg : Userreg.server;
 }
 
+let obs (_ : t) = Obs.default
+
 let hesiod_dir = "/etc/hesiod"
 let zephyr_acl_dir = "/etc/athena/acl"
 let nfs_dir = "/var/moira"
@@ -72,7 +74,13 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
   let engine =
     Sim.Engine.create ~seed:spec.Population.seed ~start:epoch_1988_ms ()
   in
-  let net = Netsim.Net.create engine in
+  (* One registry for the whole testbed: reset the global one (handles
+     cached by Relation.Plan/Table stay valid), clock it off the engine,
+     and hand it to every layer — so a stats query through the Moira
+     protocol sees the same counters the benches and traces read. *)
+  Obs.reset Obs.default;
+  Sim.Engine.attach_obs engine Obs.default;
+  let net = Netsim.Net.create ~obs:Obs.default engine in
   let clock = Sim.Engine.clock_sec engine in
   let kdc = Krb.Kdc.create ~clock () in
   let mdb = Moira.Mdb.create ~clock in

@@ -37,7 +37,16 @@ val create :
     distribution interval).  The moira server's Trigger_DCM request is
     wired to an immediate DCM run.  [retry] overrides the DCM's retry/
     backoff/quarantine policy (fault-injection tests shrink the
-    thresholds). *)
+    thresholds).
+
+    Creation resets the global [Obs.default] registry, points its clock
+    at the new engine, and wires every layer (network, Moira server,
+    plan cache, DCM) to record there — so metrics, spans and the
+    slow-query log for the whole world are in one place, readable
+    through the [_get_server_statistics] family of Moira queries. *)
+
+val obs : t -> Obs.t
+(** The testbed's registry (the global [Obs.default]). *)
 
 val client : t -> src:string -> Moira.Mr_client.t
 (** An application-library handle on the given workstation. *)

@@ -272,6 +272,108 @@ let test_host_lock_failure_moves_ltt () =
                   "hosterrmsg"));
   Lock.release locks ~key:("host:HESIOD/" ^ hes_machine) ~owner:"intruder"
 
+(* --- restart resumes persisted retry state -------------------------- *)
+
+(* The per-host failure count and backoff window live in the serverhosts
+   value1/value2 columns, so a restarted DCM (a brand-new manager over
+   the same database) must carry an incident forward: with
+   quarantine_after = 2, one pre-restart failed cycle plus one
+   post-restart failed cycle quarantines the host.  A DCM that forgot
+   its state would merely soft-fail again. *)
+let test_restart_resumes_retry_state () =
+  let tb = Testbed.create ~retry:fast_quarantine () in
+  let hes_machine = tb.Testbed.built.Population.hesiod_machines.(0) in
+  Netsim.Host.crash (Testbed.host tb hes_machine);
+  let report = Dcm.Manager.run tb.Testbed.dcm in
+  let hes =
+    List.find
+      (fun s -> s.Dcm.Manager.service = "HESIOD")
+      report.Dcm.Manager.services
+  in
+  (match List.assoc_opt hes_machine hes.Dcm.Manager.hosts with
+  | Some (Dcm.Manager.Soft_failed _) -> ()
+  | _ -> Alcotest.fail "dead host should soft-fail before restart");
+  Alcotest.(check int) "failure count persisted" 1
+    (Value.int
+       (shost_field tb ~service:"HESIOD" ~machine:hes_machine "value1"));
+  Alcotest.(check bool) "backoff window persisted" true
+    (Value.int (shost_field tb ~service:"HESIOD" ~machine:hes_machine "value2")
+    > 0);
+  (* "restart": a fresh manager over the same database and network,
+     created past the 1 s backoff window *)
+  Sim.Engine.advance tb.Testbed.engine 5_000;
+  let dcm2 =
+    Dcm.Manager.create ~net:tb.Testbed.net
+      ~moira_host:tb.Testbed.built.Population.moira_machine
+      ~glue:tb.Testbed.glue ~retry:fast_quarantine ()
+  in
+  let report2 = Dcm.Manager.run dcm2 in
+  let hes2 =
+    List.find
+      (fun s -> s.Dcm.Manager.service = "HESIOD")
+      report2.Dcm.Manager.services
+  in
+  (match List.assoc_opt hes_machine hes2.Dcm.Manager.hosts with
+  | Some (Dcm.Manager.Quarantined _) -> ()
+  | Some _ | None ->
+      Alcotest.fail
+        "restarted DCM forgot the failure count: second failure should \
+         quarantine");
+  Alcotest.(check bool) "hosterror set" true
+    (Value.int
+       (shost_field tb ~service:"HESIOD" ~machine:hes_machine "hosterror")
+    <> 0);
+  (* the open incident is persisted too (negated count), so yet another
+     restart stays quiet instead of re-notifying *)
+  Alcotest.(check int) "notified incident persisted" (-2)
+    (Value.int
+       (shost_field tb ~service:"HESIOD" ~machine:hes_machine "value1"));
+  (* operator reset clears the columns through the normal path *)
+  Netsim.Host.boot (Testbed.host tb hes_machine);
+  ignore
+    (Moira.Glue.query tb.Testbed.glue ~name:"set_server_host_internal"
+       [ "HESIOD"; hes_machine; "1"; "0"; "0"; "0"; ""; "0"; "0" ]);
+  Sim.Engine.advance tb.Testbed.engine 5_000;
+  let report3 = Dcm.Manager.run dcm2 in
+  let hes3 =
+    List.find
+      (fun s -> s.Dcm.Manager.service = "HESIOD")
+      report3.Dcm.Manager.services
+  in
+  (match List.assoc_opt hes_machine hes3.Dcm.Manager.hosts with
+  | Some (Dcm.Manager.Updated _) -> ()
+  | _ -> Alcotest.fail "host should recover after operator reset");
+  Alcotest.(check int) "retry state cleared on success" 0
+    (Value.int
+       (shost_field tb ~service:"HESIOD" ~machine:hes_machine "value1"))
+
+(* --- telemetry accounts for every protocol operation ----------------- *)
+
+let test_telemetry_accounts_for_every_op () =
+  let tb = Testbed.create () in
+  Netsim.Net.set_drop_rate tb.Testbed.net 0.2;
+  Netsim.Net.set_reply_drop_rate tb.Testbed.net 0.1;
+  ignore
+    (Moira.Glue.query tb.Testbed.glue ~name:"update_user_shell"
+       [ tb.Testbed.built.Population.logins.(0); "/bin/counted" ]);
+  Testbed.run_hours tb 6;
+  let o = Testbed.obs tb in
+  let ctr n = Option.value ~default:0 (Obs.find_counter o n) in
+  let failed =
+    List.fold_left
+      (fun a (n, v) ->
+        if Obs.glob_match "update.ops.failed.*" n then a + v else a)
+      0 (Obs.counters o)
+  in
+  Alcotest.(check bool) "ops were sent" true (ctr "update.ops.sent" > 0);
+  Alcotest.(check bool) "losses forced retries" true
+    (ctr "update.ops.retried" > 0);
+  (* every send ended exactly one way: acknowledged, re-sent, or counted
+     against a named failure kind — nothing vanishes *)
+  Alcotest.(check int) "sent = ok + retried + failed"
+    (ctr "update.ops.sent")
+    (ctr "update.ops.ok" + ctr "update.ops.retried" + failed)
+
 (* --- convergence under sustained loss ------------------------------- *)
 
 let test_converges_under_message_loss () =
@@ -320,6 +422,10 @@ let suite =
       test_generator_exception_releases_lock;
     Alcotest.test_case "host lock failure moves ltt" `Quick
       test_host_lock_failure_moves_ltt;
+    Alcotest.test_case "restart resumes persisted retry state" `Quick
+      test_restart_resumes_retry_state;
+    Alcotest.test_case "telemetry accounts for every op" `Quick
+      test_telemetry_accounts_for_every_op;
     Alcotest.test_case "converges under message loss" `Quick
       test_converges_under_message_loss;
   ]

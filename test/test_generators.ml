@@ -261,6 +261,45 @@ let test_nfs_credentials_restricted_by_value3 () =
         (String.sub (List.hd ls) 0 4 = "ann:")
   | _ -> Alcotest.fail "expected one host"
 
+(* Hosts with an empty value3 all want the same all-active-users file;
+   the generator must build it once per generation and hand every such
+   host the very same string — while a value3-restricted host still gets
+   its own. *)
+let test_nfs_credentials_shared_across_hosts () =
+  let t = build () in
+  ignore
+    (Fix.must t "add_server_info"
+       [ "NFS"; "720"; "/t"; "nfs.sh"; "UNIQUE"; "1"; "LIST";
+         "moira-admins" ]);
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "NFS-1.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "SUOMI.MIT.EDU"; "1"; "0"; "0"; "" ]);
+  ignore
+    (Fix.must t "add_server_host_info"
+       [ "NFS"; "CHARON.MIT.EDU"; "1"; "0"; "0"; "annsgroup" ]);
+  let out = Dcm.Gen_nfs.generator.Dcm.Gen.generate t.Fix.glue in
+  let creds machine =
+    find_file (List.assoc machine out.Dcm.Gen.per_host) "credentials"
+  in
+  let a = creds "NFS-1.MIT.EDU" and b = creds "SUOMI.MIT.EDU" in
+  Alcotest.(check string) "byte-identical across empty-value3 hosts" a b;
+  Alcotest.(check bool) "built once, physically shared" true (a == b);
+  (* and it really is the unrestricted build, not the restricted one *)
+  Alcotest.(check string) "all active users present" "ann:2001:10914"
+    (line_for "ann:" a);
+  Alcotest.(check bool) "bob included" true
+    (List.exists
+       (fun l -> String.length l >= 4 && String.sub l 0 4 = "bob:")
+       (lines a));
+  let restricted = creds "CHARON.MIT.EDU" in
+  Alcotest.(check bool) "value3 host keeps its own file" true
+    (restricted <> a);
+  Alcotest.(check int) "restricted to annsgroup" 1
+    (List.length (lines restricted))
+
 let test_zephyr_acl_files () =
   let t = build () in
   let out = Dcm.Gen_zephyr.generator.Dcm.Gen.generate t.Fix.glue in
@@ -313,6 +352,8 @@ let suite =
     Alcotest.test_case "NFS files" `Quick test_nfs_files;
     Alcotest.test_case "credentials via value3" `Quick
       test_nfs_credentials_restricted_by_value3;
+    Alcotest.test_case "credentials shared across hosts" `Quick
+      test_nfs_credentials_shared_across_hosts;
     Alcotest.test_case "zephyr acl files" `Quick test_zephyr_acl_files;
     Alcotest.test_case "all hesiod lines parse" `Quick
       test_generated_files_parse_as_hesiod;
