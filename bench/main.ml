@@ -887,12 +887,21 @@ let bench_gen () =
       let users =
         Relation.Table.cardinal (Moira.Mdb.table tb.Testbed.mdb "users")
       in
+      (* client-side full-archive materializations: the streaming member
+         checksum should make these 0 on the delta path *)
+      let full_packs () =
+        Option.value
+          (Obs.find_counter (Testbed.obs tb) "update.client.full_packs")
+          ~default:0
+      in
       (* first-ever pass: every service generates in full, every host
          gets a full-archive push *)
       Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
+      let packs0 = full_packs () in
       let (full_report, full_ms) =
         time_ms (fun () -> Dcm.Manager.run tb.Testbed.dcm)
       in
+      let packs_first = full_packs () - packs0 in
       let hes_full = hesiod_report full_report in
       let full_bytes = Option.value (first_updated_bytes hes_full) ~default:0 in
       (* one user changes their shell; at +14h only HESIOD (6h interval)
@@ -904,9 +913,11 @@ let bench_gen () =
       | Ok _ -> ()
       | Error c -> failwith (Comerr.Com_err.error_message c));
       Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
+      let packs1 = full_packs () in
       let (incr_report, incr_ms) =
         time_ms (fun () -> Dcm.Manager.run tb.Testbed.dcm)
       in
+      let packs_incr = full_packs () - packs1 in
       let hes_incr = hesiod_report incr_report in
       let delta_bytes =
         Option.value (first_updated_bytes hes_incr) ~default:0
@@ -927,6 +938,8 @@ let bench_gen () =
           ("hesiod_full_push_bytes", I full_bytes);
           ("hesiod_delta_push_bytes", I delta_bytes);
           ("delta_to_full_ratio", F ratio);
+          ("client_full_packs_first_push", I packs_first);
+          ("client_full_packs_incremental", I packs_incr);
           ("rebuilt", L hes_incr.Dcm.Manager.rebuilt);
           ("spliced", I hes_incr.Dcm.Manager.spliced);
         ])

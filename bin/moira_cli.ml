@@ -172,6 +172,45 @@ let trace_cmd =
           as a Chrome-loadable trace.")
     Term.(const run $ users_arg $ out)
 
+let check_cmd =
+  let run users =
+    with_client ~users (fun _tb c ->
+        let drift =
+          match
+            Moira.Mr_client.mr_query_list c ~name:"_check_integrity" []
+          with
+          | Ok rows -> rows
+          | Error code ->
+              [ [ "query-error"; "_check_integrity";
+                  Comerr.Com_err.error_message code ] ]
+        in
+        let gens =
+          Dcm.Manager.check_generators Dcm.Manager.standard_generators
+        in
+        List.iter
+          (fun row -> print_endline (String.concat ": " row))
+          drift;
+        List.iter (fun x -> print_endline (Moira.Check.pp x)) gens;
+        if drift = [] && gens = [] then begin
+          Printf.printf
+            "check: query registry and DCM generators consistent with \
+             Schema_def\n";
+          0
+        end
+        else begin
+          Printf.printf "check: %d finding(s)\n"
+            (List.length drift + List.length gens);
+          1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Cross-check every query handle and DCM generator against \
+          Schema_def (the _check_integrity query plus the generator \
+          watch-list validator); nonzero exit on any drift.")
+    Term.(const run $ users_arg)
+
 let () =
   let info =
     Cmd.info "moira_cli"
@@ -184,5 +223,5 @@ let () =
        (Cmd.group info
           [
             query_cmd; access_cmd; list_queries_cmd; help_cmd; shell_cmd;
-            stats_cmd; trace_cmd;
+            stats_cmd; trace_cmd; check_cmd;
           ]))

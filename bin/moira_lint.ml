@@ -1,0 +1,30 @@
+(* moira_lint — run the Lint rules over the tree; exit nonzero listing
+   file:line:rule on any violation.  Usage: moira_lint [path ...]
+   (defaults to lib bin test bench, resolved from the cwd). *)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as paths) -> paths
+    | _ -> List.filter Sys.file_exists Lint.default_roots
+  in
+  if roots = [] then begin
+    prerr_endline
+      "moira_lint: no roots found (run from the repo root or pass paths)";
+    exit 2
+  end;
+  let files = List.concat_map Lint.files_under roots in
+  let violations = List.concat_map Lint.lint_file files in
+  if violations = [] then
+    Printf.printf "moira_lint: %d files clean\n" (List.length files)
+  else begin
+    List.iter
+      (fun v -> print_endline (Lint.pp_violation v))
+      violations;
+    Printf.printf "moira_lint: %d violation(s) in %d files\n"
+      (List.length violations)
+      (List.length
+         (List.sort_uniq String.compare
+            (List.map (fun v -> v.Lint.v_file) violations)));
+    exit 1
+  end

@@ -1,13 +1,26 @@
 let modulus = 65521
 
-let adler32 s =
-  let a = ref 1 and b = ref 0 in
+(* Adler-32 is a running (a, b) pair, so it streams: feeding chunks in
+   order gives the same value as one pass over their concatenation.
+   [Tarlike.checksum] uses this to checksum an archive that is never
+   materialized. *)
+type stream = { mutable a : int; mutable b : int }
+
+let stream_start () = { a = 1; b = 0 }
+
+let stream_feed st s =
   String.iter
     (fun c ->
-      a := (!a + Char.code c) mod modulus;
-      b := (!b + !a) mod modulus)
-    s;
-  (!b lsl 16) lor !a
+      st.a <- (st.a + Char.code c) mod modulus;
+      st.b <- (st.b + st.a) mod modulus)
+    s
+
+let stream_value st = (st.b lsl 16) lor st.a
+
+let adler32 s =
+  let st = stream_start () in
+  stream_feed st s;
+  stream_value st
 
 let to_hex v = Printf.sprintf "%08x" v
 let verify ~data ~checksum = to_hex (adler32 data) = checksum

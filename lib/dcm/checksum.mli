@@ -9,3 +9,17 @@ val to_hex : int -> string
 
 val verify : data:string -> checksum:string -> bool
 (** Does [data] hash to the hex [checksum]? *)
+
+(** {2 Streaming}
+
+    Adler-32 over a sequence of chunks, identical to one pass over their
+    concatenation — so [Tarlike.checksum] can checksum an archive that
+    is never materialized. *)
+
+type stream
+
+val stream_start : unit -> stream
+val stream_feed : stream -> string -> unit
+
+val stream_value : stream -> int
+(** The checksum of everything fed so far (the stream stays usable). *)

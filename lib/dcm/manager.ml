@@ -127,6 +127,92 @@ let standard_generators =
   [ Gen_hesiod.generator; Gen_nfs.generator; Gen_mail.generator;
     Gen_zephyr.generator ]
 
+(* The dcm-side half of the schema cross-checker ([Moira.Check]): a
+   generator's watch list is its claim about which relations it reads,
+   and a stale claim silently breaks MR_NO_CHANGE (the file never
+   rebuilds, or always does).  Validate every watch against
+   [Schema_def], part-name uniqueness, and — for part-decomposed
+   generators — that the part watches cover the service watches, the
+   invariant [Gen.of_parts] promises. *)
+let check_generators gens =
+  let open Moira.Check in
+  let watch_findings subject ws =
+    List.concat_map
+      (fun w ->
+        watch_ref ~subject ~table:w.Gen.wtable ~columns:w.Gen.wcolumns)
+      ws
+  in
+  List.concat_map
+    (fun g ->
+      let subject = "generator " ^ g.Gen.service in
+      let shape =
+        if
+          g.Gen.service = ""
+          || g.Gen.service <> String.uppercase_ascii g.Gen.service
+        then
+          [
+            {
+              c_rule = "service-name";
+              c_subject = subject;
+              c_detail = "service name must be nonempty upper case";
+            };
+          ]
+        else []
+      in
+      let parts_unique =
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun p ->
+            if Hashtbl.mem seen p.Gen.pname then
+              Some
+                {
+                  c_rule = "dup-part";
+                  c_subject = subject;
+                  c_detail =
+                    Printf.sprintf "duplicate part name %S" p.Gen.pname;
+                }
+            else begin
+              Hashtbl.replace seen p.Gen.pname ();
+              None
+            end)
+          g.Gen.parts
+      in
+      let watch_key w =
+        (w.Gen.wtable, List.sort String.compare w.Gen.wcolumns)
+      in
+      let coverage =
+        if g.Gen.parts = [] then []
+        else
+          let covered =
+            List.concat_map
+              (fun p -> List.map watch_key p.Gen.pwatches)
+              g.Gen.parts
+          in
+          List.filter_map
+            (fun w ->
+              if List.mem (watch_key w) covered then None
+              else
+                Some
+                  {
+                    c_rule = "watch-coverage";
+                    c_subject = subject;
+                    c_detail =
+                      Printf.sprintf
+                        "service watch on %S is not covered by any part"
+                        w.Gen.wtable;
+                  })
+            g.Gen.watches
+      in
+      shape @ watch_findings subject g.Gen.watches
+      @ List.concat_map
+          (fun p ->
+            watch_findings
+              (subject ^ " part " ^ p.Gen.pname)
+              p.Gen.pwatches)
+          g.Gen.parts
+      @ parts_unique @ coverage)
+    gens
+
 let mdb t = Moira.Glue.mdb t.glue
 
 (* Startup recovery (paper §5.9 case C, a crashed Moira machine): a DCM

@@ -104,6 +104,13 @@ val standard_generators : Gen.t list
 (** The four 1988-deployment generators: HESIOD, NFS, MAIL, ZEPHYR.
     Extend this list to add a managed service (see HACKING.md). *)
 
+val check_generators : Gen.t list -> Moira.Check.finding list
+(** The dcm-side half of the schema cross-checker: every watch must
+    reference a real [Schema_def] table and int (modtime) columns, part
+    names must be unique, and part watches must cover the service
+    watches.  Empty means consistent; run over {!standard_generators}
+    by [moira_cli check] and the test suite. *)
+
 val create :
   net:Netsim.Net.t ->
   moira_host:string ->

@@ -6,6 +6,15 @@
 val pack : (string * string) list -> string
 (** Archive a list of (name, contents) members. *)
 
+val packed_size : (string * string) list -> int
+(** [String.length (pack members)], computed without packing. *)
+
+val checksum : (string * string) list -> int
+(** [Checksum.adler32 (pack members)], streamed member by member — the
+    archive is never materialized.  Lets {!Update.push} run the whole
+    manifest/delta exchange (and the EXEC confirm, which only carries
+    the checksum) without a client-side full pack. *)
+
 val unpack : string -> ((string * string) list, string) result
 (** Recover the members; [Error] describes the corruption. *)
 

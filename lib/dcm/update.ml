@@ -381,10 +381,21 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   Obs.with_span obs "dcm.push" ~attrs:[ ("host", dst); ("target", target) ]
   @@ fun () ->
-  let archive = Tarlike.pack files in
-  let cksum = Checksum.to_hex (Checksum.adler32 archive) in
+  (* The checksum and size stream over the members, so the delta path —
+     the common case once a host has a base — never allocates the
+     multi-megabyte archive; it is packed lazily, only when a full
+     transfer actually ships it.  [update.client.full_packs] counts the
+     materializations (the old code's "5 full passes" ROADMAP item). *)
+  let cksum = Checksum.to_hex (Tarlike.checksum files) in
+  let archive_bytes = Tarlike.packed_size files in
+  let c_full_packs = Obs.Counter.make obs "update.client.full_packs" in
+  let archive =
+    lazy
+      (Obs.Counter.incr c_full_packs;
+       Tarlike.pack files)
+  in
   let full () =
-    let* _ = call op_xfer [ target; archive; cksum ] in
+    let* _ = call op_xfer [ target; Lazy.force archive; cksum ] in
     Ok (List.length files, 0, 0, false)
   in
   let* full_members, patched, kept, delta =
@@ -438,7 +449,7 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
   Ok
     {
       wire_bytes = !wire;
-      archive_bytes = String.length archive;
+      archive_bytes;
       members_total = List.length files;
       members_full = full_members;
       members_patched = patched;

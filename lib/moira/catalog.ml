@@ -91,10 +91,27 @@ let make ?(list_users = fun () -> []) ?(trigger_dcm = fun () -> ())
           Ok []);
     }
   in
+  let q_check_integrity =
+    {
+      Query.name = "_check_integrity";
+      short = "_chk";
+      kind = Retrieve;
+      inputs = [];
+      outputs = [ "rule"; "subject"; "detail" ];
+      check_access = Query.access_anyone;
+      handler =
+        (fun ctx _ ->
+          (* an empty result is the section-7 invariant holding *)
+          Ok
+            (Check.to_rows
+               (Check.registry ctx.Query.mdb (get_registry ()))));
+    }
+  in
   let r =
     Query.make_registry
       (standard () @ extra
-      @ [ q_help; q_list_queries; q_list_users; q_trigger_dcm ])
+      @ [ q_help; q_list_queries; q_list_users; q_trigger_dcm;
+          q_check_integrity ])
   in
   registry := Some r;
   r

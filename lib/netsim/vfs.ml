@@ -7,11 +7,18 @@ type overlay_entry =
 type t = {
   mutable stable : string Smap.t;
   mutable overlay : overlay_entry Smap.t;
+  mutable write_hook : (string -> unit) option;
+      (* observes every mutation's path; used by Dcm.Sanitizer *)
 }
 
-let create () = { stable = Smap.empty; overlay = Smap.empty }
+let create () =
+  { stable = Smap.empty; overlay = Smap.empty; write_hook = None }
+
+let set_write_hook t h = t.write_hook <- h
+let hook t path = match t.write_hook with Some f -> f path | None -> ()
 
 let write t ~path contents =
+  hook t path;
   t.overlay <- Smap.add path (Written contents) t.overlay
 
 let read t ~path =
@@ -22,12 +29,15 @@ let read t ~path =
 
 let exists t ~path = read t ~path <> None
 
-let remove t ~path = t.overlay <- Smap.add path Removed t.overlay
+let remove t ~path =
+  hook t path;
+  t.overlay <- Smap.add path Removed t.overlay
 
 let rename t ~src ~dst =
   match read t ~path:src with
   | None -> false
   | Some contents ->
+      hook t dst;
       (* Atomic and durable: the whole point of the install step. *)
       t.stable <- Smap.add dst contents (Smap.remove src t.stable);
       t.overlay <- Smap.remove src (Smap.remove dst t.overlay);

@@ -14,6 +14,12 @@ type t
 val create : unit -> t
 (** An empty filesystem. *)
 
+val set_write_hook : t -> (string -> unit) option -> unit
+(** Install (or clear) an observer called with the path of every
+    mutation (write, remove, and the destination of a rename) before it
+    lands.  Used by the opt-in [Dcm.Sanitizer] to catch writes to
+    managed files made without the host lock; [None] by default. *)
+
 val write : t -> path:string -> string -> unit
 (** Create or replace a file (volatile until {!flush}). *)
 

@@ -1,13 +1,24 @@
 type mode = Shared | Exclusive
 
-type t = (string, (string * mode) list) Hashtbl.t
+type event =
+  | Double_acquire of { key : string; owner : string }
+  | Release_unheld of { key : string; owner : string }
 
-let create () : t = Hashtbl.create 31
+type t = {
+  table : (string, (string * mode) list) Hashtbl.t;
+  mutable monitor : (event -> unit) option;
+}
 
-let holders t ~key = Option.value (Hashtbl.find_opt t key) ~default:[]
+let create () = { table = Hashtbl.create 31; monitor = None }
+let set_monitor t m = t.monitor <- m
+let notify t ev = match t.monitor with Some f -> f ev | None -> ()
+
+let holders t ~key = Option.value (Hashtbl.find_opt t.table key) ~default:[]
 
 let acquire t ~key ~owner mode =
   let hs = holders t ~key in
+  if List.exists (fun (o, _) -> o = owner) hs then
+    notify t (Double_acquire { key; owner });
   let others = List.filter (fun (o, _) -> o <> owner) hs in
   let ok =
     match mode with
@@ -16,23 +27,31 @@ let acquire t ~key ~owner mode =
   in
   if ok then begin
     let hs' = (owner, mode) :: others in
-    Hashtbl.replace t key hs';
+    Hashtbl.replace t.table key hs';
     true
   end
   else false
 
 let release t ~key ~owner =
-  let hs = List.filter (fun (o, _) -> o <> owner) (holders t ~key) in
-  if hs = [] then Hashtbl.remove t key else Hashtbl.replace t key hs
+  let hs = holders t ~key in
+  if not (List.exists (fun (o, _) -> o = owner) hs) then
+    notify t (Release_unheld { key; owner });
+  let hs = List.filter (fun (o, _) -> o <> owner) hs in
+  if hs = [] then Hashtbl.remove t.table key else Hashtbl.replace t.table key hs
 
 let owned t ~owner =
   Hashtbl.fold
     (fun k hs acc ->
       if List.exists (fun (o, _) -> o = owner) hs then k :: acc else acc)
-    t []
+    t.table []
 
+(* Only the keys actually held: releasing unheld keys would be a
+   monitor false positive (and pointless work). *)
 let release_all t ~owner =
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t [] in
-  List.iter (fun key -> release t ~key ~owner) keys
+  List.iter (fun key -> release t ~key ~owner) (owned t ~owner)
 
 let held t ~key = holders t ~key <> []
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+  |> List.sort String.compare

@@ -10,6 +10,19 @@ type t
 
 type mode = Shared | Exclusive
 
+type event =
+  | Double_acquire of { key : string; owner : string }
+      (** An owner re-acquired a key it already holds.  Legal (the mode
+          rules still apply) but in this codebase always a discipline
+          bug: critical sections do not nest. *)
+  | Release_unheld of { key : string; owner : string }
+      (** A release by someone who holds no lock on the key — silently a
+          no-op, which is exactly why it hides bugs. *)
+
+val set_monitor : t -> (event -> unit) option -> unit
+(** Install (or clear) a discipline monitor.  Used by the opt-in
+    [Dcm.Sanitizer]; [None] by default, costing nothing. *)
+
 val create : unit -> t
 (** An empty lock table. *)
 
@@ -33,3 +46,7 @@ val holders : t -> key:string -> (string * mode) list
 
 val held : t -> key:string -> bool
 (** Whether anyone holds [key]. *)
+
+val keys : t -> string list
+(** Every key someone currently holds, sorted — for end-of-run
+    quiescence checks. *)

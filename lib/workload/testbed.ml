@@ -12,6 +12,8 @@ type t = {
   pops : (string * Pop.Pop_server.t) list;
   mailhub : Pop.Mailhub.t;
   userreg : Userreg.server;
+  sanitizer : Dcm.Sanitizer.t option;
+      (* present when MOIRA_SANITIZE=1 or create ~sanitize:true *)
 }
 
 let obs (_ : t) = Obs.default
@@ -70,7 +72,7 @@ let nfs_script host ~staged =
    service's dfgen of 0 must compare earlier than any row modtime. *)
 let epoch_1988_ms = 568_000_000_000
 
-let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 15) ?retry () =
+let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 15) ?retry ?sanitize () =
   let engine =
     Sim.Engine.create ~seed:spec.Population.seed ~start:epoch_1988_ms ()
   in
@@ -194,9 +196,36 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
   in
   dcm_ref := Some dcm;
   ignore (Dcm.Manager.schedule dcm engine ~every_min:dcm_every_min);
+
+  (* opt-in lock-discipline sanitizer: monitor the lock manager and
+     guard every managed host's durable directories *)
+  let sanitizer =
+    let enabled =
+      match sanitize with
+      | Some b -> b
+      | None -> Dcm.Sanitizer.env_enabled ()
+    in
+    if not enabled then None
+    else begin
+      let san =
+        Dcm.Sanitizer.install ~obs:Obs.default (Moira.Mdb.locks mdb)
+      in
+      let dirs = [ hesiod_dir; zephyr_acl_dir; nfs_dir; mail_dir ] in
+      let guard machine =
+        Dcm.Sanitizer.guard_host san ~machine ~dirs
+          (Netsim.Host.fs (Netsim.Net.host net machine))
+      in
+      List.iter guard
+        (List.map fst hesiods
+        @ Array.to_list built.Population.nfs_machines
+        @ [ built.Population.mail_hub ]
+        @ List.map fst zephyrs);
+      Some san
+    end
+  in
   {
     engine; net; kdc; mdb; server; glue; dcm; built; hesiods; zephyrs;
-    pops; mailhub; userreg;
+    pops; mailhub; userreg; sanitizer;
   }
 
 let client t ~src = Moira.Mr_client.create t.net ~src

@@ -18,6 +18,8 @@ type t = {
   pops : (string * Pop.Pop_server.t) list;
   mailhub : Pop.Mailhub.t;
   userreg : Userreg.server;
+  sanitizer : Dcm.Sanitizer.t option;
+      (** The lock-discipline sanitizer, when enabled (see {!create}). *)
 }
 
 val epoch_1988_ms : int
@@ -29,6 +31,7 @@ val create :
   ?access_cache:bool ->
   ?dcm_every_min:int ->
   ?retry:Dcm.Manager.retry_policy ->
+  ?sanitize:bool ->
   unit ->
   t
 (** Build the world: engine + network + KDC + database, populate it
@@ -37,7 +40,10 @@ val create :
     distribution interval).  The moira server's Trigger_DCM request is
     wired to an immediate DCM run.  [retry] overrides the DCM's retry/
     backoff/quarantine policy (fault-injection tests shrink the
-    thresholds).
+    thresholds).  [sanitize] installs the lock-discipline sanitizer
+    ({!Dcm.Sanitizer}) on the lock manager and every managed host's
+    filesystem; it defaults to the [MOIRA_SANITIZE] environment
+    variable.
 
     Creation resets the global [Obs.default] registry, points its clock
     at the new engine, and wires every layer (network, Moira server,

@@ -1,0 +1,140 @@
+(* The linter's own tests: a known-bad fixture snippet per rule, the
+   matching clean variant, and the suppression machinery.  Fixtures are
+   linted in memory under a lib/ path so every rule (including
+   schema-ref, which is scoped to lib/ and bin/) applies. *)
+
+let lib_file = "lib/moira/q_fixture.ml"
+
+(* Build an allow comment without this test file ever containing the
+   literal marker (the scanner is line-based and would otherwise read
+   the fixture text inside this very file). *)
+let allow rule reason = "(*" ^ " lint: allow " ^ rule ^ " -- " ^ reason ^ " *)"
+
+let rules_of ?(file = lib_file) src =
+  List.map (fun v -> v.Lint.v_rule) (Lint.lint_source ~file src)
+
+let check_rules what expected src =
+  Alcotest.(check (list string)) what expected (rules_of src)
+
+let test_wall_clock () =
+  check_rules "gettimeofday flagged" [ "wall-clock" ]
+    "let t = Unix.gettimeofday ()";
+  check_rules "Sys.time flagged" [ "wall-clock" ] "let t = Sys.time ()";
+  check_rules "Unix.time flagged" [ "wall-clock" ] "let t = Unix.time ()";
+  check_rules "engine clock clean" [] "let t = Sim.Engine.clock engine";
+  (* the built-in per-file allowlist: bench timing is legitimate *)
+  Alcotest.(check (list string))
+    "bench/main.ml allowlisted" []
+    (rules_of ~file:"bench/main.ml" "let t = Unix.gettimeofday ()")
+
+let test_global_random () =
+  check_rules "self_init flagged" [ "global-random" ]
+    "let () = Random.self_init ()";
+  check_rules "Random.int flagged" [ "global-random" ]
+    "let n = Random.int 5";
+  check_rules "Sim.Rng clean" [] "let n = Sim.Rng.int rng 5"
+
+let test_obj_magic () =
+  check_rules "Obj.magic flagged" [ "obj-magic" ] "let y = Obj.magic x";
+  check_rules "Obj.repr not flagged" [] "let y = Obj.repr x"
+
+let test_swallow_exn () =
+  check_rules "wildcard handler flagged" [ "swallow-exn" ]
+    "let v = try f () with _ -> 0";
+  check_rules "named wildcard flagged" [ "swallow-exn" ]
+    "let v = try f () with _e -> 0";
+  check_rules "typed handler clean" []
+    "let v = try f () with Not_found -> 0";
+  check_rules "bound exception clean" []
+    "let v = try f () with e -> log e; 0"
+
+let test_unsorted_fold () =
+  check_rules "fold into concat flagged" [ "unsorted-fold" ]
+    "let s = String.concat \",\" (Hashtbl.fold (fun k _ a -> k :: a) h [])";
+  check_rules "sorted fold clean" []
+    "let s =\n\
+    \  String.concat \",\"\n\
+    \    (List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) h []))";
+  check_rules "iter into printf flagged" [ "unsorted-fold" ]
+    "let () = Printf.printf \"%s\" (Hashtbl.fold (fun k _ a -> a ^ k) h \"\")";
+  check_rules "fold not reaching output clean" []
+    "let n = Hashtbl.fold (fun _ v a -> a + v) h 0"
+
+let test_lock_protect () =
+  check_rules "bare acquire flagged" [ "lock-protect" ]
+    "let f l = ignore (Lock.acquire l ~key:\"k\" ~owner:\"o\" Lock.Exclusive)";
+  check_rules "protected acquire clean" []
+    "let f l =\n\
+    \  if Lock.acquire l ~key:\"k\" ~owner:\"o\" Lock.Exclusive then\n\
+    \    Fun.protect\n\
+    \      ~finally:(fun () -> Lock.release l ~key:\"k\" ~owner:\"o\")\n\
+    \      run"
+
+let test_schema_ref () =
+  check_rules "unknown column flagged" [ "schema-ref" ]
+    "let p = Pred.eq_str \"nosuch_column\" \"v\"";
+  check_rules "known column clean" [] "let p = Pred.eq_str \"login\" \"v\"";
+  check_rules "computed column skipped" []
+    "let p = Pred.eq_str (prefix ^ \"_type\") \"LIST\"";
+  check_rules "unknown table flagged" [ "schema-ref" ]
+    "let t = Mdb.table mdb \"nosuch_table\"";
+  check_rules "known table clean" [] "let t = Mdb.table mdb \"users\"";
+  check_rules "watch column flagged" [ "schema-ref" ]
+    "let w = Gen.watch ~columns:[ \"nosuch\" ] \"users\"";
+  (* tests may build ad-hoc relations: the rule is scoped out there *)
+  Alcotest.(check (list string))
+    "schema-ref off under test/" []
+    (rules_of ~file:"test/test_fixture.ml" "let p = Pred.eq_str \"k\" \"v\"")
+
+let test_suppression () =
+  Alcotest.(check (list string))
+    "eol annotation suppresses" []
+    (rules_of
+       ("let t = Unix.gettimeofday ()  "
+       ^ allow "wall-clock" "fixture needs real time"));
+  Alcotest.(check (list string))
+    "solo line above suppresses" []
+    (rules_of
+       (allow "wall-clock" "fixture needs real time"
+       ^ "\nlet t = Unix.gettimeofday ()"));
+  Alcotest.(check (list string))
+    "annotation for another rule does not suppress"
+    [ "unused-allow"; "wall-clock" ]
+    (rules_of
+       ("let t = Unix.gettimeofday ()  " ^ allow "obj-magic" "wrong rule"))
+
+let test_allow_hygiene () =
+  Alcotest.(check (list string))
+    "stale annotation reported" [ "unused-allow" ]
+    (rules_of (allow "wall-clock" "nothing here anymore" ^ "\nlet x = 1"));
+  Alcotest.(check (list string))
+    "missing reason rejected" [ "bad-allow"; "wall-clock" ]
+    (rules_of
+       ("let t = Unix.gettimeofday ()  " ^ "(*" ^ " lint: allow wall-clock *)"));
+  Alcotest.(check (list string))
+    "unknown rule rejected" [ "bad-allow"; "wall-clock" ]
+    (rules_of
+       ("let t = Unix.gettimeofday ()  " ^ allow "no-such-rule" "why"))
+
+let test_repo_is_clean () =
+  (* the acceptance criterion, run from the repo root by dune *)
+  let files = List.concat_map Lint.files_under [ "../lib"; "../bin" ] in
+  Alcotest.(check bool) "some files found" true (List.length files > 50);
+  let violations = List.concat_map Lint.lint_file files in
+  Alcotest.(check (list string))
+    "lib/ and bin/ lint clean" []
+    (List.map Lint.pp_violation violations)
+
+let suite =
+  [
+    Alcotest.test_case "wall-clock" `Quick test_wall_clock;
+    Alcotest.test_case "global-random" `Quick test_global_random;
+    Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+    Alcotest.test_case "swallow-exn" `Quick test_swallow_exn;
+    Alcotest.test_case "unsorted-fold" `Quick test_unsorted_fold;
+    Alcotest.test_case "lock-protect" `Quick test_lock_protect;
+    Alcotest.test_case "schema-ref" `Quick test_schema_ref;
+    Alcotest.test_case "suppression" `Quick test_suppression;
+    Alcotest.test_case "allow hygiene" `Quick test_allow_hygiene;
+    Alcotest.test_case "repo lib+bin clean" `Quick test_repo_is_clean;
+  ]

@@ -1,0 +1,107 @@
+(* The runtime lock-discipline sanitizer: each violation class caught in
+   isolation, and the real DCM cycle certified clean under it. *)
+
+open Relation
+
+let fresh () =
+  let obs = Obs.create () in
+  let locks = Lock.create () in
+  let san = Dcm.Sanitizer.install ~obs locks in
+  (obs, locks, san)
+
+let counter obs name = Option.value ~default:0 (Obs.find_counter obs name)
+
+let test_double_acquire () =
+  let obs, locks, san = fresh () in
+  (* lint: allow lock-protect -- deliberately double-acquiring to trip the sanitizer *)
+  ignore (Lock.acquire locks ~key:"service:TEST" ~owner:"dcm" Lock.Exclusive);
+  (* lint: allow lock-protect -- deliberately double-acquiring to trip the sanitizer *)
+  ignore (Lock.acquire locks ~key:"service:TEST" ~owner:"dcm" Lock.Exclusive);
+  Alcotest.(check int)
+    "double_acquire counted" 1
+    (counter obs "sanitizer.double_acquire");
+  Lock.release locks ~key:"service:TEST" ~owner:"dcm";
+  Alcotest.(check int) "one violation" 1 (Dcm.Sanitizer.violations san)
+
+let test_release_unheld () =
+  let obs, locks, san = fresh () in
+  Lock.release locks ~key:"service:TEST" ~owner:"nobody";
+  Alcotest.(check int)
+    "release_unheld counted" 1
+    (counter obs "sanitizer.release_unheld");
+  Alcotest.(check int) "one violation" 1 (Dcm.Sanitizer.violations san)
+
+let test_release_all_not_flagged () =
+  (* crash cleanup releases only owned keys: no false positive *)
+  let obs, locks, _san = fresh () in
+  (* lint: allow lock-protect -- exercising release_all as the cleanup path *)
+  ignore (Lock.acquire locks ~key:"service:TEST" ~owner:"dcm" Lock.Exclusive);
+  Lock.release_all locks ~owner:"dcm";
+  Lock.release_all locks ~owner:"dcm";
+  Alcotest.(check int)
+    "no release_unheld" 0
+    (counter obs "sanitizer.release_unheld")
+
+let test_unlocked_write () =
+  let obs, locks, san = fresh () in
+  let fs = Netsim.Vfs.create () in
+  Dcm.Sanitizer.guard_host san ~machine:"HES-1.MIT.EDU"
+    ~dirs:[ "/etc/hesiod" ] fs;
+  (* staging is exempt: the update protocol writes there before locking *)
+  Netsim.Vfs.write fs ~path:"/tmp/incoming.tar" "x";
+  Netsim.Vfs.write fs ~path:"/etc/hesiod/cluster.db.moira_update" "x";
+  Alcotest.(check int)
+    "staging writes exempt" 0
+    (counter obs "sanitizer.unlocked_write");
+  (* a durable write without the host lock is the violation *)
+  Netsim.Vfs.write fs ~path:"/etc/hesiod/cluster.db" "x";
+  Alcotest.(check int)
+    "unlocked write counted" 1
+    (counter obs "sanitizer.unlocked_write");
+  (* the same write under the host lock is clean *)
+  ignore
+    (* lint: allow lock-protect -- minimal fixture; released three lines down *)
+    (Lock.acquire locks ~key:"host:HESIOD/HES-1.MIT.EDU" ~owner:"dcm"
+       Lock.Exclusive);
+  Netsim.Vfs.write fs ~path:"/etc/hesiod/cluster.db" "y";
+  Lock.release locks ~key:"host:HESIOD/HES-1.MIT.EDU" ~owner:"dcm";
+  Alcotest.(check int)
+    "locked write clean" 1
+    (counter obs "sanitizer.unlocked_write");
+  Alcotest.(check int) "one violation" 1 (Dcm.Sanitizer.violations san)
+
+let test_quiescent () =
+  let _obs, locks, san = fresh () in
+  ignore
+    (* lint: allow lock-protect -- the stranded lock is the point of the test *)
+    (Lock.acquire locks ~key:"service:STUCK" ~owner:"dcm" Lock.Exclusive);
+  Alcotest.(check (list string))
+    "stranded lock reported" [ "service:STUCK" ]
+    (Dcm.Sanitizer.check_quiescent san);
+  Alcotest.(check int) "one violation" 1 (Dcm.Sanitizer.violations san);
+  Lock.release locks ~key:"service:STUCK" ~owner:"dcm";
+  Alcotest.(check int)
+    "quiet once released" 1
+    (Dcm.Sanitizer.violations san)
+
+let test_dcm_cycle_clean () =
+  (* the dogfood run: a full simulated day of DCM pushes under the
+     sanitizer must produce zero violations and end quiescent *)
+  let tb = Workload.Testbed.create ~sanitize:true () in
+  let san = Option.get tb.Workload.Testbed.sanitizer in
+  Workload.Testbed.run_hours tb 24;
+  Alcotest.(check (list string))
+    "quiescent at end" []
+    (Dcm.Sanitizer.check_quiescent san);
+  Alcotest.(check int) "no violations" 0 (Dcm.Sanitizer.violations san)
+
+let suite =
+  [
+    Alcotest.test_case "double acquire" `Quick test_double_acquire;
+    Alcotest.test_case "release unheld" `Quick test_release_unheld;
+    Alcotest.test_case "release_all clean" `Quick test_release_all_not_flagged;
+    Alcotest.test_case "unlocked write" `Quick test_unlocked_write;
+    Alcotest.test_case "quiescence check" `Quick test_quiescent;
+    Alcotest.test_case "dcm cycle clean under sanitizer" `Slow
+      test_dcm_cycle_clean;
+  ]
