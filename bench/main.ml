@@ -14,6 +14,11 @@ open Workload
    produce publishable numbers. *)
 let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None
 
+(* BENCH_SCALE=1 (opt-in, manual/nightly): extend the gen/qry sweeps to
+   the 16x and 64x tiers and run the 1M-user headline.  Off by default
+   -- a 64x campus takes minutes to build on one core. *)
+let scale_tiers = (not smoke) && Sys.getenv_opt "BENCH_SCALE" <> None
+
 let line = String.make 78 '-'
 
 let header title =
@@ -112,7 +117,7 @@ let bench_table1 () =
   | Some out ->
       List.iter
         (fun (name, contents) ->
-          add "HESIOD" name (String.length contents) 1 hes_hosts)
+          add "HESIOD" name (Dcm.Sink.length contents) 1 hes_hosts)
         out.Dcm.Gen.common
   | None -> ());
   (match Dcm.Manager.last_output tb.Testbed.dcm ~service:"NFS" with
@@ -131,7 +136,7 @@ let bench_table1 () =
               let sizes =
                 Option.value (Hashtbl.find_opt by_kind kind) ~default:[]
               in
-              Hashtbl.replace by_kind kind (String.length contents :: sizes))
+              Hashtbl.replace by_kind kind (Dcm.Sink.length contents :: sizes))
             files)
         out.Dcm.Gen.per_host;
       Hashtbl.iter
@@ -147,13 +152,13 @@ let bench_table1 () =
       List.iter
         (fun (name, contents) ->
           if name = "aliases" then
-            add "MAIL" "/usr/lib/aliases" (String.length contents) 1 1)
+            add "MAIL" "/usr/lib/aliases" (Dcm.Sink.length contents) 1 1)
         out.Dcm.Gen.common
   | None -> ());
   (match Dcm.Manager.last_output tb.Testbed.dcm ~service:"ZEPHYR" with
   | Some out ->
       let sizes =
-        List.map (fun (_, c) -> String.length c) out.Dcm.Gen.common
+        List.map (fun (_, c) -> Dcm.Sink.length c) out.Dcm.Gen.common
       in
       add "ZEPHYR" "class.acl" (mean sizes) (List.length sizes)
         (List.length sizes * zep_hosts)
@@ -559,7 +564,7 @@ let bench_clusterdb () =
       List.assoc_opt "cluster.db"
         (Dcm.Gen_hesiod.generator.Dcm.Gen.generate glue).Dcm.Gen.common
     with
-    | Some c -> String.length c
+    | Some c -> Dcm.Sink.length c
     | None -> 0
   in
   (* the naive alternative: no CNAMEs; every machine carries UNSPECA
@@ -615,7 +620,7 @@ let bench_scale () =
       let gen_t = Unix.gettimeofday () -. t0 in
       let passwd =
         match List.assoc_opt "passwd.db" out.Dcm.Gen.common with
-        | Some c -> String.length c
+        | Some c -> Dcm.Sink.length c
         | None -> 0
       in
       Moira.Mdb.sync_tblstats tb.Testbed.mdb;
@@ -671,6 +676,47 @@ let time_ms f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* -- memory accounting for the scale tiers: GC heap high-water and
+      allocation counters ([Gc.quick_stat] reads counters, no heap
+      walk), plus the kernel's peak-RSS for the whole process -- *)
+
+let peak_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
+
+(* cumulative words ever allocated; subtract two readings to get the
+   allocation of the region between them *)
+let allocated_words () =
+  let st = Gc.quick_stat () in
+  st.Gc.minor_words +. st.Gc.major_words -. st.Gc.promoted_words
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan acc =
+        match input_line ic with
+        | exception End_of_file -> acc
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              scan
+                (try
+                   Scanf.sscanf
+                     (String.sub line 6 (String.length line - 6))
+                     " %d" (fun kb -> kb)
+                 with Scanf.Scan_failure _ | Failure _ | End_of_file -> acc)
+            else scan acc
+      in
+      let kb = scan 0 in
+      close_in ic;
+      kb
+
+let mem_fields () =
+  [
+    ("peak_heap_words", I (peak_heap_words ()));
+    ("peak_rss_kb", I (peak_rss_kb ()));
+    ("intern_distinct", I Relation.Intern.stats.Relation.Intern.distinct);
+    ("intern_bytes", I Relation.Intern.stats.Relation.Intern.bytes);
+  ]
 
 let part_of gen name =
   List.find (fun p -> p.Dcm.Gen.pname = name) gen.Dcm.Gen.parts
@@ -763,8 +809,9 @@ let naive_aliases mdb =
         | None -> ()
       end)
     (Table.select (Moira.Mdb.table mdb "users") (Pred.eq_int "status" 1));
-  Buffer.add_string buf (Dcm.Gen_util.sorted_lines !pobox_lines);
-  ("aliases", Buffer.contents buf)
+  Buffer.add_string buf
+    (Dcm.Sink.to_string (Dcm.Gen_util.sorted_lines !pobox_lines));
+  ("aliases", Dcm.Sink.of_string (Buffer.contents buf))
 
 let hesiod_report report =
   List.find
@@ -840,8 +887,11 @@ let bench_gen () =
     best_of ~prep:touch_user (rounds 9) (fun () -> ali_part.Dcm.Gen.pbuild glue)
   in
   let file out name = List.assoc name out.Dcm.Gen.common in
+  (* chunk-layout-agnostic byte comparison: the closure path streams
+     while the naive path materializes *)
   let identical =
-    file c_grp_out "grplist.db" = n_grp_out && file c_ali_out "aliases" = n_ali_out
+    Dcm.Sink.equal (file c_grp_out "grplist.db") n_grp_out
+    && Dcm.Sink.equal (file c_ali_out "aliases") n_ali_out
   in
   let speedup = (n_grp +. n_ali) /. (c_grp +. c_ali) in
   let speedup_cold = (n_grp +. n_ali) /. (c_grp +. c_ali +. t_closure) in
@@ -898,9 +948,11 @@ let bench_gen () =
          gets a full-archive push *)
       Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
       let packs0 = full_packs () in
+      let alloc0 = allocated_words () in
       let (full_report, full_ms) =
         time_ms (fun () -> Dcm.Manager.run tb.Testbed.dcm)
       in
+      let alloc_full = allocated_words () -. alloc0 in
       let packs_first = full_packs () - packs0 in
       let hes_full = hesiod_report full_report in
       let full_bytes = Option.value (first_updated_bytes hes_full) ~default:0 in
@@ -914,9 +966,11 @@ let bench_gen () =
       | Error c -> failwith (Comerr.Com_err.error_message c));
       Sim.Engine.advance tb.Testbed.engine (7 * 3600 * 1000);
       let packs1 = full_packs () in
+      let alloc1 = allocated_words () in
       let (incr_report, incr_ms) =
         time_ms (fun () -> Dcm.Manager.run tb.Testbed.dcm)
       in
+      let alloc_incr = allocated_words () -. alloc1 in
       let packs_incr = full_packs () - packs1 in
       let hes_incr = hesiod_report incr_report in
       let delta_bytes =
@@ -928,7 +982,7 @@ let bench_gen () =
         (String.concat "," hes_incr.Dcm.Manager.rebuilt)
         hes_incr.Dcm.Manager.spliced;
       json_add (Printf.sprintf "gen_%.0fx" scale)
-        [
+        ([
           ("users", I users);
           ("full_gen_ms", F full_ms);
           ("incremental_gen_ms", F incr_ms);
@@ -942,11 +996,67 @@ let bench_gen () =
           ("client_full_packs_incremental", I packs_incr);
           ("rebuilt", L hes_incr.Dcm.Manager.rebuilt);
           ("spliced", I hes_incr.Dcm.Manager.spliced);
-        ])
-    (if smoke then [ base_scale ] else [ 1.0; 2.0; 4.0 ]);
+          ("alloc_words_full_cycle", F alloc_full);
+          ("alloc_words_incremental_cycle", F alloc_incr);
+        ]
+        @ mem_fields ()))
+    (if smoke then [ base_scale ]
+     else if scale_tiers then [ 1.0; 2.0; 4.0; 16.0; 64.0 ]
+     else [ 1.0; 2.0; 4.0 ]);
   Printf.printf
     "\n(a single-user change rebuilds only the parts watching the users\n\
     \ relation and ships member deltas: well under 10%% of the archive)\n";
+
+  (* -- part C: the 1M-user headline.  The push fleet is exercised at
+        16x/64x above; at 1M the question is whether the database and
+        the generators fit and stream, so this run stops after
+        generation: build + hesiod extraction + memory accounting. -- *)
+  if scale_tiers then begin
+    Printf.printf "\nbuilding the 1M-user campus (headline run)...\n%!";
+    let spec =
+      {
+        (Population.scaled Population.default 100.) with
+        Population.users = 1_000_000;
+      }
+    in
+    let tb, build_ms =
+      time_ms (fun () -> Testbed.create ~spec ~dcm_every_min:1_000_000 ())
+    in
+    let users =
+      Relation.Table.cardinal (Moira.Mdb.table tb.Testbed.mdb "users")
+    in
+    let alloc0 = allocated_words () in
+    let out, gen_ms =
+      time_ms (fun () ->
+          Dcm.Gen_hesiod.generator.Dcm.Gen.generate tb.Testbed.glue)
+    in
+    let gen_alloc = allocated_words () -. alloc0 in
+    let bytes =
+      List.fold_left
+        (fun acc (_, d) -> acc + Dcm.Sink.length d)
+        0 out.Dcm.Gen.common
+    in
+    let st = Relation.Intern.stats in
+    Printf.printf
+      "1M headline: %d users; build %.1f s, hesiod gen %.1f s (%d bytes)\n\
+       peak heap %d Mwords, peak RSS %d MB, gen alloc %.0f Mwords\n\
+       intern pool: %d distinct strings, %d KB\n%!"
+      users (build_ms /. 1000.) (gen_ms /. 1000.) bytes
+      (peak_heap_words () / 1_000_000)
+      (peak_rss_kb () / 1024)
+      (gen_alloc /. 1_000_000.)
+      st.Relation.Intern.distinct
+      (st.Relation.Intern.bytes / 1024);
+    json_add "scale_1m"
+      ([
+         ("users", I users);
+         ("build_ms", F build_ms);
+         ("hesiod_gen_ms", F gen_ms);
+         ("hesiod_bytes", I bytes);
+         ("gen_alloc_words", F gen_alloc);
+       ]
+      @ mem_fields ())
+  end;
   json_write "BENCH_dcm.json"
 
 (* ------------------------------------------------------------------ *)
@@ -968,7 +1078,11 @@ let bench_qry () =
   header
     "qry: compiled plans + plan cache vs naive predicate evaluation\n\
      (BENCH_query.json)";
-  let scales = if smoke then [ 0.2 ] else [ 1.0; 2.0; 4.0 ] in
+  let scales =
+    if smoke then [ 0.2 ]
+    else if scale_tiers then [ 1.0; 2.0; 4.0; 16.0; 64.0 ]
+    else [ 1.0; 2.0; 4.0 ]
+  in
   let rounds = if smoke then 2 else 5 in
   (* per-op real time: calibrate an iteration count off one run, then
      take the best of [rounds] timed loops *)
@@ -1092,14 +1206,15 @@ let bench_qry () =
          cache-reset %.2f us/op\n%!"
         warm_us (1_000_000. /. warm_us) cold_us;
       json_add (Printf.sprintf "qry_dispatch_%gx" scale)
-        [
-          ("scale", F scale);
-          ("users", I n_users);
-          ("query", S "get_user_by_login");
-          ("warm_cache_us", F warm_us);
-          ("warm_cache_qps", F (1_000_000. /. warm_us));
-          ("cache_reset_us", F cold_us);
-        ])
+        ([
+           ("scale", F scale);
+           ("users", I n_users);
+           ("query", S "get_user_by_login");
+           ("warm_cache_us", F warm_us);
+           ("warm_cache_qps", F (1_000_000. /. warm_us));
+           ("cache_reset_us", F cold_us);
+         ]
+        @ mem_fields ()))
     scales;
   json_write "BENCH_query.json"
 

@@ -4,6 +4,18 @@
 val adler32 : string -> int
 (** The Adler-32 checksum of a string. *)
 
+val adler32_doc : Sink.doc -> int
+(** The checksum of a chunked document, streamed — equals
+    [adler32 (Sink.to_string d)] without the materialization.  Memoized
+    on the doc ({!Sink.checksum_memo}): the first call scans the bytes,
+    later calls are O(1). *)
+
+val combine : int -> int -> int -> int
+(** [combine cx cy len_y] is the checksum of the concatenation [x ^ y]
+    given [cx = adler32 x], [cy = adler32 y], and [len_y], in O(1).
+    Lets an archive over memoized members be checksummed in time
+    proportional to the member count, not the byte count. *)
+
 val to_hex : int -> string
 (** Render as 8 hex digits. *)
 
@@ -20,6 +32,19 @@ type stream
 
 val stream_start : unit -> stream
 val stream_feed : stream -> string -> unit
+
+val stream_feed_doc : stream -> Sink.doc -> unit
+(** Feed a chunked document chunk by chunk. *)
+
+val stream_absorb : stream -> int -> len:int -> unit
+(** [stream_absorb st v ~len] folds a segment whose checksum [v] and
+    length [len] are already known into the stream via {!combine} —
+    as if the bytes had been fed, in O(1). *)
+
+val stream_absorb_doc : stream -> Sink.doc -> unit
+(** As {!stream_feed_doc}, but O(1) when the doc's checksum is already
+    memoized (computing and memoizing it otherwise) — the doc's value
+    folds in via {!combine} instead of a byte scan. *)
 
 val stream_value : stream -> int
 (** The checksum of everything fed so far (the stream stays usable). *)

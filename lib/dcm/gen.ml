@@ -6,14 +6,17 @@ type watch = {
 }
 
 type output = {
-  common : (string * string) list;
-  per_host : (string * (string * string) list) list;
+  common : (string * Sink.doc) list;
+  per_host : (string * (string * Sink.doc) list) list;
 }
+
+type pstate = ..
 
 type part = {
   pname : string;
   pwatches : watch list;
   pbuild : Moira.Glue.t -> output;
+  pincr : (Moira.Glue.t -> pstate option -> output * pstate) option;
 }
 
 type t = {
@@ -25,7 +28,8 @@ type t = {
 
 let watch ?(columns = [ "modtime" ]) wtable = { wtable; wcolumns = columns }
 
-let part ~name ~watches pbuild = { pname = name; pwatches = watches; pbuild }
+let part ~name ~watches ?incr pbuild =
+  { pname = name; pwatches = watches; pbuild; pincr = incr }
 
 let merge_outputs outs =
   let common = List.concat_map (fun o -> o.common) outs in
@@ -67,11 +71,12 @@ let table_changed mdb w t0 =
   if stats.Table.del_time > t0 then true
   else if w.wcolumns = [] then stats.Table.modtime > t0
   else
-    Table.fold tbl ~init:false ~f:(fun acc _ row ->
-        acc
-        || List.exists
-             (fun col -> Value.int (Table.field tbl row col) > t0)
-             w.wcolumns)
+    (* O(1) per column: the table maintains an upper bound on every int
+       it has stored, so "does any row's modtime exceed t0?" needs no
+       scan.  The bound survives deletions, but a deletion also bumps
+       del_time (checked above), so the over-approximation only ever
+       costs a spurious idempotent rebuild. *)
+    List.exists (fun col -> Table.col_upper_bound tbl col > t0) w.wcolumns
 
 let changed_since mdb watches t0 =
   List.exists (fun w -> table_changed mdb w t0) watches
@@ -82,7 +87,7 @@ let files_for_host output ~machine =
 
 let total_bytes output =
   let sum files =
-    List.fold_left (fun acc (_, c) -> acc + String.length c) 0 files
+    List.fold_left (fun acc (_, c) -> acc + Sink.length c) 0 files
   in
   sum output.common
   + List.fold_left (fun acc (_, files) -> acc + sum files) 0 output.per_host

@@ -21,16 +21,31 @@ type watch = {
 }
 
 type output = {
-  common : (string * string) list;
-      (** Files identical on every target host (e.g. hesiod's eleven). *)
-  per_host : (string * (string * string) list) list;
+  common : (string * Sink.doc) list;
+      (** Files identical on every target host (e.g. hesiod's eleven).
+          Contents are chunked {!Sink.doc}s: generators stream into a
+          writer and nothing downstream needs the whole file as one
+          string until the wire/spool boundary. *)
+  per_host : (string * (string * Sink.doc) list) list;
       (** Machine name to its private files (e.g. NFS quota files). *)
 }
+
+type pstate = ..
+(** Opaque per-part incremental state, held by the manager between
+    generations.  Each incremental part extends this with its own
+    constructor; the manager only stores and passes it back. *)
 
 type part = {
   pname : string;  (** Stable name for caching/reporting, e.g. "grplist". *)
   pwatches : watch list;  (** Change-detection inputs for these files. *)
   pbuild : Moira.Glue.t -> output;  (** Extraction of just these files. *)
+  pincr : (Moira.Glue.t -> pstate option -> output * pstate) option;
+      (** Incremental extraction: given the state left by the previous
+          generation (or [None] on the first), produce output that must
+          be byte-identical to [pbuild]'s, plus the successor state.
+          Implementations fall back to a full build internally whenever
+          the state can't be advanced (table cleared, change log
+          wrapped); the result is correct either way. *)
 }
 
 type t = {
@@ -48,8 +63,13 @@ val watch : ?columns:string list -> string -> watch
 (** Convenience constructor; [columns] defaults to [["modtime"]]. *)
 
 val part :
-  name:string -> watches:watch list -> (Moira.Glue.t -> output) -> part
-(** A named file-grain unit of extraction. *)
+  name:string ->
+  watches:watch list ->
+  ?incr:(Moira.Glue.t -> pstate option -> output * pstate) ->
+  (Moira.Glue.t -> output) ->
+  part
+(** A named file-grain unit of extraction; [incr] installs a row-grain
+    incremental path the manager prefers over the full build. *)
 
 val monolithic :
   service:string -> watches:watch list -> (Moira.Glue.t -> output) -> t
@@ -70,7 +90,7 @@ val changed_since : Moira.Mdb.t -> watch list -> int -> bool
     [t0], when its stats deletion time exceeds [t0], or — for empty
     [wcolumns] — when its stats modtime exceeds [t0]. *)
 
-val files_for_host : output -> machine:string -> (string * string) list
+val files_for_host : output -> machine:string -> (string * Sink.doc) list
 (** The file set one target host receives: the common files plus its
     per-host files. *)
 

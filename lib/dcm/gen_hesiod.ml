@@ -74,23 +74,25 @@ let group_files mdb =
    (every key is login ^ ".grplist"), so the file assembles in one
    pass with no final sort. *)
 let grplist_file mdb =
-  let buf = Buffer.create 262144 in
-  grplist_iter mdb (fun ~login ~own ~frags ->
-      (* [u (login ^ ".grplist") rendered] assembled piecewise *)
-      Buffer.add_string buf login;
-      Buffer.add_string buf ".grplist HS UNSPECA \"";
-      let first = ref true in
-      if own <> "" then begin
-        Buffer.add_string buf own;
-        first := false
-      end;
-      List.iter
-        (fun frag ->
-          if !first then first := false else Buffer.add_char buf ':';
-          Buffer.add_string buf frag)
-        frags;
-      Buffer.add_string buf "\"\n");
-  ("grplist.db", Buffer.contents buf)
+  let doc =
+    emit ~hint:262144 (fun w ->
+        grplist_iter mdb (fun ~login ~own ~frags ->
+            (* [u (login ^ ".grplist") rendered] assembled piecewise *)
+            Sink.add_string w login;
+            Sink.add_string w ".grplist HS UNSPECA \"";
+            let first = ref true in
+            if own <> "" then begin
+              Sink.add_string w own;
+              first := false
+            end;
+            List.iter
+              (fun frag ->
+                if !first then first := false else Sink.add_char w ':';
+                Sink.add_string w frag)
+              frags;
+            Sink.add_string w "\"\n"))
+  in
+  ("grplist.db", doc)
 
 (* cluster.db: per-cluster service data plus machine CNAMEs; machines in
    several clusters get a pseudo-cluster holding the union of the data. *)
@@ -253,6 +255,162 @@ let sloc_file mdb =
 
 let with_mdb f glue = f (Moira.Glue.mdb glue)
 
+(* ---- keyed incremental specs for the user-driven files ------------ *)
+(* passwd/pobox/grplist scale with the user population, so they get
+   row-grain incremental builders: the per-row renderers below must
+   byte-match the bulk builds above, line for line.  The remaining parts
+   are small (clusters, printers, services) and stay full-build. *)
+
+let passwd_user_lines ~rowid row ~login ~uidv ~fullname ~shell emit =
+  let pline =
+    u (login ^ ".passwd")
+      (Printf.sprintf "%s:*:%d:101:%s,,,,:/mit/%s:%s" login uidv fullname
+         login shell)
+  in
+  let uline = c (string_of_int uidv ^ ".uid") (login ^ ".passwd") in
+  ignore row;
+  emit ~rowid 0 pline (pline ^ "\n");
+  emit ~rowid 1 uline (uline ^ "\n")
+
+let passwd_spec =
+  {
+    Keyed.sk_table = "users";
+    sk_files = [| "passwd.db"; "uid.db" |];
+    sk_full =
+      (fun mdb ~emit ->
+        let utbl = users_table mdb in
+        let login = col utbl "login" and uidc = col utbl "uid" in
+        let fullname = col utbl "fullname" and shell = col utbl "shell" in
+        let status = col utbl "status" in
+        Table.iter utbl (fun rowid row ->
+            if Value.int (status row) = 1 then
+              passwd_user_lines ~rowid row
+                ~login:(Value.str (login row))
+                ~uidv:(Value.int (uidc row))
+                ~fullname:(Value.str (fullname row))
+                ~shell:(Value.str (shell row))
+                emit));
+    sk_row =
+      (fun mdb ~rowid ->
+        let utbl = users_table mdb in
+        match Table.get utbl rowid with
+        | None -> []
+        | Some row ->
+            if Value.int (Table.field utbl row "status") <> 1 then []
+            else begin
+              let acc = ref [] in
+              passwd_user_lines ~rowid row
+                ~login:(Value.str (Table.field utbl row "login"))
+                ~uidv:(Value.int (Table.field utbl row "uid"))
+                ~fullname:(Value.str (Table.field utbl row "fullname"))
+                ~shell:(Value.str (Table.field utbl row "shell"))
+                (fun ~rowid:_ fi key line -> acc := (fi, key, line) :: !acc);
+              List.rev !acc
+            end);
+    sk_deps = (fun _ -> "");
+  }
+
+let pobox_user_line mdb row ~status ~potype ~login ~pop_id =
+  ignore row;
+  if status <> 1 || potype <> "POP" then []
+  else
+    let machines =
+      id_name_map (Moira.Mdb.table mdb "machine") ~id:"mach_id" ~name:"name"
+    in
+    match name_of machines pop_id with
+    | None -> []
+    | Some machine ->
+        let line =
+          u (login ^ ".pobox") (Printf.sprintf "POP %s %s" machine login)
+        in
+        [ (0, line, line ^ "\n") ]
+
+let pobox_spec =
+  {
+    Keyed.sk_table = "users";
+    sk_files = [| "pobox.db" |];
+    sk_full =
+      (fun mdb ~emit ->
+        let utbl = users_table mdb in
+        let login = col utbl "login" and potype = col utbl "potype" in
+        let pop_id = col utbl "pop_id" and status = col utbl "status" in
+        Table.iter utbl (fun rowid row ->
+            List.iter
+              (fun (fi, key, line) -> emit ~rowid fi key line)
+              (pobox_user_line mdb row
+                 ~status:(Value.int (status row))
+                 ~potype:(Value.str (potype row))
+                 ~login:(Value.str (login row))
+                 ~pop_id:(Value.int (pop_id row)))));
+    sk_row =
+      (fun mdb ~rowid ->
+        let utbl = users_table mdb in
+        match Table.get utbl rowid with
+        | None -> []
+        | Some row ->
+            pobox_user_line mdb row
+              ~status:(Value.int (Table.field utbl row "status"))
+              ~potype:(Value.str (Table.field utbl row "potype"))
+              ~login:(Value.str (Table.field utbl row "login"))
+              ~pop_id:(Value.int (Table.field utbl row "pop_id")));
+    sk_deps =
+      (fun mdb -> fingerprint mdb [ ("machine", [ "mach_id"; "name" ]) ]);
+  }
+
+let grplist_render ~login ~own ~frags =
+  let b = Buffer.create 128 in
+  Buffer.add_string b login;
+  Buffer.add_string b ".grplist HS UNSPECA \"";
+  let first = ref true in
+  if own <> "" then begin
+    Buffer.add_string b own;
+    first := false
+  end;
+  List.iter
+    (fun frag ->
+      if !first then first := false else Buffer.add_char b ':';
+      Buffer.add_string b frag)
+    frags;
+  Buffer.add_string b "\"\n";
+  Buffer.contents b
+
+let grplist_spec =
+  {
+    Keyed.sk_table = "users";
+    sk_files = [| "grplist.db" |];
+    sk_full =
+      (fun mdb ~emit ->
+        let utbl = users_table mdb in
+        let login = col utbl "login" and status = col utbl "status" in
+        let rid = Hashtbl.create 4096 in
+        Table.iter utbl (fun rowid row ->
+            if Value.int (status row) = 1 then
+              Hashtbl.replace rid (Value.str (login row)) rowid);
+        grplist_iter mdb (fun ~login ~own ~frags ->
+            emit ~rowid:(Hashtbl.find rid login) 0 login
+              (grplist_render ~login ~own ~frags)));
+    sk_row =
+      (fun mdb ~rowid ->
+        let utbl = users_table mdb in
+        match Table.get utbl rowid with
+        | None -> []
+        | Some row ->
+            if Value.int (Table.field utbl row "status") <> 1 then []
+            else
+              let login = Value.str (Table.field utbl row "login") in
+              let users_id = Value.int (Table.field utbl row "users_id") in
+              let own, frags = group_fragments mdb ~users_id ~login in
+              if own = "" && frags = [] then []
+              else [ (0, login, grplist_render ~login ~own ~frags) ]);
+    sk_deps =
+      (fun mdb ->
+        fingerprint mdb
+          [
+            ("list", [ "gid"; "list_id"; "name"; "grouplist"; "active" ]);
+            ("members", []);
+          ]);
+  }
+
 (* One part per independently-watched slice of the eleven files; the
    union of part watches equals the old service-grain watch list, so
    service-level change detection is unchanged. *)
@@ -260,6 +418,7 @@ let parts =
   [
     Gen.part ~name:"passwd"
       ~watches:[ Gen.watch ~columns:[ "modtime"; "fmodtime" ] "users" ]
+      ~incr:(Keyed.incr passwd_spec)
       (with_mdb (fun mdb ->
            let passwd, uid = passwd_files mdb in
            common [ passwd; uid ]));
@@ -269,6 +428,7 @@ let parts =
           Gen.watch ~columns:[ "modtime"; "pmodtime" ] "users";
           Gen.watch "machine";
         ]
+      ~incr:(Keyed.incr pobox_spec)
       (with_mdb (fun mdb -> common [ pobox_file mdb ]));
     Gen.part ~name:"group"
       ~watches:[ Gen.watch "list" ]
@@ -279,6 +439,7 @@ let parts =
        "list" watch covers members-relation changes too *)
     Gen.part ~name:"grplist"
       ~watches:[ Gen.watch ~columns:[ "modtime" ] "users"; Gen.watch "list" ]
+      ~incr:(Keyed.incr grplist_spec)
       (with_mdb (fun mdb -> common [ grplist_file mdb ]));
     Gen.part ~name:"cluster"
       ~watches:[ Gen.watch "machine"; Gen.watch "cluster" ]

@@ -21,7 +21,7 @@ let aliases_file mdb =
     | "LIST" -> name_of list_names mid
     | _ -> Moira.Mdb.string_of_id mdb mid
   in
-  let buf = Buffer.create 65536 in
+  let w = Sink.create ~hint:65536 () in
   let l_maillist = col lists "maillist" in
   let l_active = col lists "active" in
   let maillists = ref [] in
@@ -42,11 +42,11 @@ let aliases_file mdb =
           let ace_id = Value.int (l_acl_id row) in
           match render_member (Value.str (l_acl_type row)) ace_id with
           | Some owner ->
-              Buffer.add_string buf "owner-";
-              Buffer.add_string buf name;
-              Buffer.add_string buf ": ";
-              Buffer.add_string buf owner;
-              Buffer.add_char buf '\n'
+              Sink.add_string w "owner-";
+              Sink.add_string w name;
+              Sink.add_string w ": ";
+              Sink.add_string w owner;
+              Sink.add_char w '\n'
           | None -> ())
       | _ -> ());
       let ms =
@@ -54,10 +54,10 @@ let aliases_file mdb =
         |> List.filter_map (fun (mtype, mid) -> render_member mtype mid)
         |> List.sort String.compare
       in
-      Buffer.add_string buf name;
-      Buffer.add_string buf ": ";
-      Buffer.add_string buf (String.concat ", " ms);
-      Buffer.add_char buf '\n')
+      Sink.add_string w name;
+      Sink.add_string w ": ";
+      Sink.add_string w (String.concat ", " ms);
+      Sink.add_char w '\n')
     maillists;
   let login = col utbl "login" in
   let potype = col utbl "potype" in
@@ -78,8 +78,8 @@ let aliases_file mdb =
               :: !pobox_lines
         | None -> ()
       end);
-  Buffer.add_string buf (sorted_lines !pobox_lines);
-  ("aliases", Buffer.contents buf)
+  Sink.add_doc w (sorted_lines !pobox_lines);
+  ("aliases", Sink.contents w)
 
 let passwd_file mdb =
   let utbl = users_table mdb in

@@ -21,8 +21,11 @@ let generate glue =
   let per_host =
     Hashtbl.fold
       (fun machine lines acc ->
-        (machine, [ ("rvddb", String.concat "" (List.sort compare lines)) ])
-        :: acc)
+        let doc =
+          Gen_util.emit (fun w ->
+              List.iter (Sink.add_string w) (List.sort compare lines))
+        in
+        (machine, [ ("rvddb", doc) ]) :: acc)
       by_machine []
   in
   { Gen.common = []; per_host }

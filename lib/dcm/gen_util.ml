@@ -42,6 +42,31 @@ let memo_key tbl cols =
       Coarse (s.Table.appends, s.Table.updates, s.Table.deletes,
               s.Table.modtime, s.Table.del_time)
 
+(* Render memo keys into a composable fingerprint string, for callers
+   (the keyed incremental builder) that need one equality-comparable
+   digest over several tables' relevant columns.  An empty column list
+   digests the table's coarse stats — for relations like members whose
+   consumers (the closure memo) key on exactly those. *)
+let fingerprint mdb specs =
+  String.concat ";"
+    (List.map
+       (fun (tname, cols) ->
+         let tbl = Moira.Mdb.table mdb tname in
+         let key =
+           if cols = [] then
+             let s = Table.stats tbl in
+             Coarse
+               ( s.Table.appends, s.Table.updates, s.Table.deletes,
+                 s.Table.modtime, s.Table.del_time )
+           else memo_key tbl cols
+         in
+         match key with
+         | Cols vs ->
+             tname ^ ":c" ^ String.concat "," (List.map string_of_int vs)
+         | Coarse (a, b, c, d, e) ->
+             Printf.sprintf "%s:s%d,%d,%d,%d,%d" tname a b c d e)
+       specs)
+
 (* id -> name projections, memoized per column versions like
    [Closure.get], so the maps survive across parts and generations until
    one of the projected columns actually changes.  Ids are allocated
@@ -216,6 +241,39 @@ let grplist_iter mdb emit =
         emit ~login ~own:owns.(i) ~frags:(List.rev frags.(i)))
     entries
 
+(* One user's grplist own/frags, replicating [grplist_iter]'s order and
+   tie-breaking EXACTLY (the keyed splicer patches single lines into a
+   bulk-built file, so "almost the same order" is not enough):
+   containing lists arrive in ascending list_id, the stable gid sort
+   yields (gid, list_id) order — the bulk iteration order — and only the
+   FIRST login-named fragment claims the own slot. *)
+let group_fragments mdb ~users_id ~login =
+  let closure = Moira.Closure.get mdb in
+  let lists_tbl = Moira.Mdb.table mdb "list" in
+  let l_name = col lists_tbl "name" and l_gid = col lists_tbl "gid" in
+  let l_grouplist = col lists_tbl "grouplist" in
+  let l_active = col lists_tbl "active" in
+  let info list_id =
+    match Moira.Lookup.list_row mdb list_id with
+    | Some row when Value.bool (l_grouplist row) && Value.bool (l_active row)
+      ->
+        Some (Value.str (l_name row), Value.int (l_gid row))
+    | _ -> None
+  in
+  let pairs =
+    Moira.Closure.containing_lists closure ~mtype:"USER" ~mid:users_id
+    |> List.filter_map info
+    |> List.stable_sort (fun (_, g1) (_, g2) -> Int.compare g1 g2)
+  in
+  let own = ref "" and frags = ref [] in
+  List.iter
+    (fun (name, gid) ->
+      let frag = name ^ ":" ^ string_of_int gid in
+      if name = login && !own = "" then own := frag
+      else frags := frag :: !frags)
+    pairs;
+  (!own, List.rev !frags)
+
 let grplist_entries mdb =
   let out = ref [] in
   grplist_iter mdb (fun ~login ~own ~frags ->
@@ -241,14 +299,21 @@ let group_pairs_naive mdb ~users_id ~login =
   |> List.filter_map group_info
   |> order_pairs ~login
 
+(* Run a builder against a fresh sink and take the finished document —
+   the streaming replacement for "build a Buffer, take its contents".
+   Peak transient memory is one chunk, not the file. *)
+let emit ?hint f =
+  let w = Sink.create ?hint () in
+  f w;
+  Sink.contents w
+
 let sorted_lines lines =
   match List.sort String.compare lines with
-  | [] -> ""
+  | [] -> Sink.empty
   | sorted ->
-      let buf = Buffer.create 4096 in
-      List.iter
-        (fun line ->
-          Buffer.add_string buf line;
-          Buffer.add_char buf '\n')
-        sorted;
-      Buffer.contents buf
+      emit (fun w ->
+          List.iter
+            (fun line ->
+              Sink.add_string w line;
+              Sink.add_char w '\n')
+            sorted)

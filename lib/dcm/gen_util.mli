@@ -18,6 +18,13 @@ val active_users :
   Relation.Table.t -> (Relation.Value.t array -> unit) -> unit
 (** Iterate the rows of a (users) table whose status is active. *)
 
+val fingerprint : Moira.Mdb.t -> (string * string list) list -> string
+(** [fingerprint mdb [(table, cols); ...]] digests the named columns'
+    change counters (or, for an empty column list, the table's coarse
+    stats) into one equality-comparable string.  The keyed incremental
+    builder uses it to detect that a part's auxiliary inputs moved and a
+    row-grain splice would be unsound. *)
+
 type groups
 (** Per-generation group-resolution context: the memoized membership
     closure plus a cache of each list's (name, gid) projection. *)
@@ -46,6 +53,13 @@ val grplist_iter :
     computed in one pass over the active group lists.  Generators emit
     straight into their output buffer from the callback. *)
 
+val group_fragments :
+  Moira.Mdb.t -> users_id:int -> login:string -> string * string list
+(** One user's [(own, frags)] rendered "name:gid" fragments, guaranteed
+    identical — order and tie-breaking included — to what
+    {!grplist_iter} emits for that user.  The keyed incremental grplist
+    builder renders single-user lines with this. *)
+
 val grplist_entries : Moira.Mdb.t -> (string * string) list
 (** {!grplist_iter} collected as (login, "name:gid[:name:gid...]")
     pairs; the form property tests compare against {!group_pairs}. *)
@@ -59,6 +73,11 @@ val id_name_map :
 val name_of : string array -> int -> string option
 (** Bounds-checked probe of an {!id_name_map} projection. *)
 
-val sorted_lines : string list -> string
+val emit : ?hint:int -> (Sink.t -> unit) -> Sink.doc
+(** [emit f] runs [f] against a fresh sink and returns the document it
+    wrote — the streaming replacement for building a [Buffer] and
+    taking its contents.  [hint] sizes the initial buffer. *)
+
+val sorted_lines : string list -> Sink.doc
 (** Join sorted lines with newlines, adding a trailing newline (empty
-    input yields the empty string). *)
+    input yields the empty document). *)

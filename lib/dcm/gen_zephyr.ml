@@ -2,13 +2,13 @@ open Relation
 
 let acl_contents mdb ~ace_type ~ace_id =
   match ace_type with
-  | "NONE" -> "*.*@*\n"
+  | "NONE" -> Sink.of_string "*.*@*\n"
   | "USER" -> (
       match Moira.Lookup.user_login mdb ace_id with
-      | Some login -> login ^ "\n"
-      | None -> "")
+      | Some login -> Sink.of_string (login ^ "\n")
+      | None -> Sink.empty)
   | "LIST" -> Gen_util.sorted_lines (Moira.Acl.expand_users mdb ~list_id:ace_id)
-  | _ -> ""
+  | _ -> Sink.empty
 
 let generate glue =
   let mdb = Moira.Glue.mdb glue in

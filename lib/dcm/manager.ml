@@ -120,6 +120,9 @@ type t = {
       (* generation n-1, kept as the patch base for delta pushes *)
   parts_cache : (string, (string * Gen.output) list) Hashtbl.t;
       (* per-part outputs of the last generation, for file-grain splicing *)
+  part_state : (string, Gen.pstate) Hashtbl.t;
+      (* persistent state of incremental part builders, keyed
+         service ^ "/" ^ part *)
   mutable history : report list;
 }
 
@@ -307,6 +310,7 @@ let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
       outputs = Hashtbl.create 7;
       prev_outputs = Hashtbl.create 7;
       parts_cache = Hashtbl.create 7;
+      part_state = Hashtbl.create 16;
       history = [];
     }
   in
@@ -317,68 +321,129 @@ let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
 let reports t = List.rev t.history
 
 (* The generated data files live on the Moira host's disk (the real
-   DCM's /u1/sms/ spool), serialized as one archive per service with
-   member names "common/<file>" and "host/<machine>/<file>".  A
-   restarted DCM recovers them from there. *)
+   DCM's /u1/sms/ spool), one file per member under a per-service
+   directory with names "common/<file>" and "host/<machine>/<file>" and
+   an [_index] listing the members in output order.  A restarted DCM
+   recovers them from there.  [store_output] writes only the members
+   whose doc is not physically the previous generation's — the part
+   splicer and the keyed incremental builders preserve doc identity for
+   unchanged files, so a steady-state cycle's spool traffic is
+   proportional to what changed, not to the campus. *)
+let spool_dir service = "/u1/sms/dcm/" ^ service ^ ".d"
+let spool_index service = spool_dir service ^ "/_index"
+
+(* Pre-member-grain spools were one packed archive; still readable. *)
 let spool_path service = "/u1/sms/dcm/" ^ service ^ ".data"
 
-let encode_output (out : Gen.output) =
-  Tarlike.pack
-    (List.map (fun (n, c) -> ("common/" ^ n, c)) out.Gen.common
-    @ List.concat_map
-        (fun (m, files) ->
-          List.map (fun (n, c) -> ("host/" ^ m ^ "/" ^ n, c)) files)
-        out.Gen.per_host)
+let members_of (out : Gen.output) =
+  List.map (fun (n, c) -> ("common/" ^ n, c)) out.Gen.common
+  @ List.concat_map
+      (fun (m, files) ->
+        List.map (fun (n, c) -> ("host/" ^ m ^ "/" ^ n, c)) files)
+      out.Gen.per_host
+
+let output_of_members members =
+  let common = ref [] and per_host = Hashtbl.create 7 in
+  List.iter
+    (fun (path, contents) ->
+      match String.split_on_char '/' path with
+      | "common" :: rest ->
+          common := (String.concat "/" rest, contents) :: !common
+      | "host" :: machine :: rest ->
+          let files =
+            Option.value (Hashtbl.find_opt per_host machine) ~default:[]
+          in
+          Hashtbl.replace per_host machine
+            ((String.concat "/" rest, contents) :: files)
+      | _ -> ())
+    members;
+  {
+    Gen.common = List.rev !common;
+    per_host =
+      Hashtbl.fold
+        (fun m files acc -> (m, List.rev files) :: acc)
+        per_host [];
+  }
 
 let decode_output archive =
   match Tarlike.unpack archive with
   | Error _ -> None
   | Ok members ->
-      let common = ref [] and per_host = Hashtbl.create 7 in
-      List.iter
-        (fun (path, contents) ->
-          match String.split_on_char '/' path with
-          | "common" :: rest ->
-              common := (String.concat "/" rest, contents) :: !common
-          | "host" :: machine :: rest ->
-              let files =
-                Option.value (Hashtbl.find_opt per_host machine) ~default:[]
-              in
-              Hashtbl.replace per_host machine
-                ((String.concat "/" rest, contents) :: files)
-          | _ -> ())
-        members;
       Some
-        {
-          Gen.common = List.rev !common;
-          per_host =
-            Hashtbl.fold
-              (fun m files acc -> (m, List.rev files) :: acc)
-              per_host [];
-        }
+        (output_of_members
+           (List.map (fun (p, c) -> (p, Sink.of_string c)) members))
 
 let moira_fs t = Netsim.Host.fs (Netsim.Net.host t.net t.moira_host)
 
 let store_output t ~service output =
-  (match Hashtbl.find_opt t.outputs service with
+  let prev = Hashtbl.find_opt t.outputs service in
+  (match prev with
   | Some old -> Hashtbl.replace t.prev_outputs service old
   | None -> ());
   Hashtbl.replace t.outputs service output;
   let fs = moira_fs t in
-  Netsim.Vfs.write fs ~path:(spool_path service) (encode_output output);
+  let dir = spool_dir service in
+  let members = members_of output in
+  (* the spool currently holds the previous generation (every store ends
+     with a flush): a member whose doc is physically the previous one is
+     already on disk byte for byte *)
+  let prev_docs = Hashtbl.create 64 in
+  (match prev with
+  | Some old ->
+      List.iter (fun (n, d) -> Hashtbl.replace prev_docs n d) (members_of old)
+  | None -> ());
+  List.iter
+    (fun (n, d) ->
+      let unchanged =
+        match Hashtbl.find_opt prev_docs n with
+        | Some pd -> pd == d
+        | None -> false
+      in
+      Hashtbl.remove prev_docs n;
+      if not unchanged then
+        Netsim.Vfs.write fs ~path:(dir ^ "/" ^ n) (Sink.to_string d))
+    members;
+  (* members gone from the output leave the spool with it *)
+  Hashtbl.iter (fun n _ -> Netsim.Vfs.remove fs ~path:(dir ^ "/" ^ n)) prev_docs;
+  Netsim.Vfs.write fs ~path:(spool_index service)
+    (String.concat "" (List.map (fun (n, _) -> n ^ "\n") members));
   Netsim.Vfs.flush fs
+
+let read_spool fs ~service =
+  let from_dir =
+    match Netsim.Vfs.read fs ~path:(spool_index service) with
+    | None -> None
+    | Some idx ->
+        let names =
+          List.filter (fun s -> s <> "") (String.split_on_char '\n' idx)
+        in
+        let rec collect acc = function
+          | [] -> Some (List.rev acc)
+          | n :: rest -> (
+              match
+                Netsim.Vfs.read fs ~path:(spool_dir service ^ "/" ^ n)
+              with
+              | Some c -> collect ((n, Sink.of_string c) :: acc) rest
+              | None -> None)
+        in
+        Option.map output_of_members (collect [] names)
+  in
+  match from_dir with
+  | Some _ as r -> r
+  | None -> (
+      (* no (or torn) directory spool: a pre-member-grain archive? *)
+      match Netsim.Vfs.read fs ~path:(spool_path service) with
+      | Some archive -> decode_output archive
+      | None -> None)
 
 let last_output t ~service =
   match Hashtbl.find_opt t.outputs service with
   | Some out -> Some out
   | None -> (
-      match Netsim.Vfs.read (moira_fs t) ~path:(spool_path service) with
-      | Some archive -> (
-          match decode_output archive with
-          | Some out ->
-              Hashtbl.replace t.outputs service out;
-              Some out
-          | None -> None)
+      match read_spool (moira_fs t) ~service with
+      | Some out ->
+          Hashtbl.replace t.outputs service out;
+          Some out
       | None -> None)
 let now_sec t = Moira.Mdb.now (mdb t)
 
@@ -471,7 +536,22 @@ let rebuild t gen ~dfgen =
             in
             match reused with
             | Some out -> (p.Gen.pname, out, false)
-            | None -> (p.Gen.pname, p.Gen.pbuild t.glue, true))
+            | None ->
+                let out =
+                  match p.Gen.pincr with
+                  | Some f ->
+                      (* incremental builder: feed it its state from the
+                         previous generation; it owns byte-identity with
+                         [pbuild] *)
+                      let skey = service ^ "/" ^ p.Gen.pname in
+                      let out, stt =
+                        f t.glue (Hashtbl.find_opt t.part_state skey)
+                      in
+                      Hashtbl.replace t.part_state skey stt;
+                      out
+                  | None -> p.Gen.pbuild t.glue
+                in
+                (p.Gen.pname, out, true))
           parts
       in
       Hashtbl.replace t.parts_cache service

@@ -1,0 +1,234 @@
+(* Chunked documents for generator output.
+
+   At 64x the HESIOD maps run to tens of megabytes; building each file
+   as one string means every generation allocates (and copies, via
+   Buffer doubling) multi-megabyte blocks just to hand them to the
+   packer, which copies them again.  A [doc] is the same bytes held as
+   an ordered list of bounded chunks: generators append through a
+   writer that flushes a small buffer every [chunk_size] bytes, and the
+   packer / checksummer / patch encoder consume the chunks in order —
+   the whole-file string exists only at the wire or spool boundary,
+   where the transport demands one. *)
+
+let chunk_size = 256 * 1024
+
+type doc = {
+  chunks : string array;  (* in order, each <= [chunk_size] except
+                             singletons adopted by [of_string] *)
+  len : int;  (* total byte length, = sum of chunk lengths *)
+  mutable memo : int;
+      (* cached whole-doc checksum, 0 = not yet computed.  The encoding
+         is owned by [Checksum]; docs just carry the slot so archives
+         over mostly-unchanged members checksum in O(changed), not
+         O(total). *)
+}
+
+let empty = { chunks = [||]; len = 0; memo = 1 (* adler32 of "" *) }
+
+let of_string s =
+  if s = "" then empty else { chunks = [| s |]; len = String.length s; memo = 0 }
+
+let length d = d.len
+let iter d f = Array.iter f d.chunks
+
+(* Structural concatenation: the result shares the operands' chunks, so
+   prefixing a one-byte tag onto a multi-megabyte doc copies nothing. *)
+let concat docs =
+  {
+    chunks = Array.concat (List.map (fun d -> d.chunks) docs);
+    len = List.fold_left (fun acc d -> acc + d.len) 0 docs;
+    memo = 0;
+  }
+
+let checksum_memo d = d.memo
+let set_checksum_memo d v = d.memo <- v
+
+let to_string d =
+  match d.chunks with
+  | [||] -> ""
+  | [| s |] -> s
+  | chunks ->
+      let b = Bytes.create d.len in
+      let pos = ref 0 in
+      Array.iter
+        (fun c ->
+          Bytes.blit_string c 0 b !pos (String.length c);
+          pos := !pos + String.length c)
+        chunks;
+      Bytes.unsafe_to_string b
+
+(* Random access for the patch encoder.  A cursor would be faster for
+   sequential scans, but prefix/suffix trims touch each byte once and
+   the chunk lookup is a short linear walk kept hot by locality. *)
+let get d i =
+  if i < 0 || i >= d.len then invalid_arg "Sink.get";
+  let rec go ci i =
+    let c = d.chunks.(ci) in
+    let n = String.length c in
+    if i < n then c.[i] else go (ci + 1) (i - n)
+  in
+  go 0 i
+
+let sub d pos len =
+  if pos < 0 || len < 0 || pos + len > d.len then invalid_arg "Sink.sub";
+  if len = 0 then ""
+  else begin
+    let b = Bytes.create len in
+    let skip = ref pos and need = ref len and w = ref 0 and ci = ref 0 in
+    while !need > 0 do
+      let c = d.chunks.(!ci) in
+      let n = String.length c in
+      if !skip >= n then skip := !skip - n
+      else begin
+        let take = min (n - !skip) !need in
+        Bytes.blit_string c !skip b !w take;
+        w := !w + take;
+        need := !need - take;
+        skip := 0
+      end;
+      incr ci
+    done;
+    Bytes.unsafe_to_string b
+  end
+
+(* Longest common prefix/suffix of two docs, compared chunk-aware so
+   identical tails of multi-megabyte files never materialize.  [get]'s
+   per-byte chunk walk restarts from chunk 0, so these keep their own
+   cursors. *)
+
+type cursor = { cdoc : doc; mutable ci : int; mutable off : int }
+
+let cursor_at d i =
+  (* position a cursor on absolute byte [i] (must be < length) *)
+  let rec go ci i =
+    let n = String.length d.chunks.(ci) in
+    if i < n then { cdoc = d; ci; off = i } else go (ci + 1) (i - n)
+  in
+  go 0 i
+
+let cursor_next cu =
+  let c = cu.cdoc.chunks.(cu.ci) in
+  let ch = c.[cu.off] in
+  if cu.off + 1 < String.length c then cu.off <- cu.off + 1
+  else begin
+    cu.ci <- cu.ci + 1;
+    cu.off <- 0
+  end;
+  ch
+
+let cursor_prev cu =
+  (* moving backwards: cursor sits ON the byte to read next *)
+  let ch = cu.cdoc.chunks.(cu.ci).[cu.off] in
+  if cu.off > 0 then cu.off <- cu.off - 1
+  else if cu.ci > 0 then begin
+    cu.ci <- cu.ci - 1;
+    cu.off <- String.length cu.cdoc.chunks.(cu.ci) - 1
+  end;
+  ch
+
+(* Both scans take a physical-equality shortcut at chunk boundaries:
+   when the two cursors sit at the edge of the SAME heap string, the
+   whole chunk matches by identity and is skipped in O(1).  Docs built
+   by splicing share unchanged chunks with their base ([concat] copies
+   no bytes), so trimming a 4 MB file whose middle changed touches only
+   the chunks around the change. *)
+
+let common_prefix a b =
+  let limit = min a.len b.len in
+  if limit = 0 then 0
+  else begin
+    let ca = cursor_at a 0 and cb = cursor_at b 0 in
+    let p = ref 0 in
+    let continue = ref true in
+    while !continue && !p < limit do
+      if
+        ca.off = 0 && cb.off = 0
+        && ca.ci < Array.length a.chunks
+        && cb.ci < Array.length b.chunks
+        && a.chunks.(ca.ci) == b.chunks.(cb.ci)
+        && !p + String.length a.chunks.(ca.ci) <= limit
+      then begin
+        p := !p + String.length a.chunks.(ca.ci);
+        ca.ci <- ca.ci + 1;
+        cb.ci <- cb.ci + 1
+      end
+      else if cursor_next ca = cursor_next cb then incr p
+      else continue := false
+    done;
+    !p
+  end
+
+let common_suffix ~limit a b =
+  let limit = min limit (min a.len b.len) in
+  if limit = 0 then 0
+  else begin
+    let ca = cursor_at a (a.len - 1) and cb = cursor_at b (b.len - 1) in
+    let s = ref 0 in
+    let continue = ref true in
+    (* backward skip: cursors sit ON the byte to read, so "at a chunk's
+       last byte" means the whole chunk is still unread.  Consuming
+       chunk 0 entirely leaves off = -1, which is safe: the skip only
+       fires under the limit, and a fully consumed doc forces [s >=
+       limit] and exits the loop before any read. *)
+    let skip_back (cu : cursor) =
+      if cu.ci > 0 then begin
+        cu.ci <- cu.ci - 1;
+        cu.off <- String.length cu.cdoc.chunks.(cu.ci) - 1
+      end
+      else cu.off <- -1
+    in
+    while !continue && !s < limit do
+      let cha = a.chunks.(ca.ci) in
+      if
+        ca.off = String.length cha - 1
+        && cb.off = String.length b.chunks.(cb.ci) - 1
+        && cha == b.chunks.(cb.ci)
+        && !s + String.length cha <= limit
+      then begin
+        s := !s + String.length cha;
+        skip_back ca;
+        skip_back cb
+      end
+      else if cursor_prev ca = cursor_prev cb then incr s
+      else continue := false
+    done;
+    !s
+  end
+
+let equal a b = a == b || (a.len = b.len && common_prefix a b = a.len)
+
+(* ------------------------------------------------------------------ *)
+(* The writer: a small buffer flushed into the chunk list as it fills.
+   Peak transient memory per file is one chunk, not the file. *)
+
+type t = {
+  buf : Buffer.t;
+  mutable rev_chunks : string list;
+  mutable flushed : int;  (* bytes already moved into [rev_chunks] *)
+}
+
+let create ?(hint = 4096) () =
+  { buf = Buffer.create (min hint chunk_size); rev_chunks = []; flushed = 0 }
+
+let flush w =
+  if Buffer.length w.buf > 0 then begin
+    w.rev_chunks <- Buffer.contents w.buf :: w.rev_chunks;
+    w.flushed <- w.flushed + Buffer.length w.buf;
+    Buffer.clear w.buf
+  end
+
+let add_string w s =
+  Buffer.add_string w.buf s;
+  if Buffer.length w.buf >= chunk_size then flush w
+
+let add_char w c =
+  Buffer.add_char w.buf c;
+  if Buffer.length w.buf >= chunk_size then flush w
+
+let add_doc w d = iter d (add_string w)
+let written w = w.flushed + Buffer.length w.buf
+
+let contents w =
+  flush w;
+  let chunks = Array.of_list (List.rev w.rev_chunks) in
+  { chunks; len = w.flushed; memo = 0 }

@@ -49,6 +49,51 @@ let checksum members =
     members;
   Checksum.stream_value st
 
+(* Doc-member variants: the generators hand the DCM (name, Sink.doc)
+   file sets, and everything short of the wire streams over the chunks.
+   [pack_docs] materializes exactly once, into a buffer pre-sized from
+   [packed_size_docs]. *)
+
+let packed_size_docs members =
+  List.fold_left
+    (fun acc (name, doc) ->
+      let nlen = String.length name and clen = Sink.length doc in
+      acc
+      + String.length (string_of_int nlen)
+      + String.length (string_of_int clen)
+      + 2 (* ' ' and '\n' *) + nlen + clen)
+    0 members
+
+let pack_docs members =
+  let buf = Buffer.create (max 4096 (packed_size_docs members)) in
+  List.iter
+    (fun (name, doc) ->
+      Buffer.add_string buf (string_of_int (String.length name));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (Sink.length doc));
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf name;
+      Sink.iter doc (Buffer.add_string buf))
+    members;
+  Buffer.contents buf
+
+let checksum_docs members =
+  let st = Checksum.stream_start () in
+  List.iter
+    (fun (name, doc) ->
+      Checksum.stream_feed st (string_of_int (String.length name));
+      Checksum.stream_feed st " ";
+      Checksum.stream_feed st (string_of_int (Sink.length doc));
+      Checksum.stream_feed st "\n";
+      Checksum.stream_feed st name;
+      (* absorb, don't feed: a member whose doc already carries a
+         memoized checksum folds in via [Checksum.combine] in O(1), so
+         re-checksumming an archive where one member changed costs one
+         member scan, not the archive *)
+      Checksum.stream_absorb_doc st doc)
+    members;
+  Checksum.stream_value st
+
 let unpack archive =
   let n = String.length archive in
   let rec go pos acc =
@@ -73,6 +118,35 @@ let unpack archive =
           | _ -> Error "tar: bad header")
   in
   go 0 []
+
+(* Unpack memo keyed on the archive string's physical identity.  The
+   spool and the update protocol pass whole archive strings around by
+   reference (Vfs stores them unflattened), so the same heap string is
+   unpacked repeatedly — once to serve the manifest, once to verify the
+   delta, once to install.  A tiny MRU of recent archives makes the
+   repeats O(1); a copy of the bytes simply misses and pays the scan. *)
+let unpack_memo : (string * (string * string) list) list ref = ref []
+let unpack_memo_cap = 8
+
+let rec memo_take n = function
+  | x :: tl when n > 0 -> x :: memo_take (n - 1) tl
+  | _ -> []
+
+let prime_unpack archive members =
+  unpack_memo :=
+    (archive, members)
+    :: memo_take (unpack_memo_cap - 1)
+         (List.filter (fun (a, _) -> a != archive) !unpack_memo)
+
+let unpack_cached archive =
+  match List.find_opt (fun (a, _) -> a == archive) !unpack_memo with
+  | Some (_, members) -> Ok members
+  | None -> (
+      match unpack archive with
+      | Error _ as e -> e
+      | Ok members ->
+          prime_unpack archive members;
+          Ok members)
 
 let member archive name =
   match unpack archive with

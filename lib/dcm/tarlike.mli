@@ -15,8 +15,32 @@ val checksum : (string * string) list -> int
     manifest/delta exchange (and the EXEC confirm, which only carries
     the checksum) without a client-side full pack. *)
 
+val pack_docs : (string * Sink.doc) list -> string
+(** As {!pack} over chunked documents — one materialization, into a
+    pre-sized buffer; the members themselves are never flattened. *)
+
+val packed_size_docs : (string * Sink.doc) list -> int
+(** As {!packed_size} over chunked documents. *)
+
+val checksum_docs : (string * Sink.doc) list -> int
+(** As {!checksum} over chunked documents: neither the members nor the
+    archive are ever materialized. *)
+
 val unpack : string -> ((string * string) list, string) result
 (** Recover the members; [Error] describes the corruption. *)
+
+val unpack_cached : string -> ((string * string) list, string) result
+(** As {!unpack}, memoized on the archive string's physical identity
+    (a small MRU).  The update protocol and the spool hand the same
+    heap string to several consumers per cycle; this makes every
+    unpack after the first O(1).  Callers must not mutate the returned
+    member list's strings (they are shared). *)
+
+val prime_unpack : string -> (string * string) list -> unit
+(** Seed the {!unpack_cached} memo: a producer that just packed
+    [members] into [archive] records the association so consumers never
+    pay the first scan.  [members] must be exactly what {!unpack} would
+    return. *)
 
 val member : string -> string -> string option
 (** [member archive name] extracts one member without unpacking the rest

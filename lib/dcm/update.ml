@@ -10,14 +10,47 @@ let op_delta = 37
 let service_name = "moira_update"
 let staged_suffix = ".moira_update"
 let last_suffix = ".last"
+let last_dir_suffix = ".last.d"
 let script_staging = "/tmp/moira_inst"
 
+(* A delta push stages the (small) delta blob itself rather than the
+   reconstructed archive: materializing the full archive string was the
+   one remaining O(archive) step on the delta path.  The marker keeps
+   the staged file self-describing for the exec/install side. *)
+let delta_marker = "MOIRA-DELTA1\n"
+
+let is_delta_staged data =
+  String.length data >= String.length delta_marker
+  && String.sub data 0 (String.length delta_marker) = delta_marker
+
+let delta_blob data =
+  String.sub data
+    (String.length delta_marker)
+    (String.length data - String.length delta_marker)
+
 type script = staged:string -> (unit, string) result
+
+(* Per-target digest of the last installed members.  [be_token] is the
+   physical string the durable base was read from — the legacy
+   [target ^ ".last"] archive, the [_index] of the member-grain
+   [target ^ ".last.d"] directory, or a just-transferred archive: Vfs
+   hands stored strings back by reference, so pointer comparisons tell
+   us the cached member list and per-member checksums are current, and
+   the manifest / delta-verify ops run in O(members + changed bytes)
+   instead of re-scanning every member every cycle. *)
+type base_entry = {
+  be_token : string;
+  be_members : (string * string * int) list;  (* name, contents, adler *)
+}
 
 type server = {
   host : Netsim.Host.t;
   token : string;
   scripts : (string, script) Hashtbl.t;
+  base_cache : (string, base_entry) Hashtbl.t;  (* keyed by target *)
+  (* delta reconstructions awaiting exec, keyed by target; validated
+     against the staged string by pointer *)
+  delta_cache : (string, string * (string * string * int) list) Hashtbl.t;
 }
 
 let reply code tuples =
@@ -25,25 +58,19 @@ let reply code tuples =
     { Gdb.Wire.rversion = Gdb.Wire.protocol_version; code; tuples }
 
 let member_cksum contents = Checksum.to_hex (Checksum.adler32 contents)
+let doc_cksum contents = Checksum.to_hex (Checksum.adler32_doc contents)
 
 (* A member delta: 'K' keep the base member verbatim, 'F' full new
    contents, 'P' patch — common prefix/suffix trim against the base
-   member, whose checksum is carried so a stale base is detected. *)
+   member, whose checksum is carried so a stale base is detected.  Both
+   sides are chunked docs and the trims compare chunk-wise, so only the
+   changed middle is ever materialized. *)
 let patch_encode ~base contents =
-  let lb = String.length base and lc = String.length contents in
-  let p = ref 0 in
-  while !p < lb && !p < lc && base.[!p] = contents.[!p] do
-    incr p
-  done;
-  let s = ref 0 in
-  while
-    !s < lb - !p && !s < lc - !p
-    && base.[lb - 1 - !s] = contents.[lc - 1 - !s]
-  do
-    incr s
-  done;
-  Printf.sprintf "P%d %d %s\n%s" !p !s (member_cksum base)
-    (String.sub contents !p (lc - !p - !s))
+  let lb = Sink.length base and lc = Sink.length contents in
+  let p = Sink.common_prefix base contents in
+  let s = Sink.common_suffix ~limit:(min lb lc - p) base contents in
+  Printf.sprintf "P%d %d %s\n%s" p s (doc_cksum base)
+    (Sink.sub contents p (lc - p - s))
 
 let patch_apply ~base enc =
   match String.index_opt enc '\n' with
@@ -94,11 +121,138 @@ let decode_delta ~base entries =
   in
   go [] entries
 
-let read_last fs target =
+(* The durable base members, without checksums.  A legacy single-file
+   [.last] archive (also how a corrupt operator-written base surfaces)
+   takes precedence; the steady state is the member-grain [.last.d]
+   directory, whose [_index] names the members. *)
+let read_base_plain fs target =
   match Netsim.Vfs.read fs ~path:(target ^ last_suffix) with
-  | None -> []
   | Some archive -> (
-      match Tarlike.unpack archive with Ok members -> members | Error _ -> [])
+      match Tarlike.unpack_cached archive with
+      | Error _ -> None
+      | Ok members -> Some (archive, members))
+  | None -> (
+      let dir = target ^ last_dir_suffix in
+      match Netsim.Vfs.read fs ~path:(dir ^ "/_index") with
+      | None -> None
+      | Some index ->
+          let names =
+            List.filter (fun s -> s <> "") (String.split_on_char '\n' index)
+          in
+          let rec read_all acc = function
+            | [] -> Some (index, List.rev acc)
+            | n :: rest -> (
+                match Netsim.Vfs.read fs ~path:(dir ^ "/" ^ n) with
+                | None -> None (* torn base: treat as absent *)
+                | Some c -> read_all ((n, c) :: acc) rest)
+          in
+          read_all [] names)
+
+let read_last_entry t fs target =
+  match read_base_plain fs target with
+  | None -> None
+  | Some (token, members) -> (
+      match Hashtbl.find_opt t.base_cache target with
+      | Some e
+        when e.be_token == token
+             && List.compare_lengths e.be_members members = 0
+             && List.for_all2
+                  (fun (n, c, _) (n', c') -> n = n' && c == c')
+                  e.be_members members ->
+          Some e
+      | _ ->
+          let e =
+            {
+              be_token = token;
+              be_members =
+                List.map (fun (n, c) -> (n, c, Checksum.adler32 c)) members;
+            }
+          in
+          Hashtbl.replace t.base_cache target e;
+          Some e)
+
+(* The adler of the archive [Tarlike.pack] would produce for these
+   members, streamed from the per-member checksums — the wire checksum
+   the DCM confirms on exec, computed in O(members). *)
+let stream_cksum member_adlers =
+  let st = Checksum.stream_start () in
+  List.iter
+    (fun (name, contents, ck) ->
+      Checksum.stream_feed st (string_of_int (String.length name));
+      Checksum.stream_feed st " ";
+      Checksum.stream_feed st (string_of_int (String.length contents));
+      Checksum.stream_feed st "\n";
+      Checksum.stream_feed st name;
+      Checksum.stream_absorb st ck ~len:(String.length contents))
+    member_adlers;
+  Checksum.to_hex (Checksum.stream_value st)
+
+(* Rebuild the member list a delta blob describes, against the durable
+   base.  Kept members share the base member's string physically, so
+   only changed members' bytes are materialized or scanned. *)
+let reconstruct t fs target blob =
+  match Tarlike.unpack blob with
+  | Error e -> Error e
+  | Ok entries -> (
+      let base_entry = read_last_entry t fs target in
+      let base =
+        match base_entry with
+        | None -> []
+        | Some e -> List.map (fun (n, c, _) -> (n, c)) e.be_members
+      in
+      let base_find name =
+        match base_entry with
+        | None -> None
+        | Some e ->
+            List.find_map
+              (fun (n, c, ck) -> if n = name then Some (c, ck) else None)
+              e.be_members
+      in
+      match decode_delta ~base entries with
+      | Error e -> Error e
+      | Ok members ->
+          Ok
+            (List.map
+               (fun (name, contents) ->
+                 let ck =
+                   match base_find name with
+                   | Some (bc, ck) when bc == contents -> ck
+                   | _ -> Checksum.adler32 contents
+                 in
+                 (name, contents, ck))
+               members))
+
+(* Advance the durable base to [member_adlers]: write only members whose
+   contents are not already the physically-identical string, drop
+   members that disappeared, refresh [_index], and retire any legacy
+   single-file archive.  O(changed members + member count). *)
+let write_base t fs target member_adlers =
+  let dir = target ^ last_dir_suffix in
+  let old_names =
+    match Netsim.Vfs.read fs ~path:(dir ^ "/_index") with
+    | None -> []
+    | Some index ->
+        List.filter (fun s -> s <> "") (String.split_on_char '\n' index)
+  in
+  let names = List.map (fun (n, _, _) -> n) member_adlers in
+  List.iter
+    (fun (n, c, _) ->
+      let path = dir ^ "/" ^ n in
+      match Netsim.Vfs.read fs ~path with
+      | Some existing when existing == c -> ()
+      | _ -> Netsim.Vfs.write fs ~path c)
+    member_adlers;
+  List.iter
+    (fun n ->
+      if not (List.mem n names) then
+        Netsim.Vfs.remove fs ~path:(dir ^ "/" ^ n))
+    old_names;
+  let index = String.concat "\n" names in
+  Netsim.Vfs.write fs ~path:(dir ^ "/_index") index;
+  if Netsim.Vfs.exists fs ~path:(target ^ last_suffix) then
+    Netsim.Vfs.remove fs ~path:(target ^ last_suffix);
+  Hashtbl.replace t.base_cache target
+    { be_token = index; be_members = member_adlers }
 
 let handle t payload =
   match Gdb.Wire.decode_request payload with
@@ -114,6 +268,23 @@ let handle t payload =
                   reply Moira.Mr_err.update_checksum []
                 else begin
                   Netsim.Vfs.write fs ~path:(target ^ staged_suffix) data;
+                  (* digest the archive now, while the full transfer is
+                     already paying O(archive): the first manifest or
+                     delta after the install then validates the cache by
+                     pointer instead of re-scanning the archive inside
+                     an incremental cycle *)
+                  (match Tarlike.unpack data with
+                  | Error _ -> ()
+                  | Ok members ->
+                      Tarlike.prime_unpack data members;
+                      Hashtbl.replace t.base_cache target
+                        {
+                          be_token = data;
+                          be_members =
+                            List.map
+                              (fun (n, c) -> (n, c, Checksum.adler32 c))
+                              members;
+                        });
                   Netsim.Host.maybe_crash t.host ~point:"xfer";
                   reply 0 []
                 end
@@ -124,34 +295,40 @@ let handle t payload =
                DCM can send only what changed *)
             match args with
             | [ target ] ->
+                let members =
+                  match read_last_entry t fs target with
+                  | None -> []
+                  | Some e -> e.be_members
+                in
                 reply 0
                   (List.map
-                     (fun (name, contents) -> [ name; member_cksum contents ])
-                     (read_last fs target))
+                     (fun (name, _, ck) -> [ name; Checksum.to_hex ck ])
+                     members)
             | _ -> reply Moira.Mr_err.args []
           end
           else if req.op = op_delta then begin
-            (* reconstruct the full archive from the last installed one
-               plus member deltas; from here on the protocol is identical
-               to a full transfer *)
+            (* verify the member delta against the durable base, then
+               stage the blob itself: the full archive is never
+               materialized on the delta path — the reconstruction is
+               a member list whose kept entries share the base's
+               strings *)
             match args with
             | [ target; blob; cksum ] -> (
-                match Tarlike.unpack blob with
+                match reconstruct t fs target blob with
                 | Error e -> reply Moira.Mr_err.update_checksum [ [ e ] ]
-                | Ok entries -> (
-                    match decode_delta ~base:(read_last fs target) entries with
-                    | Error e -> reply Moira.Mr_err.update_checksum [ [ e ] ]
-                    | Ok members ->
-                        let archive = Tarlike.pack members in
-                        if not (Checksum.verify ~data:archive ~checksum:cksum)
-                        then reply Moira.Mr_err.update_checksum []
-                        else begin
-                          Netsim.Vfs.write fs
-                            ~path:(target ^ staged_suffix)
-                            archive;
-                          Netsim.Host.maybe_crash t.host ~point:"xfer";
-                          reply 0 []
-                        end))
+                | Ok member_adlers ->
+                    if stream_cksum member_adlers <> cksum then
+                      reply Moira.Mr_err.update_checksum []
+                    else begin
+                      let sdata = delta_marker ^ blob in
+                      Hashtbl.replace t.delta_cache target
+                        (sdata, member_adlers);
+                      Netsim.Vfs.write fs
+                        ~path:(target ^ staged_suffix)
+                        sdata;
+                      Netsim.Host.maybe_crash t.host ~point:"xfer";
+                      reply 0 []
+                    end)
             | _ -> reply Moira.Mr_err.args []
           end
           else if req.op = op_script then begin
@@ -180,17 +357,15 @@ let handle t payload =
               in
               let already_installed =
                 (* A repeated exec whose predecessor ran but whose reply
-                   was lost: the staged archive is gone and the durable
+                   was lost: the staged data is gone and the durable
                    base already matches the archive checksum the DCM is
                    confirming — acknowledge instead of re-running. *)
                 staged = None
                 && (match expected with
                    | None -> false
                    | Some cksum -> (
-                       match Netsim.Vfs.read fs ~path:(target ^ last_suffix)
-                       with
-                       | Some last ->
-                           Checksum.verify ~data:last ~checksum:cksum
+                       match read_last_entry t fs target with
+                       | Some e -> stream_cksum e.be_members = cksum
                        | None -> false))
               in
               if already_installed then reply 0 []
@@ -205,10 +380,41 @@ let handle t payload =
                         (* record what is now installed, durably, as the
                            base for future manifest/delta exchanges *)
                         (match staged with
-                        | Some archive ->
-                            Netsim.Vfs.write fs
-                              ~path:(target ^ last_suffix)
-                              archive;
+                        | Some sdata ->
+                            let member_adlers =
+                              if is_delta_staged sdata then
+                                match
+                                  Hashtbl.find_opt t.delta_cache target
+                                with
+                                | Some (s, m) when s == sdata -> Some m
+                                | _ -> (
+                                    match
+                                      reconstruct t fs target
+                                        (delta_blob sdata)
+                                    with
+                                    | Ok m -> Some m
+                                    | Error _ -> None)
+                              else
+                                (* full transfer: the xfer op primed the
+                                   cache for this archive string *)
+                                match
+                                  Hashtbl.find_opt t.base_cache target
+                                with
+                                | Some e when e.be_token == sdata ->
+                                    Some e.be_members
+                                | _ -> (
+                                    match Tarlike.unpack_cached sdata with
+                                    | Error _ -> None
+                                    | Ok members ->
+                                        Some
+                                          (List.map
+                                             (fun (n, c) ->
+                                               (n, c, Checksum.adler32 c))
+                                             members))
+                            in
+                            (match member_adlers with
+                            | Some m -> write_base t fs target m
+                            | None -> ());
                             Netsim.Vfs.flush fs
                         | None -> ());
                         Netsim.Host.maybe_crash t.host ~point:"after_exec";
@@ -226,7 +432,15 @@ let handle t payload =
       | [] -> reply Moira.Mr_err.args [])
 
 let serve ?(token = "krb") host =
-  let t = { host; token; scripts = Hashtbl.create 7 } in
+  let t =
+    {
+      host;
+      token;
+      scripts = Hashtbl.create 7;
+      base_cache = Hashtbl.create 4;
+      delta_cache = Hashtbl.create 4;
+    }
+  in
   let register h =
     Netsim.Host.register h ~service:service_name (fun ~src:_ payload ->
         handle t payload)
@@ -239,29 +453,54 @@ let serve ?(token = "krb") host =
 
 let register_script t ~name script = Hashtbl.replace t.scripts name script
 
+(* The member list a staged file describes: a full archive unpacks
+   directly; a delta blob is decoded against the durable base of the
+   target the staged path names. *)
+let members_of_staged fs ~staged data =
+  if is_delta_staged data then
+    match Filename.chop_suffix_opt ~suffix:staged_suffix staged with
+    | None -> Error ("bad staged path " ^ staged)
+    | Some target -> (
+        let base =
+          match read_base_plain fs target with
+          | None -> []
+          | Some (_, members) -> members
+        in
+        match Tarlike.unpack (delta_blob data) with
+        | Error e -> Error e
+        | Ok entries -> decode_delta ~base entries)
+  else Tarlike.unpack_cached data
+
 let install_files host ~dir ?(after = fun () -> ()) () ~staged =
   let fs = Netsim.Host.fs host in
   match Netsim.Vfs.read fs ~path:staged with
   | None -> Error ("no staged archive at " ^ staged)
-  | Some archive -> (
-      match Tarlike.unpack archive with
+  | Some data -> (
+      match members_of_staged fs ~staged data with
       | Error e -> Error e
       | Ok members ->
           (* Extract and swap one member at a time; renames are atomic
-             and same-partition, per the execution-phase rules. *)
+             and same-partition, per the execution-phase rules.  A
+             member whose live file already holds the physically
+             identical string — a kept entry of a delta push — is left
+             alone, so the install is O(changed members). *)
           List.iter
             (fun (name, contents) ->
               let live = dir ^ "/" ^ name in
-              (* keep the previous version for the revert instruction *)
-              (match Netsim.Vfs.read fs ~path:live with
-              | Some old ->
-                  Netsim.Vfs.write fs ~path:(live ^ ".moira_old") old
-              | None -> ());
-              let tmp = live ^ staged_suffix in
-              Netsim.Vfs.write fs ~path:tmp contents;
-              Netsim.Vfs.flush fs;
-              ignore (Netsim.Vfs.rename fs ~src:tmp ~dst:live);
-              Netsim.Host.maybe_crash host ~point:"mid_install")
+              match Netsim.Vfs.read fs ~path:live with
+              | Some old when old == contents -> ()
+              | old ->
+                  (* keep the previous version for the revert
+                     instruction *)
+                  (match old with
+                  | Some old ->
+                      Netsim.Vfs.write fs ~path:(live ^ ".moira_old") old
+                  | None -> ());
+                  let tmp = live ^ staged_suffix in
+                  Netsim.Vfs.write fs ~path:tmp contents;
+                  Netsim.Vfs.flush fs;
+                  ignore (Netsim.Vfs.rename fs ~src:tmp ~dst:live);
+                  Netsim.Host.maybe_crash host ~point:"mid_install")
             members;
           Netsim.Vfs.remove fs ~path:staged;
           Netsim.Vfs.flush fs;
@@ -273,8 +512,8 @@ let revert_files host ~dir ?(after = fun () -> ()) () ~staged =
   let fs = Netsim.Host.fs host in
   match Netsim.Vfs.read fs ~path:staged with
   | None -> Error ("no staged archive at " ^ staged)
-  | Some archive -> (
-      match Tarlike.unpack archive with
+  | Some data -> (
+      match members_of_staged fs ~staged data with
       | Error e -> Error e
       | Ok members ->
           List.iter
@@ -381,18 +620,19 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   Obs.with_span obs "dcm.push" ~attrs:[ ("host", dst); ("target", target) ]
   @@ fun () ->
-  (* The checksum and size stream over the members, so the delta path —
-     the common case once a host has a base — never allocates the
-     multi-megabyte archive; it is packed lazily, only when a full
-     transfer actually ships it.  [update.client.full_packs] counts the
-     materializations (the old code's "5 full passes" ROADMAP item). *)
-  let cksum = Checksum.to_hex (Tarlike.checksum files) in
-  let archive_bytes = Tarlike.packed_size files in
+  (* The checksum and size stream over the member docs, so the delta
+     path — the common case once a host has a base — never allocates the
+     multi-megabyte archive OR any whole member string; the archive is
+     packed lazily, only when a full transfer actually ships it.
+     [update.client.full_packs] counts the materializations (the old
+     code's "5 full passes" ROADMAP item). *)
+  let cksum = Checksum.to_hex (Tarlike.checksum_docs files) in
+  let archive_bytes = Tarlike.packed_size_docs files in
   let c_full_packs = Obs.Counter.make obs "update.client.full_packs" in
   let archive =
     lazy
       (Obs.Counter.incr c_full_packs;
-       Tarlike.pack files)
+       Tarlike.pack_docs files)
   in
   let full () =
     let* _ = call op_xfer [ target; Lazy.force archive; cksum ] in
@@ -414,27 +654,31 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
         if manifest = [] then full ()
         else
           let nfull = ref 0 and npatch = ref 0 and nkeep = ref 0 in
+          let full_entry contents =
+            (* shares the doc's chunks behind a one-byte tag *)
+            Sink.concat [ Sink.of_string "F"; contents ]
+          in
           let entries =
             List.map
               (fun (name, contents) ->
                 match List.assoc_opt name manifest with
-                | Some m when m = member_cksum contents ->
+                | Some m when m = doc_cksum contents ->
                     incr nkeep;
-                    (name, "K")
+                    (name, Sink.of_string "K")
                 | Some m -> (
                     match List.assoc_opt name base with
-                    | Some b when member_cksum b = m ->
+                    | Some b when doc_cksum b = m ->
                         incr npatch;
-                        (name, patch_encode ~base:b contents)
+                        (name, Sink.of_string (patch_encode ~base:b contents))
                     | _ ->
                         incr nfull;
-                        (name, "F" ^ contents))
+                        (name, full_entry contents))
                 | None ->
                     incr nfull;
-                    (name, "F" ^ contents))
+                    (name, full_entry contents))
               files
           in
-          match call op_delta [ target; Tarlike.pack entries; cksum ] with
+          match call op_delta [ target; Tarlike.pack_docs entries; cksum ] with
           | Ok _ -> Ok (!nfull, !npatch, !nkeep, true)
           | Error (Soft (code, _)) when code = Moira.Mr_err.update_checksum
             ->

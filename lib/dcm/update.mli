@@ -85,8 +85,8 @@ type push_stats = {
 
 val push :
   Netsim.Net.t -> src:string -> dst:string -> ?token:string ->
-  ?base:(string * string) list -> ?attempts:int ->
-  target:string -> files:(string * string) list -> script:string ->
+  ?base:(string * Sink.doc) list -> ?attempts:int ->
+  target:string -> files:(string * Sink.doc) list -> script:string ->
   unit -> (push_stats, failure) result
 (** Run the full protocol against host [dst]: transfer [files] to
     [target^".moira_update"] — by member deltas against the host's last

@@ -66,7 +66,12 @@ let load_files files =
 
 let lookup t key = Option.value (Smap.find_opt key t) ~default:[]
 
-let resolve t ~name ~ty =
+(* Lookup across a stack of per-file databases, in file order: the
+   concatenation equals what [merge]-ing the stack would return, without
+   ever paying the O(total keys) merge. *)
+let lookup_stacked dbs key = List.concat_map (fun t -> lookup t key) dbs
+
+let resolve_stacked dbs ~name ~ty =
   let rec go key depth =
     if depth > 8 then []
     else
@@ -74,9 +79,11 @@ let resolve t ~name ~ty =
         (function
           | Unspeca data -> [ data ]
           | Cname target -> go target (depth + 1))
-        (lookup t key)
+        (lookup_stacked dbs key)
   in
   go (name ^ "." ^ ty) 0
+
+let resolve t ~name ~ty = resolve_stacked [ t ] ~name ~ty
 
 let format_unspeca ~key data = Printf.sprintf "%s HS UNSPECA \"%s\"" key data
 let format_cname ~key target = Printf.sprintf "%s HS CNAME %s" key target

@@ -36,6 +36,15 @@ val load_files : string list -> t
 val lookup : t -> string -> record list
 (** Raw records for a key ([] if absent). *)
 
+val lookup_stacked : t list -> string -> record list
+(** Raw records for a key across a stack of databases in order: equal
+    to [lookup (load_files ...)] over the same files, without the
+    merge. *)
+
+val resolve_stacked : t list -> name:string -> ty:string -> string list
+(** {!resolve} over a stack of per-file databases (see
+    {!lookup_stacked}). *)
+
 val resolve : t -> name:string -> ty:string -> string list
 (** Hesiod resolution of [name.ty]: follow CNAME chains (bounded, cycle
     safe) and return all UNSPECA data strings, in file order. *)

@@ -5,30 +5,60 @@ let db_files =
     "uid.db";
   ]
 
+(* A restart snapshots the file contents (cheap: the simulated
+   filesystem hands strings back by reference) and defers parsing to
+   the first lookup, per file.  Files whose contents are physically the
+   string parsed last time keep their parsed form, so the steady-state
+   cost of Moira's install-script restart is parsing only the data
+   files that actually changed — the daemon's answer to the DCM's
+   member-grain delta pushes. *)
 type t = {
   host : Netsim.Host.t;
   dir : string;
-  mutable db : Hes_db.t;
+  mutable pending : string list;  (* file contents awaiting (re)parse *)
+  mutable parts : (string * Hes_db.t) list;  (* contents -> parsed db *)
+  mutable fresh : bool;  (* [parts] reflects [pending] *)
   mutable generation : int;
 }
 
 let load t =
   let fs = Netsim.Host.fs t.host in
-  let contents =
+  t.pending <-
     List.filter_map
       (fun f -> Netsim.Vfs.read fs ~path:(t.dir ^ "/" ^ f))
-      db_files
-  in
-  t.db <- Hes_db.load_files contents;
+      db_files;
+  t.fresh <- false;
   t.generation <- t.generation + 1
 
+let force t =
+  if not t.fresh then begin
+    let old = t.parts in
+    t.parts <-
+      List.map
+        (fun c ->
+          match List.find_opt (fun (c', _) -> c' == c) old with
+          | Some p -> p
+          | None -> (c, Hes_db.parse c))
+        t.pending;
+    t.fresh <- true
+  end
+
 let restart t = load t
-let resolve_local t ~name ~ty = Hes_db.resolve t.db ~name ~ty
-let loaded_keys t = Hes_db.size t.db
+
+let resolve_local t ~name ~ty =
+  force t;
+  Hes_db.resolve_stacked (List.map snd t.parts) ~name ~ty
+
+let loaded_keys t =
+  force t;
+  List.fold_left (fun n (_, db) -> n + Hes_db.size db) 0 t.parts
+
 let generation t = t.generation
 
 let start ~dir host =
-  let t = { host; dir; db = Hes_db.empty; generation = 0 } in
+  let t =
+    { host; dir; pending = []; parts = []; fresh = true; generation = 0 }
+  in
   load t;
   Netsim.Host.register host ~service:"hesiod" (fun ~src:_ payload ->
       match String.index_opt payload ' ' with

@@ -9,10 +9,13 @@
    suite feeds fixture snippets straight to {!lint_source}.
 
    Rules (ids as reported):
-   - [wall-clock]     no [Unix.gettimeofday]/[Unix.time]/[Sys.time]: sim
-                      code must read the injected engine clock, or two
-                      same-seed runs stop being byte-identical.  A short
-                      built-in allowlist covers real-time measurement
+   - [wall-clock]     no [Unix.gettimeofday]/[Unix.time]/[Sys.time], and
+                      no [Gc.quick_stat]/[Gc.stat]/[Gc.counters]
+                      measurement reads: sim code must read the injected
+                      engine clock, or two same-seed runs stop being
+                      byte-identical, and GC counters vary run-to-run
+                      the same way wall-clock does.  A short built-in
+                      allowlist covers real-time and memory measurement
                       (bench timing, athena_sim progress prints).
    - [global-random]  no global [Random] (incl. [Random.self_init]): all
                       randomness goes through the seeded [Sim.Rng].
@@ -52,7 +55,8 @@ type violation = {
 
 let rules =
   [
-    ("wall-clock", "Unix.gettimeofday/Unix.time/Sys.time outside allowlist");
+    ( "wall-clock",
+      "Unix.gettimeofday/Unix.time/Sys.time/Gc stats outside allowlist" );
     ("global-random", "global Random (use the seeded Sim.Rng)");
     ("obj-magic", "Obj.magic");
     ("swallow-exn", "try ... with _ -> discards the exception");
@@ -330,6 +334,11 @@ let check_expr ~report e =
         ->
           report e.pexp_loc "wall-clock"
             "wall-clock read; sim code must use the engine clock"
+      | [ "Gc"; "quick_stat" ] | [ "Gc"; "stat" ] | [ "Gc"; "counters" ]
+      | [ "Gc"; "allocated_bytes" ] ->
+          report e.pexp_loc "wall-clock"
+            "Gc measurement read; memory accounting lives in the bench \
+             allowlist"
       | "Random" :: _ ->
           report e.pexp_loc "global-random"
             "global Random; use the seeded Sim.Rng"

@@ -4,6 +4,14 @@ type t = {
   db : Db.t;
   journal : Journal.t;
   locks : Lock.t;
+  (* two-way mirror of the strings relation, so generator-time
+     [intern_string]/[string_of_id] are a hashtable probe instead of a
+     [Plan.select_one] round-trip per call.  [str_gen] snapshots the
+     table's modification count; any out-of-band write to the strings
+     relation (restore, direct query) bumps it and drops the mirror. *)
+  str_fwd : (string, int) Hashtbl.t;
+  str_rev : (int, string) Hashtbl.t;
+  mutable str_gen : int;
 }
 
 let create ~clock =
@@ -11,6 +19,9 @@ let create ~clock =
     db = Schema_def.create_db ~clock;
     journal = Journal.create ();
     locks = Lock.create ();
+    str_fwd = Hashtbl.create 256;
+    str_rev = Hashtbl.create 256;
+    str_gen = -1;
   }
 
 let db t = t.db
@@ -42,10 +53,29 @@ let alloc_id t hint =
       set_value t hint 100_001;
       100_000
 
+(* Monotone change count of the strings relation: bumps on every append,
+   update and delete (clear counts its rows as deletes), so a stale
+   mirror can't survive any write path. *)
+let strings_gen tbl =
+  let s = Table.stats tbl in
+  s.Table.appends + s.Table.updates + s.Table.deletes
+
+let sync_strings t =
+  let tbl = table t "strings" in
+  let gen = strings_gen tbl in
+  if t.str_gen <> gen then begin
+    Hashtbl.reset t.str_fwd;
+    Hashtbl.reset t.str_rev;
+    Table.iter tbl (fun _ row ->
+        let id = Value.int row.(0) and s = Value.str row.(1) in
+        Hashtbl.replace t.str_fwd s id;
+        Hashtbl.replace t.str_rev id s);
+    t.str_gen <- gen
+  end
+
 let find_string t s =
-  match Plan.select_one (table t "strings") (Pred.eq_str "string" s) with
-  | Some (_, row) -> Some (Value.int row.(0))
-  | None -> None
+  sync_strings t;
+  Hashtbl.find_opt t.str_fwd s
 
 let intern_string t s =
   match find_string t s with
@@ -53,12 +83,15 @@ let intern_string t s =
   | None ->
       let id = alloc_id t "string_id" in
       ignore (Table.insert (table t "strings") [| Value.Int id; Value.Str s |]);
+      (* fold the new pair into the mirror rather than rebuilding it *)
+      Hashtbl.replace t.str_fwd s id;
+      Hashtbl.replace t.str_rev id s;
+      t.str_gen <- strings_gen (table t "strings");
       id
 
 let string_of_id t id =
-  match Plan.select_one (table t "strings") (Pred.eq_int "string_id" id) with
-  | Some (_, row) -> Some (Value.str row.(1))
-  | None -> None
+  sync_strings t;
+  Hashtbl.find_opt t.str_rev id
 
 let valid_type t ~field v =
   Plan.exists (table t "alias")

@@ -13,6 +13,9 @@ type t = {
 let create () = { entries = []; hooks = [] }
 
 let append t e =
+  (* [who] and [query] cycle through a handful of distinct values over
+     thousands of entries — share them through the intern pool *)
+  let e = { e with who = Intern.share e.who; query = Intern.share e.query } in
   t.entries <- e :: t.entries;
   List.iter (fun f -> f e) t.hooks
 

@@ -29,10 +29,24 @@ type index = {
   mutable sorted : (Value.t * bucket) array;
       (* key-ordered view for range/prefix scans, rebuilt lazily *)
   mutable sorted_version : int;  (* [version] it was built at; -1 = never *)
+  dirty : (string, unit) Hashtbl.t;
+      (* keys whose buckets changed since [sorted] was built; lets the
+         next range query splice the delta into the existing array
+         instead of re-sorting all n keys.  Only tracked once a sorted
+         view exists (bulk load pays nothing). *)
+  mutable dirty_overflow : bool;
+      (* too many dirty keys to bother: next view does a full rebuild *)
   mutable folded : (string, bucket) Hashtbl.t;
       (* lowercase-keyed buckets serving case-folded equality *)
   mutable folded_version : int;
 }
+
+(* Change log: a fixed ring of recently touched rowids.  Consumers
+   (row-grain generator splicing) take a cursor, and later ask for the
+   rowids touched since; if more than [chlog_cap] events happened in
+   between the answer is None and they fall back to a full rebuild.
+   Power of two so the slot is a mask, not a mod. *)
+let chlog_cap = 8192
 
 (* Rows live in a growable array indexed by rowid (rowids are allocated
    densely, so the slot number IS the id).  Scans then walk the array in
@@ -48,6 +62,14 @@ type t = {
   indexes : index list;  (* one per indexed column *)
   stats : stats;
   clock : unit -> int;
+  col_max : int array;
+      (* per-column upper bound on every Int value ever stored; watch
+         checks compare it against their horizon instead of scanning
+         rows.  Never lowered (deleted rows keep their contribution):
+         an over-approximation only risks a spurious — idempotent —
+         rebuild, never a missed one. *)
+  chlog : int array;  (* ring of touched rowids, slot = seq land mask *)
+  mutable chlog_seq : int;  (* next sequence number to write *)
 }
 
 let next_uid = ref 0
@@ -64,6 +86,8 @@ let create ?(indexed = []) ~clock schema =
           version = 0;
           sorted = [||];
           sorted_version = -1;
+          dirty = Hashtbl.create 0;
+          dirty_overflow = false;
           folded = Hashtbl.create 0;
           folded_version = -1;
         })
@@ -79,6 +103,9 @@ let create ?(indexed = []) ~clock schema =
     indexes;
     stats = { appends = 0; updates = 0; deletes = 0; modtime = 0; del_time = 0 };
     clock;
+    col_max = Array.make (Array.length (Schema.columns schema)) min_int;
+    chlog = Array.make chlog_cap 0;
+    chlog_seq = 0;
   }
 
 let schema t = t.schema
@@ -88,37 +115,113 @@ let row_of t id = if id >= 0 && id < t.next_id then t.rows.(id) else None
 
 let key_of v = Value.to_string v
 
+(* Delta tracking for the sorted view: a small bounded set of keys whose
+   buckets moved since the view was last built.  Past [dirty_limit]
+   distinct keys a merge would approach a rebuild anyway, so we drop the
+   set and flag a full rebuild.  Nothing is tracked before the first
+   build ([sorted_version = -1]): bulk loads pay zero. *)
+let dirty_limit = 4096
+
+let note_dirty ix k =
+  if ix.sorted_version >= 0 && not ix.dirty_overflow
+     && not (Hashtbl.mem ix.dirty k)
+  then
+    if Hashtbl.length ix.dirty >= dirty_limit then begin
+      ix.dirty_overflow <- true;
+      Hashtbl.reset ix.dirty
+    end
+    else Hashtbl.replace ix.dirty k ()
+
 let bucket_add ix k id =
   let b = Option.value (Hashtbl.find_opt ix.buckets k) ~default:empty_bucket in
   let bset = Int_set.add id b.bset in
   (* stdlib sets return the argument physically when unchanged, so the
      tracked size cannot drift even on redundant adds *)
-  if bset != b.bset then
-    Hashtbl.replace ix.buckets k { bset; bsize = b.bsize + 1 }
+  if bset != b.bset then begin
+    Hashtbl.replace ix.buckets k { bset; bsize = b.bsize + 1 };
+    note_dirty ix k
+  end
 
 let bucket_remove ix k id =
   match Hashtbl.find_opt ix.buckets k with
   | None -> ()
   | Some b ->
       let bset = Int_set.remove id b.bset in
-      if bset != b.bset then
+      if bset != b.bset then begin
         if Int_set.is_empty bset then Hashtbl.remove ix.buckets k
-        else Hashtbl.replace ix.buckets k { bset; bsize = b.bsize - 1 }
+        else Hashtbl.replace ix.buckets k { bset; bsize = b.bsize - 1 };
+        note_dirty ix k
+      end
 
 (* Lazy derived views, keyed on the index version.  [clear]/restore need
    no special-casing: they bump [version], which invalidates both. *)
 
+let sorted_rebuilds = Obs.Counter.make Obs.default "table.sorted.rebuild"
+let sorted_merges = Obs.Counter.make Obs.default "table.sorted.merge"
+
+let rebuild_sorted ix =
+  Obs.Counter.incr sorted_rebuilds;
+  let acc =
+    Hashtbl.fold
+      (fun k b l -> (Value.of_string ix.ctype k, b) :: l)
+      ix.buckets []
+  in
+  let a = Array.of_list acc in
+  Array.sort (fun (u, _) (v, _) -> Value.compare u v) a;
+  ix.sorted <- a
+
+(* Splice the dirty keys into the existing key-ordered array:
+   O(n + k log k) instead of the O(n log n) full re-sort.  The old array
+   snapshots immutable bucket records, so entries for untouched keys are
+   still current; every dirty key is refreshed from the live hashtable
+   (absent = the key emptied out and its entry is dropped). *)
+let merge_sorted ix =
+  Obs.Counter.incr sorted_merges;
+  let d =
+    Array.of_list
+      (Hashtbl.fold
+         (fun k () l ->
+           (Value.of_string ix.ctype k, Hashtbl.find_opt ix.buckets k) :: l)
+         ix.dirty [])
+  in
+  Array.sort (fun (u, _) (v, _) -> Value.compare u v) d;
+  let old = ix.sorted in
+  let n = Array.length old and k = Array.length d in
+  if n + k = 0 then ix.sorted <- [||]
+  else begin
+    let out = Array.make (n + k) (Value.Int 0, empty_bucket) in
+    let oi = ref 0 and di = ref 0 and w = ref 0 in
+    let put e = out.(!w) <- e; incr w in
+    let put_delta (v, b) = match b with Some b -> put (v, b) | None -> () in
+    while !oi < n || !di < k do
+      if !di >= k then begin put old.(!oi); incr oi end
+      else if !oi >= n then begin put_delta d.(!di); incr di end
+      else begin
+        let ov, _ = old.(!oi) and dv, _ = d.(!di) in
+        let c = Value.compare ov dv in
+        if c < 0 then begin put old.(!oi); incr oi end
+        else if c > 0 then begin put_delta d.(!di); incr di end
+        else begin
+          (* dirty key supersedes (or deletes) its stale entry *)
+          put_delta d.(!di);
+          incr oi;
+          incr di
+        end
+      end
+    done;
+    ix.sorted <- (if !w = n + k then out else Array.sub out 0 !w)
+  end
+
 let sorted_view ix =
   if ix.sorted_version <> ix.version then begin
-    let acc =
-      Hashtbl.fold
-        (fun k b l -> (Value.of_string ix.ctype k, b) :: l)
-        ix.buckets []
-    in
-    let a = Array.of_list acc in
-    Array.sort (fun (u, _) (v, _) -> Value.compare u v) a;
-    ix.sorted <- a;
-    ix.sorted_version <- ix.version
+    let k = Hashtbl.length ix.dirty in
+    if ix.sorted_version >= 0 && not ix.dirty_overflow
+       && 2 * k <= Array.length ix.sorted
+    then merge_sorted ix
+    else rebuild_sorted ix;
+    ix.sorted_version <- ix.version;
+    Hashtbl.reset ix.dirty;
+    ix.dirty_overflow <- false
   end;
   ix.sorted
 
@@ -153,6 +256,18 @@ let index_remove t id row =
 
 let touch t = t.stats.modtime <- t.clock ()
 
+let note_col_max t row =
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Value.Int n -> if n > t.col_max.(i) then t.col_max.(i) <- n
+      | _ -> ())
+    row
+
+let note_change t id =
+  t.chlog.(t.chlog_seq land (chlog_cap - 1)) <- id;
+  t.chlog_seq <- t.chlog_seq + 1
+
 let ensure_capacity t =
   let cap = Array.length t.rows in
   if t.next_id >= cap then begin
@@ -163,12 +278,18 @@ let ensure_capacity t =
 
 let insert t row =
   Schema.check_tuple t.schema row;
+  (* the stored copy is hash-consed: repeated atoms (logins, machine
+     names, types, statuses) share one heap string across all rows and
+     tables, which is what lets the 64x/1M campuses fit in memory *)
+  let row = Intern.row row in
   let id = t.next_id in
   t.next_id <- id + 1;
   ensure_capacity t;
-  t.rows.(id) <- Some (Array.copy row);
+  t.rows.(id) <- Some row;
   t.live <- t.live + 1;
   index_add t id row;
+  note_col_max t row;
+  note_change t id;
   t.stats.appends <- t.stats.appends + 1;
   touch t;
   id
@@ -537,6 +658,7 @@ let apply_update t hits f =
     (fun (id, row) ->
       let row' = f (Array.copy row) in
       Schema.check_tuple t.schema row';
+      let row' = Intern.row row' in
       (* only indexes whose column actually changed are touched, so
          their versions stay put across unrelated-field updates *)
       List.iter
@@ -549,6 +671,8 @@ let apply_update t hits f =
           end)
         t.indexes;
       t.rows.(id) <- Some row';
+      note_col_max t row';
+      note_change t id;
       t.stats.updates <- t.stats.updates + 1)
     hits;
   if hits <> [] then touch t;
@@ -570,6 +694,7 @@ let apply_delete t hits =
       index_remove t id row;
       t.rows.(id) <- None;
       t.live <- t.live - 1;
+      note_change t id;
       t.stats.deletes <- t.stats.deletes + 1)
     hits;
   if hits <> [] then begin
@@ -603,6 +728,25 @@ let fold t ~init ~f =
 
 let stats t = t.stats
 
+let col_upper_bound t cname = t.col_max.(Schema.index_of t.schema cname)
+
+let change_cursor t = t.chlog_seq
+
+let changes_since t ~cursor =
+  if cursor > t.chlog_seq || t.chlog_seq - cursor > chlog_cap then None
+  else begin
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    for s = cursor to t.chlog_seq - 1 do
+      let id = t.chlog.(s land (chlog_cap - 1)) in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        acc := id :: !acc
+      end
+    done;
+    Some (List.sort compare !acc)
+  end
+
 let column_version t cname =
   match Schema.index_of t.schema cname with
   | exception Not_found -> None
@@ -619,8 +763,14 @@ let clear t =
   List.iter
     (fun ix ->
       ix.version <- ix.version + 1;
-      Hashtbl.reset ix.buckets)
+      Hashtbl.reset ix.buckets;
+      (* wholesale reset bypasses [bucket_remove]'s delta tracking *)
+      ix.dirty_overflow <- true;
+      Hashtbl.reset ix.dirty)
     t.indexes;
+  (* jump the sequence past a full ring so every outstanding cursor
+     reads as overflowed: a wholesale clear has no per-row delta *)
+  t.chlog_seq <- t.chlog_seq + chlog_cap + 1;
   touch t
 
 let field t row col = row.(Schema.index_of t.schema col)

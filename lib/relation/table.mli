@@ -79,6 +79,27 @@ val iter : t -> (rowid -> Value.t array -> unit) -> unit
 val stats : t -> stats
 (** The live statistics record. *)
 
+val col_upper_bound : t -> string -> int
+(** Upper bound on every [Value.Int] ever stored in the named column
+    ([min_int] if none yet).  Maintained in O(1) per write and never
+    lowered, so for the modtime-style columns the DCM watches it answers
+    "could any row's value exceed t0?" without a table scan — possibly
+    over-approximating after deletions, which at worst triggers a
+    spurious (idempotent) rebuild.
+    @raise Not_found if [col] is not a column. *)
+
+val change_cursor : t -> int
+(** Position in the table's change log.  Pass to {!changes_since} later
+    to learn which rows were touched in between. *)
+
+val changes_since : t -> cursor:int -> rowid list option
+(** [changes_since t ~cursor] is [Some ids] — the distinct rowids
+    inserted, updated, or deleted since [cursor] was taken, in ascending
+    order — or [None] when the bounded log has wrapped (or the table was
+    {!clear}ed) and the delta is unknown, in which case the caller must
+    fall back to a full scan.  A deleted rowid appears in the delta; its
+    row is simply gone from the table. *)
+
 val column_version : t -> string -> int option
 (** Monotonic change counter for an indexed column: bumps on every
     insert and delete, and on updates that change that column's value —

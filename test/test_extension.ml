@@ -26,7 +26,11 @@ let finger_generator =
         (Table.select users (Pred.eq_int "status" 1));
       {
         Dcm.Gen.common =
-          [ ("directory", String.concat "\n" (List.sort compare !lines) ^ "\n") ];
+          [
+            ( "directory",
+              Dcm.Sink.of_string
+                (String.concat "\n" (List.sort compare !lines) ^ "\n") );
+          ];
         per_host = [];
       })
 

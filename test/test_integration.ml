@@ -244,7 +244,7 @@ let test_klogin_generator () =
       Alcotest.(check string) "host" m machine;
       Alcotest.(check string) "admin principal"
         (tb.Testbed.built.Population.admin ^ "\n")
-        (String.concat "\n" (String.split_on_char '\n' contents))
+        (Dcm.Sink.to_string contents)
   | _ -> Alcotest.fail "expected one .klogin"
 
 (* nightly.sh: rotation of the three on-line backups, and a restore

@@ -190,6 +190,51 @@ let test_table_stats () =
   ignore (Table.delete t Pred.True);
   Alcotest.(check int) "del_time" 300 (Table.stats t).Table.del_time
 
+let test_table_col_upper_bound () =
+  let t, _ = fresh_table () in
+  Alcotest.(check bool) "empty is min_int" true
+    (Table.col_upper_bound t "age" = min_int);
+  ignore (Table.insert t (row "ann" 30 true));
+  ignore (Table.insert t (row "bob" 41 true));
+  Alcotest.(check int) "max of inserts" 41 (Table.col_upper_bound t "age");
+  ignore (Table.set_fields t (Pred.eq_str "name" "ann") [ ("age", v_int 99) ]);
+  Alcotest.(check int) "update raises it" 99 (Table.col_upper_bound t "age");
+  ignore (Table.delete t (Pred.eq_str "name" "ann"));
+  (* an upper bound, not a max: deletions never lower it *)
+  Alcotest.(check int) "never lowered" 99 (Table.col_upper_bound t "age")
+
+let test_table_changelog () =
+  let t, _ = fresh_table () in
+  let delta = Alcotest.(option (list int)) in
+  let c0 = Table.change_cursor t in
+  Alcotest.check delta "empty delta" (Some []) (Table.changes_since t ~cursor:c0);
+  let r1 = Table.insert t (row "ann" 30 true) in
+  let r2 = Table.insert t (row "bob" 40 true) in
+  Alcotest.check delta "inserts" (Some [ r1; r2 ])
+    (Table.changes_since t ~cursor:c0);
+  let c1 = Table.change_cursor t in
+  ignore (Table.set_fields t (Pred.eq_str "name" "ann") [ ("age", v_int 31) ]);
+  ignore (Table.set_fields t (Pred.eq_str "name" "ann") [ ("age", v_int 32) ]);
+  Alcotest.check delta "updates deduped" (Some [ r1 ])
+    (Table.changes_since t ~cursor:c1);
+  let c2 = Table.change_cursor t in
+  ignore (Table.delete t (Pred.eq_str "name" "bob"));
+  Alcotest.check delta "deletion appears" (Some [ r2 ])
+    (Table.changes_since t ~cursor:c2);
+  (* overflow the bounded log: the delta is unknown, a fresh cursor works *)
+  let c3 = Table.change_cursor t in
+  for i = 0 to 9000 do
+    ignore (Table.set_fields t (Pred.eq_str "name" "ann") [ ("age", v_int i) ])
+  done;
+  Alcotest.check delta "wrapped log" None (Table.changes_since t ~cursor:c3);
+  Alcotest.check delta "fresh cursor after wrap" (Some [])
+    (Table.changes_since t ~cursor:(Table.change_cursor t));
+  (* clear invalidates every earlier cursor *)
+  let c4 = Table.change_cursor t in
+  Table.clear t;
+  Alcotest.check delta "clear invalidates" None
+    (Table.changes_since t ~cursor:c4)
+
 let test_table_rows_are_copies () =
   let t, _ = fresh_table () in
   let _ = Table.insert t (row "ann" 30 true) in
@@ -296,6 +341,9 @@ let suite =
     Alcotest.test_case "index survives rename" `Quick
       test_table_index_consistency_after_rename;
     Alcotest.test_case "table stats" `Quick test_table_stats;
+    Alcotest.test_case "table col_upper_bound" `Quick
+      test_table_col_upper_bound;
+    Alcotest.test_case "table changelog" `Quick test_table_changelog;
     Alcotest.test_case "rows are copies" `Quick test_table_rows_are_copies;
     Alcotest.test_case "insertion order" `Quick test_table_insertion_order;
     Alcotest.test_case "type check on insert" `Quick

@@ -11,9 +11,13 @@ let setup () =
     (Dcm.Update.install_files srv ~dir:"/etc/data" ());
   (engine, net, srv, up)
 
+(* Update.push now takes streaming docs; tests keep authoring plain
+   strings and wrap at the call boundary. *)
+let docs = List.map (fun (n, c) -> (n, Dcm.Sink.of_string c))
+
 let push ?(files = [ ("a.db", "alpha\n"); ("b.db", "beta\n") ]) net =
   Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~target:"/tmp/out"
-    ~files ~script:"install.sh" ()
+    ~files:(docs files) ~script:"install.sh" ()
 
 let test_successful_update () =
   let _, net, srv, _ = setup () in
@@ -41,7 +45,7 @@ let test_bad_auth_token () =
   let _, net, _, _ = setup () in
   match
     Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~token:"stolen"
-      ~target:"/tmp/out" ~files:[ ("a", "x") ] ~script:"install.sh" ()
+      ~target:"/tmp/out" ~files:(docs [ ("a", "x") ]) ~script:"install.sh" ()
   with
   | Error (Dcm.Update.Hard (code, _)) when code = Moira.Mr_err.perm -> ()
   | _ -> Alcotest.fail "bad token accepted"
@@ -50,7 +54,7 @@ let test_unknown_script_is_hard_error () =
   let _, net, _, _ = setup () in
   match
     Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~target:"/tmp/out"
-      ~files:[ ("a", "x") ] ~script:"nosuch.sh" ()
+      ~files:(docs [ ("a", "x") ]) ~script:"nosuch.sh" ()
   with
   | Error (Dcm.Update.Hard (code, _))
     when code = Moira.Mr_err.update_script -> ()
@@ -191,7 +195,7 @@ let test_revert_instruction () =
   (* the operator pushes the same archive with the revert script *)
   (match
      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~target:"/tmp/out"
-       ~files:[ ("a.db", "broken-v2") ] ~script:"revert.sh" ()
+       ~files:(docs [ ("a.db", "broken-v2") ]) ~script:"revert.sh" ()
    with
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "revert push failed");
@@ -245,8 +249,8 @@ let test_second_push_is_delta () =
   in
   let s2 =
     match
-      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~base:v1 ~target:"/tmp/out"
-        ~files:v2 ~script:"install.sh" ()
+      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~base:(docs v1)
+        ~target:"/tmp/out" ~files:(docs v2) ~script:"install.sh" ()
     with
     | Ok s -> s
     | Error _ -> Alcotest.fail "delta push failed"
@@ -279,8 +283,8 @@ let test_delta_push_crash_mid_install () =
   let v2 = [ ("a.db", "a-v2"); ("b.db", "b-v2") ] in
   let delta_push () =
     Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV"
-      ~base:[ ("a.db", "a-v1"); ("b.db", "b-v1") ] ~target:"/tmp/out"
-      ~files:v2 ~script:"install.sh" ()
+      ~base:(docs [ ("a.db", "a-v1"); ("b.db", "b-v1") ]) ~target:"/tmp/out"
+      ~files:(docs v2) ~script:"install.sh" ()
   in
   (match delta_push () with
   | Error (Dcm.Update.Soft _) -> ()
@@ -310,8 +314,8 @@ let test_garbage_last_falls_back_to_full () =
   let s =
     match
       Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV"
-        ~base:[ ("a.db", "a-v1") ] ~target:"/tmp/out"
-        ~files:[ ("a.db", "a-v2") ] ~script:"install.sh" ()
+        ~base:(docs [ ("a.db", "a-v1") ]) ~target:"/tmp/out"
+        ~files:(docs [ ("a.db", "a-v2") ]) ~script:"install.sh" ()
     with
     | Ok s -> s
     | Error _ -> Alcotest.fail "push with garbage base failed"
@@ -329,8 +333,9 @@ let test_stale_base_on_client_still_correct () =
   ignore (push ~files:[ ("a.db", "a-v1"); ("b.db", "b-v1") ] net);
   (match
      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV"
-       ~base:[ ("a.db", "WRONG"); ("b.db", "b-v1") ] ~target:"/tmp/out"
-       ~files:[ ("a.db", "a-v2"); ("b.db", "b-v2") ] ~script:"install.sh" ()
+       ~base:(docs [ ("a.db", "WRONG"); ("b.db", "b-v1") ]) ~target:"/tmp/out"
+       ~files:(docs [ ("a.db", "a-v2"); ("b.db", "b-v2") ])
+       ~script:"install.sh" ()
    with
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "push with stale client base failed");
@@ -370,7 +375,7 @@ let test_reply_loss_idempotent_full_push () =
       (match
          Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~attempts:2
            ~target:"/tmp/out"
-           ~files:[ ("a.db", "alpha\n"); ("b.db", "beta\n") ]
+           ~files:(docs [ ("a.db", "alpha\n"); ("b.db", "beta\n") ])
            ~script:"install.sh" ()
        with
       | Ok s ->
@@ -389,8 +394,8 @@ let test_reply_loss_idempotent_delta_push () =
   let v1 = [ ("a.db", "a-v1\n"); ("b.db", "b-v1\n") ] in
   let v2 = [ ("a.db", "a-v2\n"); ("b.db", "b-v1\n") ] in
   let delta_push net =
-    Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~base:v1 ~attempts:2
-      ~target:"/tmp/out" ~files:v2 ~script:"install.sh" ()
+    Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~base:(docs v1) ~attempts:2
+      ~target:"/tmp/out" ~files:(docs v2) ~script:"install.sh" ()
   in
   let _, cnet, csrv, _ = setup () in
   ignore (push ~files:v1 cnet);
@@ -432,7 +437,7 @@ let test_reply_loss_exec_runs_script_once () =
   (match
      Dcm.Update.push net ~src:"MOIRA" ~dst:"SRV" ~attempts:2
        ~target:"/tmp/out"
-       ~files:[ ("a.db", "alpha\n") ]
+       ~files:(docs [ ("a.db", "alpha\n") ])
        ~script:"install.sh" ()
    with
   | Ok _ -> ()
