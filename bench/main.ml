@@ -1576,6 +1576,309 @@ let bench_obs () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* E13: the replicated read path — journal-streaming replicas under    *)
+(* the E12 fault model with the primary killed mid-propagation, plus   *)
+(* aggregate read capacity vs the single server.                       *)
+(* REPL_SMOKE=1 (CI): shorter fault phase, same assertions.            *)
+
+let repl_smoke = Sys.getenv_opt "REPL_SMOKE" <> None || smoke
+
+let bench_replication () =
+  header
+    "E13: replicated read path -- journal-streaming replicas, client\n\
+     failover and read-your-writes under loss + primary kill, aggregate\n\
+     read qps vs the single server";
+  let failures = ref [] in
+  let n_replicas = 3 in
+  let drop, reply_drop = (0.3, 0.2) in
+  let tb = Testbed.create ~replicas:n_replicas ~repl_poll_ms:5_000 () in
+  let net = tb.Testbed.net in
+  let o = Testbed.obs tb in
+  let ctr name = Option.value ~default:0 (Obs.find_counter o name) in
+  let logins = tb.Testbed.built.Population.logins in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let c = Testbed.admin_client tb ~src:ws in
+  Moira.Mr_client.set_replicas c (Testbed.replica_machines tb);
+  (* a second, read-only client: its high-water mark ratchets only off
+     its own reads, so it keeps monotonic reads through a primary kill
+     even when the writer's read-your-writes floor is unservable (the
+     writer's last commit may not have reached any replica yet) *)
+  let reader =
+    Testbed.admin_client tb
+      ~src:tb.Testbed.built.Population.workstation_machines.(1)
+  in
+  Moira.Mr_client.set_replicas reader (Testbed.replica_machines tb);
+  (* let the replicas boot-sync before the weather starts *)
+  Testbed.run_minutes tb 2;
+
+  (* Monotonic-read oracle: shells are written as /bin/v<N> with N
+     strictly increasing per login; a read that returns a smaller N
+     than this client has already observed for that login is a
+     regression.  This criterion is exact even when a reply-dropped
+     write commits without the client learning it. *)
+  let version_of shell =
+    if String.length shell > 6 && String.sub shell 0 6 = "/bin/v" then
+      int_of_string_opt
+        (String.sub shell 6 (String.length shell - 6))
+    else None
+  in
+  let observed = Hashtbl.create 16 in
+  let regressions = ref 0 in
+  let reads_ok = ref 0 and reads_failed = ref 0 in
+  let reads_ok_during_kill = ref 0 in
+  let primary = tb.Testbed.built.Population.moira_machine in
+  let primary_down () =
+    not (Netsim.Host.is_up (Testbed.host tb primary))
+  in
+  let read login =
+    match
+      Moira.Mr_client.mr_query_list reader ~name:"get_user_by_login"
+        [ login ]
+    with
+    | Ok ((_ :: _ :: shell :: _) :: _) ->
+        incr reads_ok;
+        if primary_down () then incr reads_ok_during_kill;
+        (match version_of shell with
+        | None -> ()
+        | Some v ->
+            let prev =
+              Option.value (Hashtbl.find_opt observed login) ~default:(-1)
+            in
+            if v < prev then incr regressions
+            else Hashtbl.replace observed login v)
+    | Ok _ -> incr reads_ok
+    | Error e ->
+        incr reads_failed;
+        if Sys.getenv_opt "REPL_DEBUG" <> None then
+          Printf.eprintf
+            "DEBUG t=%d read failed (%s) primary_down=%b hw=%d status=[%s] \
+             applied=[%s]\n%!"
+            (Sim.Engine.now tb.Testbed.engine)
+            (Comerr.Com_err.error_message e)
+            (primary_down ())
+            (Moira.Mr_client.high_water reader)
+            (String.concat ";"
+               (List.map
+                  (fun (h, q) -> Printf.sprintf "%s:%b" h q)
+                  (Moira.Mr_client.replica_status reader)))
+            (String.concat ";"
+               (List.map
+                  (fun (_, r) ->
+                    string_of_int
+                      (Relation.Replicate.applied_seq
+                         (Moira.Mr_server.replica_handle r)))
+                  tb.Testbed.replicas))
+  in
+  let version = ref 0 in
+  let writes_ok = ref 0 and writes_failed = ref 0 in
+  let ryw_ok = ref 0 and ryw_failed = ref 0 in
+  let write login =
+    incr version;
+    match
+      Moira.Mr_client.mr_query_list c ~name:"update_user_shell"
+        [ login; Printf.sprintf "/bin/v%d" !version ]
+    with
+    | Ok _ -> (
+        incr writes_ok;
+        let written = !version in
+        (* read-your-writes: the writer's own next read must observe at
+           least this write, wherever it is served from *)
+        match
+          Moira.Mr_client.mr_query_list c ~name:"get_user_by_login"
+            [ login ]
+        with
+        | Ok ((_ :: _ :: shell :: _) :: _) ->
+            incr ryw_ok;
+            if
+              match version_of shell with
+              | Some v -> v < written
+              | None -> true
+            then incr regressions
+        | Ok _ | Error _ -> incr ryw_failed)
+    | Error _ -> incr writes_failed
+  in
+
+  (* fault model of E12 at its harshest level, plus the primary kill.
+     Faults are anchored to round boundaries rather than wall offsets:
+     under 30% loss the client's own timeouts and retries advance the
+     sim clock far more than the inter-read sleeps do, so an absolute
+     schedule would miss the read instants entirely. *)
+  Netsim.Net.set_drop_rate net drop;
+  Netsim.Net.set_reply_drop_rate net reply_drop;
+  let rounds = if repl_smoke then 12 else 48 in
+  let kill_round = rounds / 3 in
+  let kill_ms = 25 * 60_000 in
+  let kill_end = ref 0 in
+  for i = 0 to rounds - 1 do
+    let now = Sim.Engine.now tb.Testbed.engine in
+    if i = 1 then
+      (* one replica loses the network long enough to need catch-up *)
+      Netsim.Net.partition_window net
+        ~hosts:[ Testbed.replica_machine 0 ]
+        ~at:now
+        ~duration_ms:(8 * 60_000);
+    let login = logins.(i mod Array.length logins) in
+    write login;
+    if i = kill_round then begin
+      (* the kill lands 2.5 s after this round's committed write —
+         inside the replicas' 5 s poll window, mid-propagation *)
+      let at = Sim.Engine.now tb.Testbed.engine + 2_500 in
+      Netsim.Net.schedule_outage net ~host:primary ~at
+        ~duration_ms:kill_ms;
+      kill_end := at + kill_ms
+    end;
+    (* reads every 30 s, so the outage window holds many read instants
+       and quarantine backoffs get their probes *)
+    for k = 0 to 3 do
+      read logins.((i + k) mod Array.length logins);
+      Sim.Engine.run_for tb.Testbed.engine 30_000
+    done
+  done;
+
+  (* weather clears; run out the outage, then until every replica is
+     byte-identical *)
+  Netsim.Net.set_drop_rate net 0.0;
+  Netsim.Net.set_reply_drop_rate net 0.0;
+  while Sim.Engine.now tb.Testbed.engine < !kill_end do
+    Testbed.run_minutes tb 1
+  done;
+  let dump_of mdb = Relation.Backup.dump (Moira.Mdb.db mdb) in
+  let all_identical () =
+    let p = dump_of tb.Testbed.mdb in
+    List.for_all
+      (fun (_, r) -> dump_of (Moira.Mr_server.replica_mdb r) = p)
+      tb.Testbed.replicas
+  in
+  let cycles = ref 0 in
+  while (not (all_identical ())) && !cycles < 60 do
+    Testbed.run_minutes tb 1;
+    incr cycles
+  done;
+  let converged = all_identical () in
+  let head = Relation.Journal.head_seq (Moira.Mdb.journal tb.Testbed.mdb) in
+  if not converged then
+    failures := "replicas did not converge byte-identical" :: !failures;
+  if !regressions > 0 then
+    failures :=
+      Printf.sprintf "%d monotonic-read regressions" !regressions
+      :: !failures;
+  if !reads_ok_during_kill = 0 then
+    failures := "no read survived the primary outage" :: !failures;
+  let lag = Obs.find_histogram o "repl.lag_entries" in
+  let delay = Obs.find_histogram o "repl.apply_delay_ms" in
+  let hp f = function Some (s : Obs.summary) -> f s | None -> 0 in
+  Printf.printf
+    "fault phase: %d/%d writes ok, %d/%d reader reads ok (%d during \
+     primary kill), %d/%d read-your-writes checks ok, %d stale bounces, \
+     %d quarantines, %d snapshots, read regressions: %d\n"
+    !writes_ok (!writes_ok + !writes_failed) !reads_ok
+    (!reads_ok + !reads_failed) !reads_ok_during_kill !ryw_ok
+    (!ryw_ok + !ryw_failed)
+    (ctr "client.read.stale_bounce")
+    (ctr "client.replica_quarantined")
+    (List.fold_left
+       (fun a (m, _) ->
+         a + ctr ("repl." ^ String.lowercase_ascii m ^ ".snapshots"))
+       0 tb.Testbed.replicas)
+    !regressions;
+  Printf.printf
+    "converged byte-identical: %b (journal head %d, +%d quiet minutes)\n\
+     replica lag: p50 %d p99 %d entries; apply delay p50 %d p99 %d ms\n"
+    converged head !cycles (hp (fun s -> s.Obs.p50) lag)
+    (hp (fun s -> s.Obs.p99) lag)
+    (hp (fun s -> s.Obs.p50) delay)
+    (hp (fun s -> s.Obs.p99) delay);
+
+  (* --- aggregate read capacity: N replicas vs the one primary --- *)
+  let dispatch glue login () =
+    match Moira.Glue.query glue ~name:"get_user_by_login" [ login ] with
+    | Ok _ -> ()
+    | Error c -> failwith (Comerr.Com_err.error_message c)
+  in
+  let rounds = if repl_smoke then 2 else 5 in
+  let time_per_op_us f =
+    let _, once_ms = time_ms f in
+    let iters =
+      max 1 (min 200_000 (int_of_float (20.0 /. max 0.0005 once_ms)))
+    in
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (f ())
+      done;
+      let t = Unix.gettimeofday () -. t0 in
+      if t < !best then best := t
+    done;
+    !best /. float_of_int iters *. 1_000_000.
+  in
+  let login = logins.(Array.length logins / 2) in
+  let qps f = 1_000_000. /. time_per_op_us f in
+  let baseline = qps (dispatch tb.Testbed.glue login) in
+  let per_replica =
+    List.map
+      (fun (m, r) ->
+        let glue =
+          Moira.Glue.create
+            ~mdb:(Moira.Mr_server.replica_mdb r)
+            ~registry:(Moira.Catalog.make ()) ()
+        in
+        (m, qps (dispatch glue login)))
+      tb.Testbed.replicas
+  in
+  let aggregate = List.fold_left (fun a (_, q) -> a +. q) 0.0 per_replica in
+  Printf.printf
+    "single-server warm read path: %.0f qps\n\
+     aggregate over %d replicas:   %.0f qps (%.2fx)\n"
+    baseline n_replicas aggregate (aggregate /. baseline);
+  if aggregate < 2.0 *. baseline then
+    failures :=
+      Printf.sprintf "aggregate read qps only %.2fx the single server"
+        (aggregate /. baseline)
+      :: !failures;
+
+  json_add "replication"
+    ([
+       ("replicas", I n_replicas);
+       ("drop_rate", F drop);
+       ("reply_drop_rate", F reply_drop);
+       ("writes_ok", I !writes_ok);
+       ("writes_failed", I !writes_failed);
+       ("reads_ok", I !reads_ok);
+       ("reads_failed", I !reads_failed);
+       ("reads_ok_during_primary_kill", I !reads_ok_during_kill);
+       ("read_your_writes_ok", I !ryw_ok);
+       ("read_your_writes_failed", I !ryw_failed);
+       ("read_regressions", I !regressions);
+       ("stale_bounces", I (ctr "client.read.stale_bounce"));
+       ("replica_reads", I (ctr "client.read.replica"));
+       ("primary_reads", I (ctr "client.read.primary"));
+       ("quarantines", I (ctr "client.replica_quarantined"));
+       ("converged_byte_identical", B converged);
+       ("journal_head", I head);
+       ("lag_entries_p50", I (hp (fun s -> s.Obs.p50) lag));
+       ("lag_entries_p99", I (hp (fun s -> s.Obs.p99) lag));
+       ("apply_delay_ms_p50", I (hp (fun s -> s.Obs.p50) delay));
+       ("apply_delay_ms_p99", I (hp (fun s -> s.Obs.p99) delay));
+       ("single_server_qps", F baseline);
+       ("aggregate_read_qps", F aggregate);
+       ("read_speedup", F (aggregate /. baseline));
+     ]
+    @ List.map
+        (fun (m, q) -> ("qps_" ^ String.lowercase_ascii m, F q))
+        per_replica);
+  json_write "BENCH_replication.json";
+  match !failures with
+  | [] ->
+      Printf.printf
+        "replicas converged byte-identical under loss + primary kill; no\n\
+         read regressed; aggregate read capacity scales\n"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "REPL FAILURE: %s\n" f) fs;
+      exit 1
+
 let experiments =
   [
     ("table1", bench_table1);
@@ -1593,6 +1896,7 @@ let experiments =
     ("scale", bench_scale);
     ("chaos", bench_chaos);
     ("obs", bench_obs);
+    ("repl", bench_replication);
   ]
 
 let () =

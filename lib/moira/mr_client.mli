@@ -49,3 +49,39 @@ val mr_query_list :
 
 val is_connected : t -> bool
 (** Whether the handle currently holds a connection. *)
+
+(** {1 Replica reads}
+
+    With replicas configured, retrieval queries fan out round-robin
+    across healthy read-only replicas while mutations keep going to the
+    primary.  Every query then travels sequenced
+    ([Protocol.op_query2]): the client sends its high-water journal
+    sequence number and a replica that has not caught up to it answers
+    [Mr_err.replica_stale], making the client try the next replica and
+    ultimately the primary — so a client always observes its own
+    writes.  A replica that fails [quarantine_after] consecutive
+    transport attempts is quarantined with exponential, jittered
+    backoff; quarantine expiry doubles as the probe. *)
+
+type failover = {
+  quarantine_after : int;  (** consecutive failures before quarantine *)
+  backoff_base_ms : int;  (** first quarantine duration *)
+  backoff_max_ms : int;  (** backoff cap *)
+  backoff_jitter : float;  (** uniform jitter fraction on the backoff *)
+}
+
+val default_failover : failover
+(** 3 failures, 2 s base, 60 s cap, 0.5 jitter. *)
+
+val set_replicas : ?failover:failover -> t -> string list -> unit
+(** Configure the read replicas (hostnames running a replica server).
+    Passing [[]] restores plain single-server behaviour.  Connections
+    to replicas open lazily and replay the client's credentials. *)
+
+val high_water : t -> int
+(** The client's high-water journal sequence number: the newest write
+    it has made (or the newest server state it has observed). *)
+
+val replica_status : t -> (string * bool) list
+(** Each configured replica with its quarantine flag ([true] =
+    currently quarantined). *)

@@ -48,6 +48,8 @@ let table =
       (* 44 *) "Installation script failed on target host";
       (* 45 *) "Target host unreachable";
       (* 46 *) "Update already in progress";
+      (* 47 *) "Query refused: server is a read-only replica";
+      (* 48 *) "Replica has not yet caught up to the client's writes";
     |]
 
 let code = Comerr.Com_err.code table
@@ -99,3 +101,5 @@ let update_timeout = code 43
 let update_script = code 44
 let host_unreachable = code 45
 let in_progress = code 46
+let read_only_replica = code 47
+let replica_stale = code 48

@@ -79,3 +79,13 @@ val update_timeout : int
 val update_script : int
 val host_unreachable : int
 val in_progress : int
+
+(** {1 Replication} *)
+
+val read_only_replica : int
+(** A write query reached a read-only replica; retry against the
+    primary. *)
+
+val replica_stale : int
+(** The replica's applied journal sequence is behind the client's
+    high-water mark; reading here would lose read-your-writes. *)

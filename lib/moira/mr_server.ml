@@ -17,6 +17,11 @@ type t = {
   obs : Obs.t;
   clock : unit -> int;  (* engine ms, for handler durations *)
   slow_query_ms : int;
+  read_only : bool;
+  (* journal sequence this server's database reflects: the journal head
+     on a primary, the replication stream's applied sequence on a
+     replica (rewired by [create_replica] once the puller exists) *)
+  mutable seq_of : unit -> int;
   c_served : Obs.Counter.counter;
   c_errors : Obs.Counter.counter;
   h_handler : Obs.Histogram.histogram;
@@ -47,8 +52,8 @@ let cache_key principal name args =
   String.concat "\000" (principal :: name :: args)
 
 let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
-    ?extra_queries ?obs ?(slow_query_ms = 1000) ~net ~host
-    ~mdb ~kdc ?(trigger_dcm = fun () -> ()) () =
+    ?extra_queries ?obs ?(slow_query_ms = 1000) ?(read_only = false)
+    ~net ~host ~mdb ~kdc ?(trigger_dcm = fun () -> ()) () =
   (* Default to the net's registry: in a testbed that is [Obs.default],
      in an isolated unit test it is the net's private registry, so two
      servers in one process never share counters by accident. *)
@@ -125,13 +130,20 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
     in
     let t0 = t.clock () in
     let code, tuples =
-      match Query.execute t.registry (ctx_of info) ~name args with
-      | Ok tuples ->
-          (match Query.find t.registry name with
-          | Some q when q.Query.kind <> Query.Retrieve -> invalidate t
-          | _ -> ());
-          (0, tuples)
-      | Error code -> (code, [])
+      if
+        t.read_only
+        && (match Query.find t.registry name with
+           | Some q -> q.Query.kind <> Query.Retrieve
+           | None -> false)
+      then (Mr_err.read_only_replica, [])
+      else
+        match Query.execute t.registry (ctx_of info) ~name args with
+        | Ok tuples ->
+            (match Query.find t.registry name with
+            | Some q when q.Query.kind <> Query.Retrieve -> invalidate t
+            | _ -> ());
+            (0, tuples)
+        | Error code -> (code, [])
     in
     let dur = t.clock () - t0 in
     Obs.Histogram.observe t.h_handler dur;
@@ -172,6 +184,22 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
       | name :: args -> run_query t info name args
       | [] -> (Mr_err.args, [])
     end
+    else if req.op = Protocol.op_query2 then begin
+      Obs.Counter.incr t.c_served;
+      match req.args with
+      | hw :: name :: args ->
+          let hw = Option.value (int_of_string_opt hw) ~default:0 in
+          if hw > t.seq_of () then (Mr_err.replica_stale, [])
+          else begin
+            let code, tuples = run_query t info name args in
+            if code = 0 then
+              (* head tuple: the sequence the reply reflects, so the
+                 client can advance its high-water mark *)
+              (0, [ string_of_int (t.seq_of ()) ] :: tuples)
+            else (code, tuples)
+          end
+      | _ -> (Mr_err.args, [])
+    end
     else if req.op = Protocol.op_access then begin
       match req.args with
       | name :: args -> (do_access t info name args, [])
@@ -207,7 +235,80 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
       c_invalidations = Obs.Counter.make obs "access_cache.invalidations";
       access_cache =
         (if access_cache then Some (Hashtbl.create 256) else None);
+      read_only;
+      seq_of = (fun () -> Relation.Journal.length (Mdb.journal mdb));
     }
   in
   t_ref := Some t;
   t
+
+(* ---------------- replication ---------------- *)
+
+let serve_replication ?retain ?max_batch t ~net ~host =
+  Relation.Replicate.serve_primary ?retain ?max_batch ~net ~host
+    ~journal:(Mdb.journal t.mdb)
+    ~snapshot:(fun () -> Relation.Backup.dump (Mdb.db t.mdb))
+    ()
+
+type replica = {
+  rep_server : t;
+  rep_mdb : Mdb.t;
+  rep_handle : Relation.Replicate.replica;
+}
+
+let replica_server r = r.rep_server
+let replica_mdb r = r.rep_mdb
+let replica_handle r = r.rep_handle
+
+let create_replica ?backend ?access_cache ?obs ?slow_query_ms
+    ?(poll_ms = 1_000) ?boot_from_snapshot ~net ~host ~primary ~kdc () =
+  let engine = Netsim.Net.engine net in
+  (* Applying a journal entry pins the database clock to the entry's
+     commit time, so modtime/modwith stamps written during replay equal
+     the primary's byte for byte, whatever the replica's apply delay. *)
+  let base_clock = Sim.Engine.clock_sec engine in
+  let pinned = ref None in
+  let clock () =
+    match !pinned with Some s -> s | None -> base_clock ()
+  in
+  let mdb = Mdb.create ~clock in
+  let self = Netsim.Host.name host in
+  let c_apply_failed =
+    let o = match obs with Some o -> o | None -> Netsim.Net.obs net in
+    Obs.Counter.make o
+      ("repl." ^ String.lowercase_ascii self ^ ".apply_failed")
+  in
+  let server =
+    create ?backend ?access_cache ?obs ?slow_query_ms ~read_only:true ~net
+      ~host ~mdb ~kdc ()
+  in
+  let apply (e : Relation.Journal.entry) =
+    pinned := Some e.Relation.Journal.time;
+    Fun.protect
+      ~finally:(fun () -> pinned := None)
+      (fun () ->
+        let ctx =
+          {
+            Query.mdb;
+            caller = e.Relation.Journal.who;
+            client = e.Relation.Journal.client;
+            privileged = true;
+          }
+        in
+        match
+          Query.execute server.registry ctx ~name:e.Relation.Journal.query
+            e.Relation.Journal.args
+        with
+        | Ok _ -> ()
+        | Error _ -> Obs.Counter.incr c_apply_failed)
+  in
+  let install_snapshot files ~seq:_ =
+    Relation.Backup.restore (Mdb.db mdb) files
+  in
+  let handle =
+    Relation.Replicate.replica ?boot_from_snapshot ~net ~self ~primary
+      ~apply ~install_snapshot ()
+  in
+  server.seq_of <- (fun () -> Relation.Replicate.applied_seq handle);
+  Relation.Replicate.start handle engine ~every_ms:poll_ms;
+  { rep_server = server; rep_mdb = mdb; rep_handle = handle }

@@ -19,6 +19,7 @@ val create :
   ?extra_queries:Query.t list ->
   ?obs:Obs.t ->
   ?slow_query_ms:int ->
+  ?read_only:bool ->
   net:Netsim.Net.t ->
   host:Netsim.Host.t ->
   mdb:Mdb.t ->
@@ -36,6 +37,9 @@ val create :
     [extra_queries] adds handles beyond the standard catalogue (e.g.
     ones bound to a secondary database with [Catalog.bind_database]).
     [trigger_dcm] is invoked by the Trigger_DCM request.
+    [read_only] (default false) makes the server refuse every
+    side-effecting query with [Mr_err.read_only_replica] — the mode a
+    replication replica runs in.
 
     Every Query request records a [query] span, a [query.handler_ms]
     histogram sample (engine time: pure handlers read as 0 ms, nested
@@ -57,3 +61,51 @@ val queries_served : t -> int
 
 val connection_count : t -> int
 (** Live client connections. *)
+
+(** {1 Replication}
+
+    The primary serves its change journal as a replication stream
+    (service ["moira_repl"]); read-only replicas pull it, replay each
+    committed query against their own database through the ordinary
+    query path, and serve sequenced reads ([Protocol.op_query2]). *)
+
+val serve_replication :
+  ?retain:int ->
+  ?max_batch:int ->
+  t ->
+  net:Netsim.Net.t ->
+  host:Netsim.Host.t ->
+  Relation.Replicate.primary
+(** Register the replication stream on the primary's host.  [retain]
+    bounds how far back entry batches are served (replicas further
+    behind catch up from a full snapshot); [max_batch] caps entries per
+    fetch. *)
+
+type replica
+(** A read-only replica: its own database, a server instance answering
+    (sequenced) retrieval queries on it, and the puller streaming the
+    primary's journal into it. *)
+
+val create_replica :
+  ?backend:Gdb.Server.backend_cost ->
+  ?access_cache:bool ->
+  ?obs:Obs.t ->
+  ?slow_query_ms:int ->
+  ?poll_ms:int ->
+  ?boot_from_snapshot:bool ->
+  net:Netsim.Net.t ->
+  host:Netsim.Host.t ->
+  primary:string ->
+  kdc:Krb.Kdc.t ->
+  unit ->
+  replica
+(** Start a replica on [host] streaming from the machine named
+    [primary] (which must run {!serve_replication}), polling every
+    [poll_ms] simulated milliseconds (default 1000).  Replay pins the
+    replica's database clock to each entry's commit time, so restored
+    and replayed rows — modtime stamps included — are byte-identical to
+    the primary's. *)
+
+val replica_server : replica -> t
+val replica_mdb : replica -> Mdb.t
+val replica_handle : replica -> Relation.Replicate.replica

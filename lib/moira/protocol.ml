@@ -3,4 +3,5 @@ let op_auth = Gdb.Wire.op_app_base + 1
 let op_query = Gdb.Wire.op_app_base + 2
 let op_access = Gdb.Wire.op_app_base + 3
 let op_trigger_dcm = Gdb.Wire.op_app_base + 4
+let op_query2 = Gdb.Wire.op_app_base + 5
 let moira_service = "moira"

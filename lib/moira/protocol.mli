@@ -19,6 +19,14 @@ val op_trigger_dcm : int
 (** Ask the server to spawn a DCM pass now (access-checked against the
     [trigger_dcm] pseudo-query). *)
 
+val op_query2 : int
+(** Sequenced query, the replica-aware variant of [op_query]: the first
+    argument is the client's high-water journal sequence number, then
+    the handle name and its arguments.  A server whose applied sequence
+    is behind the high-water mark refuses with [Mr_err.replica_stale];
+    a success reply prepends one tuple holding the server's current
+    sequence number ahead of the retrieved tuples. *)
+
 val moira_service : string
 (** The service name the Moira server registers under (both on the
     simulated host and as a Kerberos service principal). *)

@@ -83,6 +83,7 @@ let execute r ctx ~name args =
             {
               Relation.Journal.time = Mdb.now ctx.mdb;
               who = (if ctx.caller = "" then "(direct)" else ctx.caller);
+              client = ctx.client;
               query = q.name;
               args;
             });

@@ -14,6 +14,8 @@ type t = {
   userreg : Userreg.server;
   sanitizer : Dcm.Sanitizer.t option;
       (* present when MOIRA_SANITIZE=1 or create ~sanitize:true *)
+  repl_primary : Relation.Replicate.primary option;
+  replicas : (string * Moira.Mr_server.replica) list;
 }
 
 let obs (_ : t) = Obs.default
@@ -72,7 +74,9 @@ let nfs_script host ~staged =
    service's dfgen of 0 must compare earlier than any row modtime. *)
 let epoch_1988_ms = 568_000_000_000
 
-let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 15) ?retry ?sanitize () =
+let replica_machine i = Printf.sprintf "MOIRA-REPLICA-%d.MIT.EDU" (i + 1)
+
+let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 15) ?retry ?sanitize ?(replicas = 0) ?(repl_poll_ms = 1_000) ?repl_retain () =
   let engine =
     Sim.Engine.create ~seed:spec.Population.seed ~start:epoch_1988_ms ()
   in
@@ -179,14 +183,34 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
       let line =
         Relation.Backup.encode_row
           (string_of_int e.Relation.Journal.time
-          :: e.Relation.Journal.who :: e.Relation.Journal.query
-          :: e.Relation.Journal.args)
+          :: e.Relation.Journal.who :: e.Relation.Journal.client
+          :: e.Relation.Journal.query :: e.Relation.Journal.args)
       in
       Netsim.Vfs.write fs ~path:journal_path (existing ^ line ^ "\n");
       Netsim.Vfs.flush fs);
 
   (* registration server on the database machine *)
   let userreg = Userreg.start ~glue ~kdc moira_host in
+
+  (* replicated read path: the primary serves its journal as a stream,
+     each replica host runs a read-only server fed by it *)
+  let repl_primary =
+    if replicas = 0 then None
+    else
+      Some
+        (Moira.Mr_server.serve_replication ?retain:repl_retain server ~net
+           ~host:moira_host)
+  in
+  let replica_servers =
+    List.init replicas (fun i ->
+        let machine = replica_machine i in
+        let host = Netsim.Net.add_host net machine in
+        let r =
+          Moira.Mr_server.create_replica ?backend ~poll_ms:repl_poll_ms ~net
+            ~host ~primary:built.Population.moira_machine ~kdc ()
+        in
+        (machine, r))
+  in
 
   let dcm =
     Dcm.Manager.create ~net ~moira_host:built.Population.moira_machine ~glue
@@ -225,8 +249,11 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
   in
   {
     engine; net; kdc; mdb; server; glue; dcm; built; hesiods; zephyrs;
-    pops; mailhub; userreg; sanitizer;
+    pops; mailhub; userreg; sanitizer; repl_primary;
+    replicas = replica_servers;
   }
+
+let replica_machines t = List.map fst t.replicas
 
 let client t ~src = Moira.Mr_client.create t.net ~src
 

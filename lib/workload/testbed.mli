@@ -20,6 +20,10 @@ type t = {
   userreg : Userreg.server;
   sanitizer : Dcm.Sanitizer.t option;
       (** The lock-discipline sanitizer, when enabled (see {!create}). *)
+  repl_primary : Relation.Replicate.primary option;
+      (** The journal replication stream, when replicas were asked for. *)
+  replicas : (string * Moira.Mr_server.replica) list;
+      (** Read-only replica servers by machine name. *)
 }
 
 val epoch_1988_ms : int
@@ -32,6 +36,9 @@ val create :
   ?dcm_every_min:int ->
   ?retry:Dcm.Manager.retry_policy ->
   ?sanitize:bool ->
+  ?replicas:int ->
+  ?repl_poll_ms:int ->
+  ?repl_retain:int ->
   unit ->
   t
 (** Build the world: engine + network + KDC + database, populate it
@@ -44,6 +51,13 @@ val create :
     ({!Dcm.Sanitizer}) on the lock manager and every managed host's
     filesystem; it defaults to the [MOIRA_SANITIZE] environment
     variable.
+
+    [replicas] (default 0) starts that many read-only replica servers
+    on machines [MOIRA-REPLICA-<i>.MIT.EDU], each streaming the
+    primary's journal (poll period [repl_poll_ms], default 1000 ms;
+    [repl_retain] bounds the primary's entry retention so a lagging
+    replica exercises snapshot catch-up).  Point clients at them with
+    [Moira.Mr_client.set_replicas].
 
     Creation resets the global [Obs.default] registry, points its clock
     at the new engine, and wires every layer (network, Moira server,
@@ -74,6 +88,12 @@ val run_hours : t -> int -> unit
 
 val host : t -> string -> Netsim.Host.t
 (** A host by machine name.  @raise Not_found if absent. *)
+
+val replica_machine : int -> string
+(** The machine name of the [i]th (0-based) replica. *)
+
+val replica_machines : t -> string list
+(** The machine names of every running replica. *)
 
 val first_hesiod : t -> string * Hesiod.Hes_server.t
 (** The first hesiod server (machine name, server). *)

@@ -102,7 +102,8 @@ let test_moira_schema_roundtrip () =
 
 (* --- journal --- *)
 
-let entry time who query args = { Journal.time; who; query; args }
+let entry time who query args =
+  { Journal.time; who; client = "test"; query; args }
 
 let test_journal_roundtrip () =
   let j = Journal.create () in
@@ -128,6 +129,42 @@ let test_journal_since_and_replay () =
   let n = Journal.replay j ~since:20 ~f:(fun e -> seen := e.Journal.who :: !seen) in
   Alcotest.(check int) "replayed" 2 n;
   Alcotest.(check (list string)) "order" [ "b"; "c" ] (List.rev !seen)
+
+let test_journal_torn_tail () =
+  let j = Journal.create () in
+  Journal.append j (entry 10 "ann" "update_user_shell" [ "ann"; "/bin/sh" ]);
+  Journal.append j (entry 20 "bob" "add_member_to_list" [ "l:1"; "USER"; "bob" ]);
+  let lines = Journal.to_lines j in
+  (* a crash mid-append leaves a torn final record: the second entry
+     cut off before its query field *)
+  let first_line =
+    String.sub lines 0 (String.index lines '\n' + 1)
+  in
+  let torn = first_line ^ "20:bob" in
+  let torn0 =
+    Option.value (Obs.find_counter Obs.default "journal.torn_tail") ~default:0
+  in
+  let j2 = Journal.of_lines torn in
+  Alcotest.(check int) "good prefix kept" 1 (Journal.length j2);
+  Alcotest.(check string) "first entry intact" "ann"
+    (List.hd (Journal.entries j2)).Journal.who;
+  Alcotest.(check int) "torn tail counted" (torn0 + 1)
+    (Option.value (Obs.find_counter Obs.default "journal.torn_tail")
+       ~default:0);
+  (* strict mode refuses instead of truncating *)
+  (match Journal.of_lines ~strict:true torn with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "strict of_lines accepted a torn journal");
+  (* an entirely well-formed journal is untouched either way *)
+  Alcotest.(check int) "clean strict parse" 2
+    (Journal.length (Journal.of_lines ~strict:true lines))
+
+let test_journal_garbage_line () =
+  let j = Journal.create () in
+  Journal.append j (entry 10 "ann" "q" [ "a" ]);
+  let lines = Journal.to_lines j ^ "not: a; journal, record\n" in
+  let j2 = Journal.of_lines lines in
+  Alcotest.(check int) "truncated at garbage" 1 (Journal.length j2)
 
 let prop_escape_roundtrip =
   QCheck.Test.make ~name:"backup: escape/unescape roundtrip" ~count:500
@@ -197,6 +234,9 @@ let suite =
     Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
     Alcotest.test_case "journal since/replay" `Quick
       test_journal_since_and_replay;
+    Alcotest.test_case "journal torn tail" `Quick test_journal_torn_tail;
+    Alcotest.test_case "journal garbage line" `Quick
+      test_journal_garbage_line;
     QCheck_alcotest.to_alcotest prop_escape_roundtrip;
     QCheck_alcotest.to_alcotest prop_escaped_has_no_raw_colon;
     QCheck_alcotest.to_alcotest prop_row_roundtrip;

@@ -109,6 +109,7 @@ let test_journal_replay_preserves_sharing () =
         {
           Journal.time;
           who = copy_string "admin";
+          client = copy_string "moira";
           query = copy_string "update_user_shell";
           args = [ login; "/bin/sh" ];
         })
