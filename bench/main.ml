@@ -332,6 +332,7 @@ let bench_noop () =
       conn = 3;
       op = 18;
       args = [ "get_user_by_login"; "somebody" ];
+      ctx = "";
     }
   in
   let encoded = Gdb.Wire.encode_request req in
@@ -1879,6 +1880,247 @@ let bench_replication () =
       List.iter (fun f -> Printf.eprintf "REPL FAILURE: %s\n" f) fs;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* prop: commit-to-serving propagation freshness -- the tracing/SLO    *)
+(* pipeline end to end.  Every committed write carries a journal      *)
+(* stamp; replica apply and DCM serving-host install time themselves  *)
+(* against it.  Quantiles at 1x and 4x population, fault-free and     *)
+(* under the chaos fault level; under faults, one committed write's   *)
+(* stitched trace must span the client, server, replica and serving-  *)
+(* host lanes; and two identical seeded chaos runs must fingerprint   *)
+(* byte-identical across every lane (BENCH_propagation.json).         *)
+(* OBS_SMOKE=1 (CI) shrinks it.                                       *)
+
+let prop_smoke = Sys.getenv_opt "OBS_SMOKE" <> None || smoke
+
+(* Every lane's registry dump plus the extracted trace: the whole
+   telemetry surface two same-seed runs must reproduce byte for byte. *)
+let prop_fingerprint tb trace =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (m, o) ->
+      Buffer.add_string b ("== " ^ m ^ "\n");
+      Buffer.add_string b (Obs.dump o))
+    (Testbed.lanes tb);
+  Buffer.add_string b trace;
+  Buffer.contents b
+
+(* One run: a trickle of shell writes over the first hours, then enough
+   simulated time for the dirtied service intervals (HESIOD regenerates
+   every 6 hours, NFS every 12) to carry the commits to the serving
+   hosts. *)
+let prop_run ~scale ~drop ~reply_drop () =
+  let spec = Population.scaled Population.small scale in
+  let tb = Testbed.create ~spec ~replicas:2 ~repl_poll_ms:60_000 () in
+  let net = tb.Testbed.net in
+  let o = Testbed.obs tb in
+  let ws = tb.Testbed.built.Population.workstation_machines.(0) in
+  let c = Testbed.admin_client tb ~src:ws in
+  (* the write path with failover: query2 sequencing plus an in-place
+     reconnect when loss kills the connection mid-run *)
+  Moira.Mr_client.set_replicas c (Testbed.replica_machines tb);
+  (* let the replicas boot-sync past the population's build history
+     before the weather starts: every commit from here on is applied
+     entry by entry, with its repl.apply span, rather than swallowed
+     into the boot snapshot *)
+  Testbed.run_minutes tb 3;
+  Netsim.Net.set_drop_rate net drop;
+  Netsim.Net.set_reply_drop_rate net reply_drop;
+  let logins = tb.Testbed.built.Population.logins in
+  let journal = Moira.Mdb.journal tb.Testbed.mdb in
+  let writes = if prop_smoke then 4 else 12 in
+  let writes_ok = ref 0 in
+  let commits = ref 0 in
+  let traced = ref None in
+  let t0 = Sim.Engine.now tb.Testbed.engine in
+  for i = 0 to writes - 1 do
+    let seq0 = Relation.Journal.head_seq journal in
+    (* an operator retries a failed update; each attempt is its own
+       client.query root span, so retries stay visible in the trace *)
+    let rec attempt k =
+      match
+        Moira.Mr_client.mr_query_list c ~name:"update_user_shell"
+          [ logins.(i mod Array.length logins);
+            Printf.sprintf "/bin/prop%d" i ]
+      with
+      | Ok _ -> incr writes_ok
+      | Error _ -> if k > 1 then attempt (k - 1)
+    in
+    attempt 6;
+    (* the journal, not the client's return code, is the commit oracle:
+       a reply-dropped write commits without the client learning it *)
+    List.iter
+      (fun e ->
+        let ctx = e.Relation.Journal.ctx in
+        if ctx <> "" then begin
+          incr commits;
+          if !traced = None then
+            match String.index_opt ctx '/' with
+            | Some k -> traced := Some (String.sub ctx 0 k)
+            | None -> ()
+        end)
+      (Relation.Journal.entries_from journal ~seq:seq0);
+    Testbed.run_minutes tb 15
+  done;
+  (* run until the first dirtied interval fires and its pushes land
+     (retries under loss can slip a push by whole cron cycles), then
+     capture the first committed write's stitched trace before ring
+     churn under a faulty sky evicts its early client spans *)
+  let c2s_count () =
+    match Obs.find_histogram o "prop.commit_to_serving_ms" with
+    | Some s -> s.Obs.count
+    | None -> 0
+  in
+  let budget = ref (2 * 24) in
+  while c2s_count () = 0 && !budget > 0 do
+    Testbed.run_minutes tb 30;
+    decr budget
+  done;
+  let trace_id = Option.value !traced ~default:"" in
+  let trace = Testbed.trace_json ~trace:trace_id tb in
+  (* weather clears; run to a fixed horizon past the slowest dirtied
+     service interval (HESIOD regenerates every 6 hours, NFS every 12)
+     so every write's commit is carried to its serving hosts and the
+     quantiles describe interval-dominated propagation *)
+  Netsim.Net.set_drop_rate net 0.0;
+  Netsim.Net.set_reply_drop_rate net 0.0;
+  let horizon_ms = (if prop_smoke then 7 else 13) * 3_600_000 in
+  while Sim.Engine.now tb.Testbed.engine - t0 < horizon_ms do
+    Testbed.run_minutes tb 30
+  done;
+  (tb, o, (!writes_ok, !commits), trace_id, trace)
+
+let bench_prop () =
+  header
+    "prop: commit-to-serving freshness -- journal-stamped commits timed\n\
+     to replica apply and serving-host install at 1x/4x population,\n\
+     fault-free and under loss; end-to-end trace and telemetry\n\
+     determinism (BENCH_propagation.json)";
+  let failures = ref [] in
+  let drop, reply_drop = (0.3, 0.2) in
+  let h o name =
+    match Obs.find_histogram o name with
+    | Some s -> s
+    | None ->
+        { Obs.count = 0; sum = 0; min = 0; max = 0; p50 = 0; p95 = 0; p99 = 0 }
+  in
+  Printf.printf "%-15s %7s %9s %9s %9s %9s  %s\n" "config" "served"
+    "c2s_p50m" "c2s_p99m" "c2r_p50s" "c2r_p99s" "slo";
+  (* harvest reads the global registry and SLO engine, so it must run
+     before the next Testbed.create resets them *)
+  let harvest name ~drop ~reply_drop (tb, o, (writes_ok, commits), trace_id, trace) =
+    let c2s = h o "prop.commit_to_serving_ms" in
+    let c2r = h o "prop.commit_to_replica_ms" in
+    let verdict =
+      List.fold_left
+        (fun acc r ->
+          if r.Obs.Slo.r_objective.Obs.Slo.o_name = "serving-freshness-p99"
+          then Obs.Slo.verdict_name r.Obs.Slo.r_verdict
+          else acc)
+        "?"
+        (Obs.Slo.evaluate Obs.Slo.default)
+    in
+    if commits = 0 then
+      failures := (name ^ ": no write ever committed") :: !failures;
+    if c2s.Obs.count = 0 then
+      failures := (name ^ ": no commit ever reached a serving host") :: !failures;
+    if c2r.Obs.count = 0 then
+      failures := (name ^ ": no commit ever reached a replica") :: !failures;
+    json_add name
+      [
+        ("users", I (Array.length tb.Testbed.built.Population.logins));
+        ("drop_rate", F drop);
+        ("reply_drop_rate", F reply_drop);
+        ("writes_ok", I writes_ok);
+        ("writes_committed", I commits);
+        ("trace_id", S trace_id);
+        ("commits_served", I c2s.Obs.count);
+        ("commit_to_serving_p50_ms", I c2s.Obs.p50);
+        ("commit_to_serving_p99_ms", I c2s.Obs.p99);
+        ("commit_to_serving_max_ms", I c2s.Obs.max);
+        ("commits_replicated", I c2r.Obs.count);
+        ("commit_to_replica_p50_ms", I c2r.Obs.p50);
+        ("commit_to_replica_p99_ms", I c2r.Obs.p99);
+        ("serving_freshness_verdict", S verdict);
+        ("trace_bytes", I (String.length trace));
+      ];
+    Printf.printf "%-15s %7d %9d %9d %9d %9d  %s\n" name c2s.Obs.count
+      (c2s.Obs.p50 / 60_000) (c2s.Obs.p99 / 60_000) (c2r.Obs.p50 / 1000)
+      (c2r.Obs.p99 / 1000) verdict
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (* fault-free baselines: propagation lag is the service interval *)
+  harvest "prop_1x" ~drop:0.0 ~reply_drop:0.0
+    (prop_run ~scale:1.0 ~drop:0.0 ~reply_drop:0.0 ());
+  harvest "prop_4x" ~drop:0.0 ~reply_drop:0.0
+    (prop_run ~scale:4.0 ~drop:0.0 ~reply_drop:0.0 ());
+  (* the chaos fault level of E12's harshest tier *)
+  let (tb_f, _, _, trace_id, trace) as run_f =
+    prop_run ~scale:1.0 ~drop ~reply_drop ()
+  in
+  let fp1 = prop_fingerprint tb_f trace in
+  harvest "prop_1x_faulty" ~drop ~reply_drop run_f;
+  (* the committed write's trace must span every lane of Figure 1:
+     client call, server handler, replica apply, DCM push, install *)
+  let stages =
+    [
+      ("client span", "\"name\":\"client.query\"");
+      ("server handler span", "\"name\":\"query\"");
+      ("replica apply span", "\"name\":\"repl.apply\"");
+      ("dcm push span", "\"name\":\"dcm.push\"");
+      ("serving-host install span", "\"name\":\"update.exec\"");
+    ]
+  in
+  let missing =
+    List.filter (fun (_, needle) -> not (contains trace needle)) stages
+  in
+  List.iter
+    (fun (what, _) ->
+      failures :=
+        Printf.sprintf "trace %s misses the %s" trace_id what :: !failures)
+    missing;
+  Printf.printf
+    "chaos trace %s: %d bytes, end-to-end stages present: %d/%d\n" trace_id
+    (String.length trace)
+    (List.length stages - List.length missing)
+    (List.length stages);
+  harvest "prop_4x_faulty" ~drop ~reply_drop
+    (prop_run ~scale:4.0 ~drop ~reply_drop ());
+  (* an identical seeded chaos run must reproduce every lane's registry
+     and the extracted trace byte for byte: no wall clock, no global
+     RNG anywhere in the telemetry path *)
+  let tb2, _, _, _, trace2 = prop_run ~scale:1.0 ~drop ~reply_drop () in
+  let deterministic = String.equal fp1 (prop_fingerprint tb2 trace2) in
+  Printf.printf "telemetry identical across two same-seed chaos runs: %b\n"
+    deterministic;
+  if not deterministic then begin
+    let save p s = let oc = open_out p in output_string oc s; close_out oc in
+    save "PROP_fp1.txt" fp1;
+    save "PROP_fp2.txt" (prop_fingerprint tb2 trace2);
+    failures :=
+      "two identical seeded runs produced different telemetry (fingerprints \
+       in PROP_fp1.txt / PROP_fp2.txt)" :: !failures
+  end;
+  json_add "determinism"
+    [
+      ("runs", I 2);
+      ("byte_identical", B deterministic);
+      ("trace_end_to_end", B (missing = []));
+    ];
+  json_write "BENCH_propagation.json";
+  match !failures with
+  | [] ->
+      Printf.printf
+        "every commit reached its replicas and serving hosts, one chaos\n\
+         write traced end to end, telemetry byte-identical across runs\n"
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "PROP FAILURE: %s\n" f) fs;
+      exit 1
+
 let experiments =
   [
     ("table1", bench_table1);
@@ -1897,6 +2139,7 @@ let experiments =
     ("chaos", bench_chaos);
     ("obs", bench_obs);
     ("repl", bench_replication);
+    ("prop", bench_prop);
   ]
 
 let () =

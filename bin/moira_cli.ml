@@ -138,6 +138,8 @@ let stats_cmd =
         ignore (run_one c "_get_query_statistics" [ pattern ]);
         Printf.printf "\n-- slow-query log\n";
         ignore (run_one c "_get_slow_queries" []);
+        Printf.printf "\n-- network health (per-link drops, waste, latency)\n";
+        ignore (run_one c "_get_server_statistics" [ "net.link.*" ]);
         rc1)
   in
   Cmd.v
@@ -152,11 +154,28 @@ let trace_cmd =
     let doc = "Output file (Chrome trace_event JSON)." in
     Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run users out =
+  let id =
+    let doc =
+      "Keep only the end-to-end trace with this id (as tagged on \
+       slow-query rows and span args)."
+    in
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"TRACE" ~doc)
+  in
+  let run users out id =
     with_client ~users (fun tb c ->
         Netsim.Net.set_trace_calls tb.Testbed.net true;
         warm tb c;
-        let json = Obs.trace_json (Testbed.obs tb) in
+        (* a write makes sure at least one trace crosses machines:
+           client -> server -> journal -> DCM -> serving hosts *)
+        let login = tb.Testbed.built.Population.logins.(0) in
+        ignore
+          (Moira.Mr_client.mr_query_list c ~name:"update_user_shell"
+             [ login; "/bin/traced" ]);
+        (* long enough for the slowest affected service interval
+           (HESIOD regenerates every 6 simulated hours) to propagate
+           the write to its serving hosts *)
+        Testbed.run_minutes tb ((6 * 60) + 30);
+        let json = Testbed.trace_json ?trace:id tb in
         let oc = open_out out in
         output_string oc json;
         close_out oc;
@@ -168,9 +187,50 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Run a short workload with call tracing on and dump the span ring \
-          as a Chrome-loadable trace.")
-    Term.(const run $ users_arg $ out)
+         "Run a short workload with call tracing on and dump every host \
+          lane, stitched, as a Chrome-loadable trace; --id filters to one \
+          end-to-end trace.")
+    Term.(const run $ users_arg $ out $ id)
+
+let health_cmd =
+  let run users =
+    with_client ~users (fun tb c ->
+        warm tb c;
+        match Moira.Mr_client.mr_query_list c ~name:"_get_slo_status" [] with
+        | Error code ->
+            Printf.printf "health: %s\n" (Comerr.Com_err.error_message code);
+            1
+        | Ok rows ->
+            let worst = ref 0 in
+            List.iter
+              (fun row ->
+                match row with
+                | [ name; metric; stat; op; thr; window_s; value; samples;
+                    verdict ] ->
+                    (if verdict = "red" then worst := max !worst 2
+                     else if verdict = "yellow" then worst := max !worst 1);
+                    Printf.printf "%-6s %-24s %s(%s) = %s %s %s%s (n=%s)\n"
+                      (String.uppercase_ascii verdict)
+                      name metric stat value op thr
+                      (if window_s = "0" then ""
+                       else Printf.sprintf " over %ss" window_s)
+                      samples
+                | _ -> ())
+              rows;
+            Printf.printf "health: %s\n"
+              (match !worst with
+              | 0 -> "green"
+              | 1 -> "yellow"
+              | _ -> "red");
+            if !worst = 2 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run a short workload and grade every declared SLO \
+          (red/yellow/green) from the _get_slo_status query; nonzero exit \
+          when any objective is red.")
+    Term.(const run $ users_arg)
 
 let check_cmd =
   let run users =
@@ -223,5 +283,5 @@ let () =
        (Cmd.group info
           [
             query_cmd; access_cmd; list_queries_cmd; help_cmd; shell_cmd;
-            stats_cmd; trace_cmd; check_cmd;
+            stats_cmd; trace_cmd; health_cmd; check_cmd;
           ]))

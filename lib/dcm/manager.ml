@@ -115,6 +115,17 @@ type t = {
   c_retries : Obs.Counter.counter;
   c_notices_sent : Obs.Counter.counter;
   c_notices_dropped : Obs.Counter.counter;
+  slo : Obs.Slo.slo option;
+      (* checked once per cycle; breaches route through [notify] *)
+  (* Commit-to-serving bookkeeping.  [gen_seq] is the journal sequence
+     each service's current data files reflect (recorded when the
+     generator ran); [served] is the newest sequence each (service,
+     host) pair is known to serve.  Both floor at [baseline_seq], the
+     journal head when this DCM started — build history predating the
+     DCM is not propagation lag. *)
+  baseline_seq : int;
+  gen_seq : (string, int) Hashtbl.t;
+  served : (string, int) Hashtbl.t;  (* key: service ^ "/" ^ machine *)
   outputs : (string, Gen.output) Hashtbl.t;
   prev_outputs : (string, Gen.output) Hashtbl.t;
       (* generation n-1, kept as the patch base for delta pushes *)
@@ -289,7 +300,7 @@ let load_retry_state t =
 
 let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
     ?(generators = standard_generators) ?(retry = default_retry_policy) ?obs
-    () =
+    ?slo () =
   let obs = match obs with Some o -> o | None -> Netsim.Net.obs net in
   let t =
     {
@@ -307,6 +318,10 @@ let create ~net ~moira_host ~glue ?(token = "krb") ?zephyr_to ?mail_via
       c_retries = Obs.Counter.make obs "dcm.retries";
       c_notices_sent = Obs.Counter.make obs "dcm.notices.sent";
       c_notices_dropped = Obs.Counter.make obs "dcm.notices.dropped";
+      slo;
+      baseline_seq = Journal.head_seq (Moira.Mdb.journal (Moira.Glue.mdb glue));
+      gen_seq = Hashtbl.create 7;
+      served = Hashtbl.create 31;
       outputs = Hashtbl.create 7;
       prev_outputs = Hashtbl.create 7;
       parts_cache = Hashtbl.create 7;
@@ -602,6 +617,11 @@ let generate_phase t gen =
                 else begin
                   let output, rebuilt, spliced = rebuild t gen ~dfgen in
                   store_output t ~service output;
+                  (* the data files just built reflect every commit up to
+                     the journal head — the sequence freshness is charged
+                     against when a push lands them on a host *)
+                  Hashtbl.replace t.gen_seq service
+                    (Journal.head_seq (Moira.Mdb.journal (mdb t)));
                   let now = now_sec t in
                   ssif t ~service ~dfgen:now ~dfcheck:now ~inprogress:false
                     ~harderr:0 ~errmsg:"";
@@ -742,6 +762,41 @@ let host_phase t gen =
                           | Some prev -> Gen.files_for_host prev ~machine
                           | None -> []
                         in
+                        (* the commits this push would newly serve on this
+                           host: journal sequences in (served, gen_seq] —
+                           the freshness window, and the trace the push
+                           joins (as a child of the newest covered
+                           commit's span) *)
+                        let gseq =
+                          Option.value
+                            (Hashtbl.find_opt t.gen_seq service)
+                            ~default:t.baseline_seq
+                        in
+                        let svkey = service ^ "/" ^ machine in
+                        let served =
+                          Option.value
+                            (Hashtbl.find_opt t.served svkey)
+                            ~default:t.baseline_seq
+                        in
+                        let window =
+                          let rec take k = function
+                            | e :: rest when k > 0 -> e :: take (k - 1) rest
+                            | _ -> []
+                          in
+                          take
+                            (max 0 (gseq - served))
+                            (Journal.entries_from
+                               (Moira.Mdb.journal (mdb t))
+                               ~seq:served)
+                        in
+                        let parent_ctx =
+                          List.fold_left
+                            (fun acc e ->
+                              match Obs.ctx_of_string e.Journal.ctx with
+                              | Some c -> Some c
+                              | None -> acc)
+                            None window
+                        in
                         (* bounded in-cycle retries: transient soft
                            failures get [push_attempts] whole-push tries
                            (each op itself re-sent up to [op_attempts]
@@ -750,8 +805,8 @@ let host_phase t gen =
                           match
                             Update.push t.net ~src:t.moira_host ~dst:machine
                               ~token:t.token ~base
-                              ~attempts:t.policy.op_attempts ~target ~files
-                              ~script ()
+                              ~attempts:t.policy.op_attempts ?parent_ctx
+                              ~target ~files ~script ()
                           with
                           | Ok _ as ok -> ok
                           | Error (Update.Soft _)
@@ -766,6 +821,38 @@ let host_phase t gen =
                         let now = now_sec t in
                         match outcome with
                         | Ok stats ->
+                            (* the host now serves everything up to
+                               [gseq]: charge each covered commit's
+                               commit-to-serving lag and advance the
+                               freshness gauges *)
+                            let now_ms = Obs.now_ms t.obs in
+                            let h_all =
+                              Obs.Histogram.make t.obs
+                                "prop.commit_to_serving_ms"
+                            in
+                            let h_sh =
+                              Obs.Histogram.make t.obs
+                                (Printf.sprintf
+                                   "prop.%s.%s.commit_to_serving_ms"
+                                   (String.lowercase_ascii service)
+                                   (String.lowercase_ascii machine))
+                            in
+                            List.iter
+                              (fun e ->
+                                let d =
+                                  max 0
+                                    (now_ms - (e.Journal.time * 1000))
+                                in
+                                Obs.Histogram.observe h_all d;
+                                Obs.Histogram.observe h_sh d)
+                              window;
+                            (match List.rev window with
+                            | newest :: _ ->
+                                Obs.Freshness.note_commit t.obs
+                                  ~host:machine
+                                  ~commit_s:newest.Journal.time
+                            | [] -> ());
+                            Hashtbl.replace t.served svkey gseq;
                             Obs.Counter.add t.c_retries
                               stats.Update.op_retries;
                             rs.fails <- 0;
@@ -910,6 +997,15 @@ let run t =
         t.generators
   in
   count_outcomes t services;
+  (* freshness/SLO heartbeat: re-derive staleness (hosts that stopped
+     applying keep growing stale), snapshot window baselines, and route
+     any breach through the ordinary DCM notification path *)
+  Obs.Freshness.refresh t.obs;
+  (match t.slo with
+  | Some s ->
+      Obs.Slo.tick s;
+      ignore (Obs.Slo.check s ~notify:(notify t))
+  | None -> ());
   let report =
     {
       at;

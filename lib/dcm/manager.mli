@@ -121,6 +121,7 @@ val create :
   ?generators:Gen.t list ->
   ?retry:retry_policy ->
   ?obs:Obs.t ->
+  ?slo:Obs.Slo.slo ->
   unit ->
   t
 (** A DCM bound to the Moira host.  [zephyr_to] names the host running a
@@ -148,7 +149,17 @@ val create :
     [dcm.cycle] → [dcm.service] → [dcm.generate]/[dcm.hosts] →
     [dcm.push] span tree, per-outcome [dcm.gen.*]/[dcm.host.*]
     counters, [dcm.retries], [dcm.notices.*], and a [dcm.notify] log
-    channel.  The report fields are deltas of those same counters. *)
+    channel.  The report fields are deltas of those same counters.
+
+    Each successful push additionally records commit-to-serving lag:
+    every journal commit the push newly lands on the host observes into
+    [prop.commit_to_serving_ms] (and the per-pair
+    [prop.<service>.<machine>.commit_to_serving_ms]), the host's
+    freshness gauges advance, and the push's [dcm.push] span joins the
+    newest covered commit's trace.  With [slo], every cycle also
+    refreshes staleness, ticks the window snapshots, and routes SLO
+    breaches through the same zephyr/mail notification path (one
+    notice per breach episode). *)
 
 val run : t -> report
 (** One DCM invocation. *)

@@ -7,6 +7,15 @@ let op_exec = 35
 let op_manifest = 36
 let op_delta = 37
 
+let op_slug op =
+  if op = op_xfer then "xfer"
+  else if op = op_script then "script"
+  else if op = op_flush then "flush"
+  else if op = op_exec then "exec"
+  else if op = op_manifest then "manifest"
+  else if op = op_delta then "delta"
+  else string_of_int op
+
 let service_name = "moira_update"
 let staged_suffix = ".moira_update"
 let last_suffix = ".last"
@@ -46,6 +55,7 @@ type base_entry = {
 type server = {
   host : Netsim.Host.t;
   token : string;
+  obs : Obs.t;  (* span lane for this serving host *)
   scripts : (string, script) Hashtbl.t;
   base_cache : (string, base_entry) Hashtbl.t;  (* keyed by target *)
   (* delta reconstructions awaiting exec, keyed by target; validated
@@ -260,6 +270,14 @@ let handle t payload =
   | Ok req -> (
       match req.Gdb.Wire.args with
       | token :: args when token = t.token ->
+          (* Install-side span, parented on the DCM's push span when the
+             request carries a context — the serving-host end of the
+             commit-to-serving trace. *)
+          Obs.with_span t.obs
+            ?parent_ctx:(Obs.ctx_of_string req.Gdb.Wire.ctx)
+            ~attrs:[ ("op", op_slug req.Gdb.Wire.op) ]
+            ("update." ^ op_slug req.Gdb.Wire.op)
+          @@ fun () ->
           let fs = Netsim.Host.fs t.host in
           if req.op = op_xfer then begin
             match args with
@@ -431,11 +449,12 @@ let handle t payload =
       | _ :: _ -> reply Moira.Mr_err.perm []
       | [] -> reply Moira.Mr_err.args [])
 
-let serve ?(token = "krb") host =
+let serve ?(token = "krb") ?(obs = Obs.default) host =
   let t =
     {
       host;
       token;
+      obs;
       scripts = Hashtbl.create 7;
       base_cache = Hashtbl.create 4;
       delta_cache = Hashtbl.create 4;
@@ -542,8 +561,8 @@ type push_stats = {
   wasted_bytes : int;
 }
 
-let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
-    ~files ~script () =
+let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1)
+    ?parent_ctx ~target ~files ~script () =
   let wire = ref 0 and retries = ref 0 and wasted = ref 0 in
   (* Protocol-op accounting on the net's registry.  The invariant the
      chaos tests cross-check: every op sent is accounted exactly once —
@@ -556,6 +575,7 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
     Obs.Counter.make obs ("update.ops.failed." ^ Netsim.Net.failure_slug f)
   in
   let call op args =
+    let slug = op_slug op in
     let payload =
       Gdb.Wire.encode_request
         {
@@ -563,62 +583,90 @@ let push net ~src ~dst ?(token = "krb") ?(base = []) ?(attempts = 1) ~target
           conn = 0;
           op;
           args = token :: args;
+          (* ops carry the push span's context so the serving host's
+             install spans join the same trace *)
+          ctx =
+            (match Obs.current_ctx obs with
+            | Some c -> Obs.ctx_to_string c
+            | None -> "");
         }
     in
     (* Every op is safe to re-send: xfer/delta/script overwrite their
        staging files, manifest and flush are read-only/idempotent, and
        exec carries the archive checksum so a re-sent confirm of an
-       already-applied install is acknowledged without re-running. *)
+       already-applied install is acknowledged without re-running.
+       Each attempt is its own child span under dcm.push, so retries
+       are visible in the trace. *)
     let rec go attempt =
+      let sp =
+        Obs.span_begin obs
+          ~attrs:[ ("op", slug); ("host", dst); ("attempt", string_of_int attempt) ]
+          "update.op"
+      in
       wire := !wire + String.length payload;
       Obs.Counter.incr c_sent;
       match Netsim.Net.call net ~src ~dst ~service:service_name payload with
+      | Error f when attempt < attempts ->
+          incr retries;
+          Obs.Counter.incr c_retried;
+          wasted := !wasted + String.length payload;
+          Obs.span_end obs
+            ~attrs:[ ("outcome", "retry:" ^ Netsim.Net.failure_slug f) ]
+            sp;
+          go (attempt + 1)
       | Error f ->
-          if attempt < attempts then begin
-            incr retries;
-            Obs.Counter.incr c_retried;
-            wasted := !wasted + String.length payload;
-            go (attempt + 1)
-          end
-          else begin
-            Obs.Counter.incr (c_failed f);
-            Error
-              (Soft
-                 ( (match f with
-                   | Netsim.Net.Host_down | Netsim.Net.No_host ->
-                       Moira.Mr_err.host_unreachable
-                   | _ -> Moira.Mr_err.update_timeout),
-                   Netsim.Net.failure_to_string f ))
-          end
-      | Ok raw -> (
+          Obs.Counter.incr (c_failed f);
+          Obs.span_end obs ~attrs:[ ("outcome", Netsim.Net.failure_slug f) ] sp;
+          Error
+            (Soft
+               ( (match f with
+                 | Netsim.Net.Host_down | Netsim.Net.No_host ->
+                     Moira.Mr_err.host_unreachable
+                 | _ -> Moira.Mr_err.update_timeout),
+                 Netsim.Net.failure_to_string f ))
+      | Ok raw ->
           Obs.Counter.incr c_ok;
           wire := !wire + String.length raw;
-          match Gdb.Wire.decode_reply raw with
-          | Error e -> Error (Soft (Moira.Mr_err.aborted, e))
-          | Ok reply ->
-              if reply.Gdb.Wire.code = 0 then Ok reply.Gdb.Wire.tuples
-              else if reply.Gdb.Wire.code = Moira.Mr_err.update_checksum then begin
-                Obs.Counter.incr (Obs.Counter.make obs "update.proto.soft");
-                Error (Soft (reply.Gdb.Wire.code, "checksum mismatch"))
-              end
-              else if reply.Gdb.Wire.code = Moira.Mr_err.perm then begin
-                Obs.Counter.incr (Obs.Counter.make obs "update.proto.hard");
-                Error (Hard (reply.Gdb.Wire.code, "authentication rejected"))
-              end
-              else begin
-                Obs.Counter.incr (Obs.Counter.make obs "update.proto.hard");
-                let detail =
-                  match reply.Gdb.Wire.tuples with
-                  | [ [ msg ] ] -> msg
-                  | _ -> Comerr.Com_err.error_message reply.Gdb.Wire.code
-                in
-                Error (Hard (reply.Gdb.Wire.code, detail))
-              end)
+          let res =
+            match Gdb.Wire.decode_reply raw with
+            | Error e -> Error (Soft (Moira.Mr_err.aborted, e))
+            | Ok reply ->
+                if reply.Gdb.Wire.code = 0 then Ok reply.Gdb.Wire.tuples
+                else if reply.Gdb.Wire.code = Moira.Mr_err.update_checksum then begin
+                  Obs.Counter.incr (Obs.Counter.make obs "update.proto.soft");
+                  Error (Soft (reply.Gdb.Wire.code, "checksum mismatch"))
+                end
+                else if reply.Gdb.Wire.code = Moira.Mr_err.perm then begin
+                  Obs.Counter.incr (Obs.Counter.make obs "update.proto.hard");
+                  Error (Hard (reply.Gdb.Wire.code, "authentication rejected"))
+                end
+                else begin
+                  Obs.Counter.incr (Obs.Counter.make obs "update.proto.hard");
+                  let detail =
+                    match reply.Gdb.Wire.tuples with
+                    | [ [ msg ] ] -> msg
+                    | _ -> Comerr.Com_err.error_message reply.Gdb.Wire.code
+                  in
+                  Error (Hard (reply.Gdb.Wire.code, detail))
+                end
+          in
+          Obs.span_end obs
+            ~attrs:
+              [
+                ( "outcome",
+                  match res with
+                  | Ok _ -> "ok"
+                  | Error (Soft _) -> "soft"
+                  | Error (Hard _) -> "hard" );
+              ]
+            sp;
+          res
     in
     go 1
   in
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
-  Obs.with_span obs "dcm.push" ~attrs:[ ("host", dst); ("target", target) ]
+  Obs.with_span obs ?parent_ctx "dcm.push"
+    ~attrs:[ ("host", dst); ("target", target) ]
   @@ fun () ->
   (* The checksum and size stream over the member docs, so the delta
      path — the common case once a host has a base — never allocates the

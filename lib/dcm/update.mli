@@ -36,10 +36,13 @@ type script = staged:string -> (unit, string) result
 (** An installation instruction sequence: receives the staged archive
     path on the local filesystem; performs the installs. *)
 
-val serve : ?token:string -> Netsim.Host.t -> server
+val serve : ?token:string -> ?obs:Obs.t -> Netsim.Host.t -> server
 (** Install the update service on a host.  [token] (default ["krb"])
     stands in for the Kerberos mutual authentication of section 5.9.2;
-    requests bearing a different token are rejected. *)
+    requests bearing a different token are rejected.  [obs] (default
+    {!Obs.default}) is the registry on which the server records its
+    per-op install spans; giving each serving host its own registry
+    puts it in its own lane of a merged cluster trace. *)
 
 val register_script : server -> name:string -> script -> unit
 (** Make a named script available for execution on this host. *)
@@ -86,6 +89,7 @@ type push_stats = {
 val push :
   Netsim.Net.t -> src:string -> dst:string -> ?token:string ->
   ?base:(string * Sink.doc) list -> ?attempts:int ->
+  ?parent_ctx:Obs.ctx ->
   target:string -> files:(string * Sink.doc) list -> script:string ->
   unit -> (push_stats, failure) result
 (** Run the full protocol against host [dst]: transfer [files] to
@@ -104,4 +108,11 @@ val push :
     operation is idempotent under re-send — in particular the exec
     confirm carries the archive checksum, so a server that already
     installed the archive but whose reply was lost acknowledges the
-    repeat instead of running the script twice. *)
+    repeat instead of running the script twice.
+
+    The push runs inside a [dcm.push] span on the net's registry;
+    [parent_ctx] parents that span on an upstream trace (the newest
+    commit the push serves), each transport attempt is a child
+    [update.op] span with its outcome, and every op carries the push
+    context on the wire so the serving host's install spans join the
+    same trace. *)

@@ -17,10 +17,10 @@ type t = {
   mutable connected : bool;
 }
 
-let raw_call t ~op args =
+let raw_call t ?(ctx = "") ~op args =
   let payload =
     Wire.encode_request
-      { Wire.version = Wire.protocol_version; conn = t.conn; op; args }
+      { Wire.version = Wire.protocol_version; conn = t.conn; op; args; ctx }
   in
   match
     Netsim.Net.call t.net ~src:t.src ~dst:t.dst ~service:t.service payload
@@ -53,10 +53,10 @@ let connect net ~src ~dst ~service =
         | _ -> Error (Protocol "bad open reply")
       end
 
-let call t ~op args =
+let call t ?ctx ~op args =
   if not t.connected then Error (Net Netsim.Net.Host_down)
   else
-    match raw_call t ~op args with
+    match raw_call t ?ctx ~op args with
     | Error _ as e -> e
     | Ok reply ->
         if

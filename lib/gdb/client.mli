@@ -16,9 +16,13 @@ val connect :
   (t, error) result
 (** Open a connection from host [src] to [service] on host [dst]. *)
 
-val call : t -> op:int -> string list -> (int * string list list, error) result
+val call :
+  t -> ?ctx:string -> op:int -> string list ->
+  (int * string list list, error) result
 (** Send one application request; on success return the server's
-    [(error_code, tuples)].  A transport failure closes the connection. *)
+    [(error_code, tuples)].  [?ctx] is an opaque serialized trace
+    context carried in the request trailer (default none).  A
+    transport failure closes the connection. *)
 
 val disconnect : t -> (unit, error) result
 (** Politely close.  The connection is unusable afterwards regardless. *)

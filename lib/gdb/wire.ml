@@ -5,6 +5,7 @@ type request = {
   conn : int;
   op : int;
   args : string list;
+  ctx : string;
 }
 
 type reply = {
@@ -61,6 +62,9 @@ let encode_request r =
   add_int buf r.op;
   add_int buf (List.length r.args);
   List.iter (add_counted buf) r.args;
+  (* Trace context rides as an optional trailing counted string, so a
+     context-free request encodes byte-identically to the old format. *)
+  if r.ctx <> "" then add_counted buf r.ctx;
   Buffer.contents buf
 
 let decode_request s =
@@ -78,7 +82,10 @@ let decode_request s =
         args (n - 1) (a :: acc)
     in
     let* args = args argc [] in
-    Ok { version; conn; op; args }
+    let* ctx =
+      if cur.pos >= String.length cur.data then Ok "" else take_counted cur
+    in
+    Ok { version; conn; op; args; ctx }
   end
 
 let encode_reply r =

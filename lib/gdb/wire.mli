@@ -13,6 +13,10 @@ type request = {
   conn : int;  (** Connection id (0 before a connection is open). *)
   op : int;  (** Major request number. *)
   args : string list;  (** Counted-string arguments. *)
+  ctx : string;  (** Serialized trace context ({!Obs.ctx_to_string});
+                     [""] = none.  Encoded as an optional trailing
+                     counted string, so context-free requests keep the
+                     historical framing byte for byte. *)
 }
 
 type reply = {

@@ -102,7 +102,7 @@ let static_queries qs =
    probe the registry it belongs to without recursing. *)
 let probe_queries mdb qs =
   let ctx =
-    { Query.mdb; caller = ""; client = "check"; privileged = true }
+    { Query.mdb; caller = ""; client = "check"; privileged = true; trace = "" }
   in
   List.concat_map
     (fun q ->

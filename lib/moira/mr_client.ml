@@ -233,13 +233,19 @@ let replica_conn t rs =
                   ignore (Gdb.Client.disconnect c);
                   None)))
 
+(* The trace context outbound requests carry: the innermost span open
+   on the net's registry (the [client.query] span [mr_query] opens, or
+   whatever workload span encloses it). *)
+let wire_ctx t =
+  Option.map Obs.ctx_to_string (Obs.current_ctx (Netsim.Net.obs t.net))
+
 (* One sequenced query against one connection.  [`Done] is a server
    verdict (authoritative: the query ran, or was refused, at a server
    caught up to our high-water mark); [`Stale] and [`Transport] both
    mean "ask someone else", but only the latter indicts the server. *)
 let call_query2 t c ~name args ~callback =
   match
-    Gdb.Client.call c ~op:Protocol.op_query2
+    Gdb.Client.call c ?ctx:(wire_ctx t) ~op:Protocol.op_query2
       (string_of_int t.hw :: name :: args)
   with
   | Ok (0, seq_row :: tuples) ->
@@ -346,11 +352,18 @@ let mr_query t ~name args ~callback =
      the number an application would actually wait. *)
   let obs = Netsim.Net.obs t.net in
   let clock = Sim.Engine.clock (Netsim.Net.engine t.net) in
+  (* the root of a write's end-to-end trace: the server's handler span,
+     the commit's replica applies and the DCM install all descend from
+     this span via the wire context *)
+  let sp = Obs.span_begin obs "client.query" ~attrs:[ ("name", name) ] in
   let t0 = clock () in
   let code =
     if t.replicas = [] then
       with_conn t (fun c ->
-          match Gdb.Client.call c ~op:Protocol.op_query (name :: args) with
+          match
+            Gdb.Client.call c ?ctx:(wire_ctx t) ~op:Protocol.op_query
+              (name :: args)
+          with
           | Ok (0, tuples) ->
               List.iter callback tuples;
               0
@@ -388,6 +401,7 @@ let mr_query t ~name args ~callback =
   Obs.Histogram.observe
     (Obs.Histogram.make obs ("client.query." ^ name ^ ".ms"))
     dur;
+  Obs.span_end obs sp ~attrs:[ ("code", string_of_int code) ];
   code
 
 let mr_query_list t ~name args =

@@ -84,12 +84,13 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
   let registry =
     Catalog.make ~list_users ~trigger_dcm ?extra:extra_queries ()
   in
-  let ctx_of (info : conn_state Gdb.Server.conn_info) =
+  let ctx_of ?(trace = "") (info : conn_state Gdb.Server.conn_info) =
     {
       Query.mdb;
       caller = info.state.principal;
       client = info.state.client_name;
       privileged = false;
+      trace;
     }
   in
   let do_access t info name args =
@@ -119,15 +120,20 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
         Hashtbl.reset cache
     | _ -> ()
   in
-  let run_query t info name args =
+  let run_query t info ~wire_ctx name args =
     (* Span + latency histogram per query.  Durations are engine time:
        a pure handler reads as 0 ms, nested RPCs (trigger_dcm, remote
        lookups) charge their real simulated cost — exactly what a
-       slow-query log should surface. *)
+       slow-query log should surface.  [wire_ctx] is the trace context
+       the request carried; the handler span joins that trace, and a
+       committing query journals the handler span's own context, so
+       replica apply and DCM install land under this span. *)
     let sp =
       Obs.span_begin t.obs "query"
+        ?parent_ctx:(Obs.ctx_of_string wire_ctx)
         ~attrs:[ ("name", name); ("caller", info.Gdb.Server.state.principal) ]
     in
+    let span_ctx = Obs.span_ctx sp in
     let t0 = t.clock () in
     let code, tuples =
       if
@@ -137,7 +143,11 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
            | None -> false)
       then (Mr_err.read_only_replica, [])
       else
-        match Query.execute t.registry (ctx_of info) ~name args with
+        match
+          Query.execute t.registry
+            (ctx_of ~trace:(Obs.ctx_to_string span_ctx) info)
+            ~name args
+        with
         | Ok tuples ->
             (match Query.find t.registry name with
             | Some q when q.Query.kind <> Query.Retrieve -> invalidate t
@@ -159,6 +169,7 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
             ("ms", string_of_int dur);
             ("caller", info.Gdb.Server.state.principal);
             ("code", string_of_int code);
+            ("trace", span_ctx.Obs.trace_id);
           ]
         name;
     Obs.span_end t.obs sp ~attrs:[ ("code", string_of_int code) ];
@@ -181,7 +192,7 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
     else if req.op = Protocol.op_query then begin
       Obs.Counter.incr t.c_served;
       match req.args with
-      | name :: args -> run_query t info name args
+      | name :: args -> run_query t info ~wire_ctx:req.ctx name args
       | [] -> (Mr_err.args, [])
     end
     else if req.op = Protocol.op_query2 then begin
@@ -191,7 +202,7 @@ let create ?(backend = Gdb.Server.Per_server 1500) ?(access_cache = false)
           let hw = Option.value (int_of_string_opt hw) ~default:0 in
           if hw > t.seq_of () then (Mr_err.replica_stale, [])
           else begin
-            let code, tuples = run_query t info name args in
+            let code, tuples = run_query t info ~wire_ctx:req.ctx name args in
             if code = 0 then
               (* head tuple: the sequence the reply reflects, so the
                  client can advance its high-water mark *)
@@ -260,7 +271,7 @@ let replica_server r = r.rep_server
 let replica_mdb r = r.rep_mdb
 let replica_handle r = r.rep_handle
 
-let create_replica ?backend ?access_cache ?obs ?slow_query_ms
+let create_replica ?backend ?access_cache ?obs ?trace_obs ?slow_query_ms
     ?(poll_ms = 1_000) ?boot_from_snapshot ~net ~host ~primary ~kdc () =
   let engine = Netsim.Net.engine net in
   (* Applying a journal entry pins the database clock to the entry's
@@ -282,17 +293,36 @@ let create_replica ?backend ?access_cache ?obs ?slow_query_ms
     create ?backend ?access_cache ?obs ?slow_query_ms ~read_only:true ~net
       ~host ~mdb ~kdc ()
   in
+  (* Span lane for this replica's applies (a per-host registry in the
+     testbed, so the merged trace shows the replica as its own lane). *)
+  let tobs =
+    match trace_obs with
+    | Some o -> o
+    | None -> ( match obs with Some o -> o | None -> Netsim.Net.obs net)
+  in
   let apply (e : Relation.Journal.entry) =
     pinned := Some e.Relation.Journal.time;
     Fun.protect
       ~finally:(fun () -> pinned := None)
       (fun () ->
+        Obs.with_span tobs
+          ?parent_ctx:(Obs.ctx_of_string e.Relation.Journal.ctx)
+          ~attrs:
+            [
+              ("query", e.Relation.Journal.query);
+              ("commit_s", string_of_int e.Relation.Journal.time);
+            ]
+          "repl.apply"
+        @@ fun () ->
         let ctx =
           {
             Query.mdb;
             caller = e.Relation.Journal.who;
             client = e.Relation.Journal.client;
             privileged = true;
+            (* replay stamps the primary's ctx, so the replica's own
+               journal matches the primary's byte for byte *)
+            trace = e.Relation.Journal.ctx;
           }
         in
         match

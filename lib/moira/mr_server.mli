@@ -45,7 +45,11 @@ val create :
     histogram sample (engine time: pure handlers read as 0 ms, nested
     RPCs charge their simulated cost) and, past [slow_query_ms]
     (default 1000), a [slow_query] log entry — all into [obs], which
-    defaults to the net's registry. *)
+    defaults to the net's registry.  The [query] span joins the trace
+    context the request carried (the GDB wire trailer), the slow-query
+    entry is tagged with the trace id, and a committing query journals
+    the span's own context — so a write's replica applies and DCM
+    installs trace back to the client call that caused them. *)
 
 val access_cache_stats : t -> cache_stats
 (** Live counters of the access cache (zeros when disabled). *)
@@ -90,6 +94,7 @@ val create_replica :
   ?backend:Gdb.Server.backend_cost ->
   ?access_cache:bool ->
   ?obs:Obs.t ->
+  ?trace_obs:Obs.t ->
   ?slow_query_ms:int ->
   ?poll_ms:int ->
   ?boot_from_snapshot:bool ->
@@ -104,7 +109,10 @@ val create_replica :
     [poll_ms] simulated milliseconds (default 1000).  Replay pins the
     replica's database clock to each entry's commit time, so restored
     and replayed rows — modtime stamps included — are byte-identical to
-    the primary's. *)
+    the primary's.  Each apply records a [repl.apply] span parented on
+    the journal entry's trace context, into [trace_obs] (default: the
+    server's registry) — a per-host registry here gives the replica its
+    own lane in {!Obs.merge_trace_json}. *)
 
 val replica_server : replica -> t
 val replica_mdb : replica -> Mdb.t

@@ -591,7 +591,7 @@ let q_get_slow_queries =
     short = "gslq";
     kind = Retrieve;
     inputs = [];
-    outputs = [ "time"; "query"; "ms"; "caller" ];
+    outputs = [ "time"; "query"; "ms"; "caller"; "trace" ];
     check_access = Query.access_anyone;
     handler =
       (fun _ _ ->
@@ -606,8 +606,46 @@ let q_get_slow_queries =
                  e.Obs.l_msg;
                  attr "ms" e;
                  attr "caller" e;
+                 attr "trace" e;
                ])
              (Obs.logs Obs.default ~channel:"slow_query" ())));
+  }
+
+(* The SLO scoreboard, over the global [Obs.Slo.default] the testbed
+   configures: one row per objective, graded on demand.  Staleness is
+   re-derived first so a host that stopped applying shows its true lag
+   even between DCM cycles. *)
+let q_get_slo_status =
+  {
+    Query.name = "_get_slo_status";
+    short = "gsls";
+    kind = Retrieve;
+    inputs = [];
+    outputs =
+      [ "name"; "metric"; "stat"; "op"; "threshold"; "window_s"; "value";
+        "samples"; "verdict" ];
+    check_access = Query.access_anyone;
+    handler =
+      (fun _ _ ->
+        Obs.Freshness.refresh Obs.default;
+        let rows =
+          List.map
+            (fun r ->
+              let o = r.Obs.Slo.r_objective in
+              [
+                o.Obs.Slo.o_name;
+                o.Obs.Slo.o_metric;
+                Obs.Slo.stat_name o.Obs.Slo.o_stat;
+                Obs.Slo.op_name o.Obs.Slo.o_op;
+                string_of_int o.Obs.Slo.o_threshold;
+                string_of_int (o.Obs.Slo.o_window_ms / 1000);
+                string_of_int r.Obs.Slo.r_value;
+                string_of_int r.Obs.Slo.r_samples;
+                Obs.Slo.verdict_name r.Obs.Slo.r_verdict;
+              ])
+            (Obs.Slo.evaluate Obs.Slo.default)
+        in
+        if rows = [] then Error Mr_err.no_match else Ok rows);
   }
 
 let queries =
@@ -618,4 +656,5 @@ let queries =
     q_delete_printcap; q_get_alias; q_add_alias; q_delete_alias; q_get_value;
     q_add_value; q_update_value; q_delete_value; q_get_all_table_stats;
     q_get_server_statistics; q_get_query_statistics; q_get_slow_queries;
+    q_get_slo_status;
   ]

@@ -3,6 +3,7 @@ type ctx = {
   caller : string;
   client : string;
   privileged : bool;
+  trace : string;
 }
 
 type kind = Retrieve | Append | Update | Delete
@@ -85,6 +86,7 @@ let execute r ctx ~name args =
               who = (if ctx.caller = "" then "(direct)" else ctx.caller);
               client = ctx.client;
               query = q.name;
+              ctx = ctx.trace;
               args;
             });
       Ok tuples

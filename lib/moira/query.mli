@@ -12,6 +12,10 @@ type ctx = {
   caller : string;  (** Authenticated principal ([""] if unauthenticated). *)
   client : string;  (** Client program name (recorded in [modwith]). *)
   privileged : bool;  (** Direct/glue callers bypass access control. *)
+  trace : string;
+      (** Serialized trace context of the call ([""] = none); stamped
+          onto journal entries so a commit's downstream propagation
+          joins the caller's trace. *)
 }
 
 type kind = Retrieve | Append | Update | Delete

@@ -144,11 +144,31 @@ let link_of t a b =
       Hashtbl.replace t.links (link_key a b) l;
       l
 
+(* Per-link metric names use the unordered pair, lowercased:
+   [net.link.<a>:<b>.drop.<kind>], [net.link.<a>:<b>.wasted_bytes].
+   They are created lazily on the failure paths only, so a healthy
+   link never materializes metrics. *)
+let link_slug a b =
+  let a, b = link_key a b in
+  String.lowercase_ascii a ^ ":" ^ String.lowercase_ascii b
+
+let link_drop t ~src ~dst ~kind ~wasted =
+  let base = "net.link." ^ link_slug src dst in
+  Obs.Counter.incr (Obs.Counter.make t.obs (base ^ ".drop." ^ kind));
+  if wasted > 0 then
+    Obs.Counter.add (Obs.Counter.make t.obs (base ^ ".wasted_bytes")) wasted
+
 let set_link_faults t ~a ~b ?drop ?reply_drop ?latency_ms () =
   let l = link_of t a b in
   Option.iter (fun r -> l.l_drop <- r) drop;
   Option.iter (fun r -> l.l_reply_drop <- r) reply_drop;
-  Option.iter (fun ms -> l.l_latency_ms <- ms) latency_ms
+  Option.iter
+    (fun ms ->
+      l.l_latency_ms <- ms;
+      Obs.Gauge.set
+        (Obs.Gauge.make t.obs ("net.link." ^ link_slug a b ^ ".latency_ms"))
+        ms)
+    latency_ms
 
 let clear_link_faults t = Hashtbl.reset t.links
 
@@ -265,12 +285,14 @@ let call t ~src ~dst ~service payload =
   | Some _ when partitioned t src dst ->
       (* Neither side can reach the other: indistinguishable from loss. *)
       Obs.Counter.incr t.ctr.c_partitioned;
+      link_drop t ~src ~dst ~kind:"partition" ~wasted:req_len;
       waste req_len;
       Sim.Engine.advance t.engine t.timeout_ms;
       fail Timeout
   | Some h when not (Host.is_up h) ->
       (* A down host looks like a connection that never completes. *)
       Obs.Counter.incr t.ctr.c_down;
+      link_drop t ~src ~dst ~kind:"host_down" ~wasted:req_len;
       waste req_len;
       Sim.Engine.advance t.engine t.timeout_ms;
       fail Host_down
@@ -285,6 +307,7 @@ let call t ~src ~dst ~service payload =
         Obs.Counter.incr t.ctr.c_req_dropped;
         Obs.instant t.obs "net.drop"
           ~attrs:[ ("kind", "request"); ("src", src); ("dst", dst); ("service", service) ];
+        link_drop t ~src ~dst ~kind:"request" ~wasted:req_len;
         waste req_len;
         Sim.Engine.advance t.engine t.timeout_ms;
         fail Timeout
@@ -321,6 +344,8 @@ let call t ~src ~dst ~service payload =
                   Obs.instant t.obs "net.drop"
                     ~attrs:
                       [ ("kind", "reply"); ("src", src); ("dst", dst); ("service", service) ];
+                  link_drop t ~src ~dst ~kind:"reply"
+                    ~wasted:(req_len + rep_len);
                   waste (req_len + rep_len);
                   Sim.Engine.advance t.engine t.timeout_ms;
                   fail Timeout
@@ -333,6 +358,7 @@ let call t ~src ~dst ~service payload =
                 end
             | exception Host.Crashed point ->
                 Obs.Counter.incr t.ctr.c_crashed;
+                link_drop t ~src ~dst ~kind:"crash" ~wasted:req_len;
                 waste req_len;
                 Sim.Engine.advance t.engine t.timeout_ms;
                 fail (Remote_crash point))

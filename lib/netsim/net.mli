@@ -107,7 +107,15 @@ val set_link_faults :
 (** Set fault parameters for the (unordered) link between hosts [a] and
     [b]: request-drop probability, reply-drop probability, and extra
     one-way latency charged on each direction.  Omitted parameters keep
-    their current values (all default 0). *)
+    their current values (all default 0).  Setting [latency_ms] records
+    it in the [net.link.<a>:<b>.latency_ms] gauge.
+
+    Every failed call also charges the per-link counters
+    [net.link.<a>:<b>.drop.<kind>] (kinds: [request], [reply],
+    [partition], [host_down], [crash]) and
+    [net.link.<a>:<b>.wasted_bytes] — the link pair is unordered and
+    lowercased, and the counters materialize lazily, only when a link
+    actually fails. *)
 
 val clear_link_faults : t -> unit
 (** Forget all per-link fault state. *)

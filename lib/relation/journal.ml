@@ -3,6 +3,7 @@ type entry = {
   who : string;
   client : string;
   query : string;
+  ctx : string;
   args : string list;
 }
 
@@ -54,15 +55,17 @@ let clear t =
   t.entries <- [];
   t.count <- 0
 
+(* The trace context rides in column 5, between the query name and its
+   arguments; "" = no context (e.g. entries written before tracing). *)
 let encode_entry e =
   Backup.encode_row
-    (string_of_int e.time :: e.who :: e.client :: e.query :: e.args)
+    (string_of_int e.time :: e.who :: e.client :: e.query :: e.ctx :: e.args)
 
 let decode_entry line =
   match Backup.decode_row line with
-  | time :: who :: client :: query :: args -> (
+  | time :: who :: client :: query :: ctx :: args -> (
       match int_of_string_opt time with
-      | Some time -> Ok { time; who; client; query; args }
+      | Some time -> Ok { time; who; client; query; ctx; args }
       | None -> Error "bad timestamp")
   | _ -> Error "short line"
   | exception Failure msg -> Error msg

@@ -15,6 +15,11 @@ type entry = {
       (** Client program acting for the principal (modwith) — recorded
           so replaying an entry reproduces the audit stamps exactly. *)
   query : string;  (** Query-handle name (e.g. ["update_user_shell"]). *)
+  ctx : string;
+      (** Serialized trace context of the committing call ([""] = none):
+          the stamp that lets replica apply and DCM install join the
+          commit's end-to-end trace, and — with [time] — the freshness
+          clock commit-to-serving lag is measured against. *)
   args : string list;  (** The query's arguments. *)
 }
 
@@ -52,7 +57,7 @@ val clear : t -> unit
 
 val to_lines : t -> string
 (** Serialize, one entry per line in the backup escape format:
-    [time:who:client:query:arg1:...:argN]. *)
+    [time:who:client:query:ctx:arg1:...:argN]. *)
 
 val of_lines : ?strict:bool -> string -> t
 (** Parse back what {!to_lines} produced.  By default a malformed record

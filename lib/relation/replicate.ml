@@ -31,14 +31,14 @@ let min_served p =
 let encode_entry (e : Journal.entry) =
   Backup.encode_row
     (string_of_int e.Journal.time
-    :: e.Journal.who :: e.Journal.client :: e.Journal.query
+    :: e.Journal.who :: e.Journal.client :: e.Journal.query :: e.Journal.ctx
     :: e.Journal.args)
 
 let decode_entry line =
   match Backup.decode_row line with
-  | time :: who :: client :: query :: args -> (
+  | time :: who :: client :: query :: ctx :: args -> (
       match int_of_string_opt time with
-      | Some time -> Some { Journal.time; who; client; query; args }
+      | Some time -> Some { Journal.time; who; client; query; ctx; args }
       | None -> None)
   | _ -> None
   | exception Failure _ -> None
@@ -163,6 +163,8 @@ type replica = {
   c_gaps : Obs.Counter.counter;
   h_lag_entries : Obs.Histogram.histogram;
   h_apply_delay : Obs.Histogram.histogram;
+  h_c2r : Obs.Histogram.histogram;
+  h_c2r_self : Obs.Histogram.histogram;
 }
 
 let applied_seq r = r.r_applied
@@ -183,8 +185,13 @@ let now_ms r = Obs.now_ms r.r_obs
 
 let observe_applied r (e : Journal.entry) =
   Obs.Counter.incr r.c_applied;
-  Obs.Histogram.observe r.h_apply_delay
-    (max 0 (now_ms r - (e.Journal.time * 1000)))
+  let delay = max 0 (now_ms r - (e.Journal.time * 1000)) in
+  Obs.Histogram.observe r.h_apply_delay delay;
+  (* the freshness view of the same event: commit-to-replica lag per
+     host, plus the staleness gauges the SLO engine reads *)
+  Obs.Histogram.observe r.h_c2r delay;
+  Obs.Histogram.observe r.h_c2r_self delay;
+  Obs.Freshness.note_commit r.r_obs ~host:r.r_self ~commit_s:e.Journal.time
 
 let snapshot_catchup r =
   match call r (Backup.encode_row [ "SNAPSHOT"; r.r_self ]) with
@@ -319,6 +326,10 @@ let replica ?(boot_from_snapshot = true) ~net ~self ~primary ~apply
     c_gaps = Obs.Counter.make obs (key ^ ".gaps");
     h_lag_entries = Obs.Histogram.make obs "repl.lag_entries";
     h_apply_delay = Obs.Histogram.make obs "repl.apply_delay_ms";
+    h_c2r = Obs.Histogram.make obs "prop.commit_to_replica_ms";
+    h_c2r_self =
+      Obs.Histogram.make obs
+        ("prop.host." ^ String.lowercase_ascii self ^ ".commit_to_replica_ms");
   }
 
 let start r engine ~every_ms =

@@ -207,7 +207,7 @@ let reg_error_to_string = function
 let request net ~src ~server ~op args =
   let payload =
     Gdb.Wire.encode_request
-      { Gdb.Wire.version = Gdb.Wire.protocol_version; conn = 0; op; args }
+      { Gdb.Wire.version = Gdb.Wire.protocol_version; conn = 0; op; args; ctx = "" }
   in
   match Netsim.Net.call net ~src ~dst:server ~service:"userreg" payload with
   | Error _ -> Error Server_unreachable

@@ -16,9 +16,16 @@ type t = {
       (* present when MOIRA_SANITIZE=1 or create ~sanitize:true *)
   repl_primary : Relation.Replicate.primary option;
   replicas : (string * Moira.Mr_server.replica) list;
+  lanes : (string * Obs.t) list;
+      (* per-host span registries for the serving hosts and replicas;
+         head = the Moira machine's (Obs.default) *)
 }
 
 let obs (_ : t) = Obs.default
+
+let lanes t = t.lanes
+
+let trace_json ?trace t = Obs.merge_trace_json ?trace t.lanes
 
 let hesiod_dir = "/etc/hesiod"
 let zephyr_acl_dir = "/etc/athena/acl"
@@ -94,6 +101,20 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
     Moira.Glue.create ~mdb ~registry:(Moira.Catalog.make ()) ()
   in
   let built = Population.build ~glue ~kdc spec in
+  (* span uids are origin-prefixed so contexts stay unambiguous when
+     lanes are merged; the global registry is the Moira machine's lane *)
+  Obs.set_origin Obs.default
+    (String.lowercase_ascii built.Population.moira_machine);
+  (* every other serving host records its spans into its own lane
+     registry, clocked off the same engine *)
+  let lanes = ref [] in
+  let lane machine =
+    let o = Obs.create () in
+    Obs.set_clock o (Sim.Engine.clock engine);
+    Obs.set_origin o (String.lowercase_ascii machine);
+    lanes := (machine, o) :: !lanes;
+    o
+  in
 
   (* hosts for every machine in the database *)
   let all_machines =
@@ -121,7 +142,7 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
     |> List.map (fun m ->
            let h = Netsim.Net.host net m in
            let hes = Hesiod.Hes_server.start ~dir:hesiod_dir h in
-           let up = Dcm.Update.serve h in
+           let up = Dcm.Update.serve ~obs:(lane m) h in
            Dcm.Update.register_script up ~name:"hesiod.sh"
              (Dcm.Update.install_files h ~dir:hesiod_dir
                 ~after:(fun () -> Hesiod.Hes_server.restart hes)
@@ -131,12 +152,14 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
   Array.iter
     (fun m ->
       let h = Netsim.Net.host net m in
-      let up = Dcm.Update.serve h in
+      let up = Dcm.Update.serve ~obs:(lane m) h in
       Dcm.Update.register_script up ~name:"nfs.sh" (fun ~staged ->
           nfs_script h ~staged))
     built.Population.nfs_machines;
   let mail_host = Netsim.Net.host net built.Population.mail_hub in
-  let mail_up = Dcm.Update.serve mail_host in
+  let mail_up =
+    Dcm.Update.serve ~obs:(lane built.Population.mail_hub) mail_host
+  in
   Dcm.Update.register_script mail_up ~name:"mail.sh"
     (Dcm.Update.install_files mail_host ~dir:mail_dir ());
   (* post offices, and the sendmail stand-in on the hub *)
@@ -164,7 +187,7 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
     |> List.map (fun m ->
            let h = Netsim.Net.host net m in
            let z = Zephyr.start ~acl_dir:zephyr_acl_dir h engine in
-           let up = Dcm.Update.serve h in
+           let up = Dcm.Update.serve ~obs:(lane m) h in
            Dcm.Update.register_script up ~name:"zephyr.sh"
              (Dcm.Update.install_files h ~dir:zephyr_acl_dir
                 ~after:(fun () -> Zephyr.reload_acls z)
@@ -184,7 +207,8 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
         Relation.Backup.encode_row
           (string_of_int e.Relation.Journal.time
           :: e.Relation.Journal.who :: e.Relation.Journal.client
-          :: e.Relation.Journal.query :: e.Relation.Journal.args)
+          :: e.Relation.Journal.query :: e.Relation.Journal.ctx
+          :: e.Relation.Journal.args)
       in
       Netsim.Vfs.write fs ~path:journal_path (existing ^ line ^ "\n");
       Netsim.Vfs.flush fs);
@@ -207,16 +231,63 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
         let host = Netsim.Net.add_host net machine in
         let r =
           Moira.Mr_server.create_replica ?backend ~poll_ms:repl_poll_ms ~net
-            ~host ~primary:built.Population.moira_machine ~kdc ()
+            ~host ~primary:built.Population.moira_machine ~kdc
+            ~trace_obs:(lane machine) ()
         in
         (machine, r))
   in
+
+  (* default propagation SLOs over the freshness telemetry; the DCM
+     ticks the windows and routes breaches through its notifier *)
+  Obs.Slo.reset Obs.Slo.default;
+  List.iter
+    (Obs.Slo.add Obs.Slo.default)
+    [
+      {
+        Obs.Slo.o_name = "serving-freshness-p99";
+        o_metric = "prop.commit_to_serving_ms";
+        o_stat = Obs.Slo.P99;
+        o_op = Obs.Slo.Le;
+        o_threshold = 26 * 3600 * 1000;
+        (* the section 5.7 bound: a commit is serving within its file's
+           update interval (the slowest service regenerates every 24
+           hours) plus distribution slack *)
+        o_window_ms = 48 * 3600 * 1000;
+      };
+      {
+        Obs.Slo.o_name = "host-staleness";
+        o_metric = "prop.host.*.staleness_s";
+        o_stat = Obs.Slo.Value;
+        o_op = Obs.Slo.Le;
+        o_threshold = 48 * 3600;  (* the paper's ~daily cycle, doubled *)
+        o_window_ms = 0;
+      };
+      {
+        Obs.Slo.o_name = "client-query-p99";
+        o_metric = "client.query_ms";
+        o_stat = Obs.Slo.P99;
+        o_op = Obs.Slo.Le;
+        o_threshold = 30 * 1000;  (* one transport timeout *)
+        o_window_ms = 24 * 3600 * 1000;
+      };
+    ];
+  (* only graded when there is a replication stream to be behind *)
+  if replicas > 0 then
+    Obs.Slo.add Obs.Slo.default
+      {
+        Obs.Slo.o_name = "replica-freshness-p99";
+        o_metric = "prop.commit_to_replica_ms";
+        o_stat = Obs.Slo.P99;
+        o_op = Obs.Slo.Le;
+        o_threshold = 60 * 1000;  (* a minute behind the primary *)
+        o_window_ms = 24 * 3600 * 1000;
+      };
 
   let dcm =
     Dcm.Manager.create ~net ~moira_host:built.Population.moira_machine ~glue
       ~zephyr_to:built.Population.zephyr_machines.(0)
       ~mail_via:(built.Population.mail_hub, "moira-admins")
-      ?retry ()
+      ?retry ~slo:Obs.Slo.default ()
   in
   dcm_ref := Some dcm;
   ignore (Dcm.Manager.schedule dcm engine ~every_min:dcm_every_min);
@@ -251,6 +322,8 @@ let create ?(spec = Population.small) ?backend ?access_cache ?(dcm_every_min = 1
     engine; net; kdc; mdb; server; glue; dcm; built; hesiods; zephyrs;
     pops; mailhub; userreg; sanitizer; repl_primary;
     replicas = replica_servers;
+    lanes =
+      (built.Population.moira_machine, Obs.default) :: List.rev !lanes;
   }
 
 let replica_machines t = List.map fst t.replicas

@@ -24,6 +24,10 @@ type t = {
       (** The journal replication stream, when replicas were asked for. *)
   replicas : (string * Moira.Mr_server.replica) list;
       (** Read-only replica servers by machine name. *)
+  lanes : (string * Obs.t) list;
+      (** Span lanes by machine: the Moira machine's ([Obs.default])
+          first, then one per-host registry for every serving host and
+          replica — the input {!Obs.merge_trace_json} stitches. *)
 }
 
 val epoch_1988_ms : int
@@ -67,6 +71,15 @@ val create :
 
 val obs : t -> Obs.t
 (** The testbed's registry (the global [Obs.default]). *)
+
+val lanes : t -> (string * Obs.t) list
+(** The span lanes (same as the [lanes] field). *)
+
+val trace_json : ?trace:string -> t -> string
+(** All lanes stitched into one Chrome trace
+    ({!Obs.merge_trace_json}); [?trace] restricts to one end-to-end
+    trace — e.g. one committed write from client call through replica
+    apply to serving-host install. *)
 
 val client : t -> src:string -> Moira.Mr_client.t
 (** An application-library handle on the given workstation. *)

@@ -69,14 +69,14 @@ let create () =
 let as_user t login name args =
   let ctx =
     { Moira.Query.mdb = t.mdb; caller = login; client = "test";
-      privileged = false }
+      privileged = false; trace = "" }
   in
   Moira.Query.execute t.registry ctx ~name args
 
 let check_access t login name args =
   let ctx =
     { Moira.Query.mdb = t.mdb; caller = login; client = "test";
-      privileged = false }
+      privileged = false; trace = "" }
   in
   Moira.Query.check t.registry ctx ~name args
 

@@ -103,7 +103,7 @@ let test_moira_schema_roundtrip () =
 (* --- journal --- *)
 
 let entry time who query args =
-  { Journal.time; who; client = "test"; query; args }
+  { Journal.time; who; client = "test"; query; ctx = ""; args }
 
 let test_journal_roundtrip () =
   let j = Journal.create () in

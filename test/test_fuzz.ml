@@ -20,6 +20,8 @@ let junk_frame rng =
       args =
         List.init (Sim.Rng.int rng 5) (fun _ ->
             random_bytes rng (Sim.Rng.int rng 40));
+      ctx =
+        (if Sim.Rng.bool rng then "" else random_bytes rng (Sim.Rng.int rng 30));
     }
 
 let fuzz_service ~service () =

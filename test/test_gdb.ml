@@ -3,15 +3,32 @@
 let test_wire_request_roundtrip () =
   let req =
     { Gdb.Wire.version = 2; conn = 7; op = 18;
-      args = [ "get_user_by_login"; "ann"; ""; "multi\nline:with\000nul" ] }
+      args = [ "get_user_by_login"; "ann"; ""; "multi\nline:with\000nul" ];
+      ctx = "t#1/#2" }
   in
   match Gdb.Wire.decode_request (Gdb.Wire.encode_request req) with
   | Ok r ->
       Alcotest.(check int) "version" req.Gdb.Wire.version r.Gdb.Wire.version;
       Alcotest.(check int) "conn" req.conn r.conn;
       Alcotest.(check int) "op" req.op r.op;
-      Alcotest.(check (list string)) "args" req.args r.args
+      Alcotest.(check (list string)) "args" req.args r.args;
+      Alcotest.(check string) "ctx" req.ctx r.ctx
   | Error e -> Alcotest.fail e
+
+(* A frame without the trailing context decodes with [ctx = ""], and a
+   context-free request encodes byte-identically to that old format. *)
+let test_wire_ctx_optional () =
+  let req =
+    { Gdb.Wire.version = 2; conn = 7; op = 18; args = [ "x" ]; ctx = "" }
+  in
+  let enc = Gdb.Wire.encode_request req in
+  (match Gdb.Wire.decode_request enc with
+  | Ok r -> Alcotest.(check string) "empty ctx" "" r.Gdb.Wire.ctx
+  | Error e -> Alcotest.fail e);
+  let with_ctx = Gdb.Wire.encode_request { req with ctx = "t#9/#4" } in
+  Alcotest.(check bool) "trailer only when present" true
+    (String.length with_ctx > String.length enc
+    && String.sub with_ctx 0 (String.length enc) = enc)
 
 let test_wire_reply_roundtrip () =
   let rep =
@@ -37,7 +54,7 @@ let test_wire_garbage () =
 let test_wire_truncated () =
   let good =
     Gdb.Wire.encode_request
-      { Gdb.Wire.version = 2; conn = 0; op = 1; args = [ "hello" ] }
+      { Gdb.Wire.version = 2; conn = 0; op = 1; args = [ "hello" ]; ctx = "" }
   in
   let truncated = String.sub good 0 (String.length good - 3) in
   match Gdb.Wire.decode_request truncated with
@@ -168,7 +185,7 @@ let test_version_skew_rejected () =
   let stale =
     Gdb.Wire.encode_request
       { Gdb.Wire.version = Gdb.Wire.protocol_version + 7; conn = 0;
-        op = Gdb.Wire.op_open; args = [] }
+        op = Gdb.Wire.op_open; args = []; ctx = "" }
   in
   match Netsim.Net.call net ~src:"CLI" ~dst:"SRV" ~service:"app" stale with
   | Ok raw -> (
@@ -185,7 +202,8 @@ let prop_wire_request_roundtrip =
       quad (int_range 0 100) (int_range 0 1000) (int_range 0 64)
         (list_of_size (Gen.int_range 0 5) (string_of_size (Gen.int_range 0 30))))
     (fun (version, conn, op, args) ->
-      let req = { Gdb.Wire.version; conn; op; args } in
+      let ctx = match args with a :: _ when a <> "" -> "t#1/" ^ a | _ -> "" in
+      let req = { Gdb.Wire.version; conn; op; args; ctx } in
       Gdb.Wire.decode_request (Gdb.Wire.encode_request req) = Ok req)
 
 let prop_wire_reply_roundtrip =
@@ -204,6 +222,7 @@ let suite =
     Alcotest.test_case "wire request roundtrip" `Quick
       test_wire_request_roundtrip;
     Alcotest.test_case "wire reply roundtrip" `Quick test_wire_reply_roundtrip;
+    Alcotest.test_case "wire ctx optional" `Quick test_wire_ctx_optional;
     Alcotest.test_case "wire garbage" `Quick test_wire_garbage;
     Alcotest.test_case "wire truncated" `Quick test_wire_truncated;
     Alcotest.test_case "connect/call/disconnect" `Quick

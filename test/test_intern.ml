@@ -111,6 +111,7 @@ let test_journal_replay_preserves_sharing () =
           who = copy_string "admin";
           client = copy_string "moira";
           query = copy_string "update_user_shell";
+          ctx = "";
           args = [ login; "/bin/sh" ];
         })
     [ (10, "ann"); (20, "bob"); (30, "cyn") ];

@@ -85,7 +85,7 @@ let test_access_rules_follow_binding () =
   let registry = Catalog.make ~extra:(archive_queries archive) () in
   let ctx =
     { Query.mdb = primary; caller = "oldtimer"; client = "t";
-      privileged = false }
+      privileged = false; trace = "" }
   in
   (* oldtimer exists only in the archive; the self-access rule of
      get_user_by_login must evaluate against the archive and admit him *)

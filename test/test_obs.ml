@@ -184,6 +184,194 @@ let test_registry_determinism () =
   let d2 = obs_fingerprint () in
   Alcotest.(check string) "identical fingerprints" d1 d2
 
+(* ---- wire contexts: the ctx every protocol carries ---- *)
+
+let test_ctx_wire () =
+  let a = Obs.create () in
+  Obs.set_origin a "client.mit.edu";
+  let sp = Obs.span_begin a "client.query" in
+  let ctx = Obs.span_ctx sp in
+  (match Obs.current_ctx a with
+  | Some c ->
+      Alcotest.(check string) "current ctx is the open span" ctx.Obs.span_id
+        c.Obs.span_id
+  | None -> Alcotest.fail "open span not current");
+  let wire = Obs.ctx_to_string ctx in
+  (match Obs.ctx_of_string wire with
+  | Some c ->
+      Alcotest.(check string) "trace id over the wire" ctx.Obs.trace_id
+        c.Obs.trace_id;
+      Alcotest.(check string) "span id over the wire" ctx.Obs.span_id
+        c.Obs.span_id
+  | None -> Alcotest.fail "serialized ctx did not parse");
+  Alcotest.(check bool) "empty ctx is None" true (Obs.ctx_of_string "" = None);
+  Alcotest.(check bool) "malformed ctx is None" true
+    (Obs.ctx_of_string "garbage" = None);
+  (* a span on another host parented by the wire ctx joins the trace *)
+  let b = Obs.create () in
+  Obs.set_origin b "server.mit.edu";
+  let ssp = Obs.span_begin b ?parent_ctx:(Obs.ctx_of_string wire) "query" in
+  Obs.span_end b ssp;
+  Obs.span_end a sp;
+  match Obs.completed_spans b with
+  | [ s ] ->
+      Alcotest.(check string) "remote child joins the trace" ctx.Obs.trace_id
+        s.Obs.sp_trace;
+      Alcotest.(check (option string))
+        "remote parent uid kept" (Some ctx.Obs.span_id) s.Obs.sp_parent_id
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_spans_dropped () =
+  let o = Obs.create ~ring:4 () in
+  for i = 1 to 10 do
+    let s = Obs.span_begin o (Printf.sprintf "s%d" i) in
+    Obs.span_end o s
+  done;
+  Alcotest.(check (option int))
+    "evictions counted" (Some 6)
+    (Obs.find_counter o "obs.spans.dropped");
+  (* a child whose local parent was evicted is clamped to a root, not
+     exported with a dangling reference *)
+  let o = Obs.create ~ring:2 () in
+  let p = Obs.span_begin o "parent" in
+  Obs.span_end o p;
+  let pctx = Obs.span_ctx p in
+  List.iter
+    (fun n ->
+      let s = Obs.span_begin o n in
+      Obs.span_end o s)
+    [ "f1"; "f2" ];
+  let c = Obs.span_begin o ~parent_ctx:pctx "child" in
+  Obs.span_end o c;
+  match Obs.completed_spans o with
+  | [ _; child ] ->
+      Alcotest.(check string) "child survived" "child" child.Obs.sp_name;
+      Alcotest.(check (option string))
+        "orphan clamped to root" None child.Obs.sp_parent_id
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+(* ---- stitching per-host lanes into one trace ---- *)
+
+let test_merge_lanes () =
+  let a = Obs.create () and b = Obs.create () in
+  Obs.set_origin a "moira.mit.edu";
+  Obs.set_origin b "suomi.mit.edu";
+  let root = Obs.span_begin a "client.query" in
+  let wire = Obs.ctx_to_string (Obs.span_ctx root) in
+  let remote =
+    Obs.span_begin b ?parent_ctx:(Obs.ctx_of_string wire) "update.exec"
+  in
+  Obs.span_end b remote;
+  Obs.span_end a root;
+  (* an unrelated second trace, for the filter below *)
+  let other = Obs.span_begin a "noise" in
+  Obs.span_end a other;
+  let lanes = [ ("moira.mit.edu", a); ("suomi.mit.edu", b) ] in
+  let json = Obs.merge_trace_json lanes in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("merged has " ^ needle) true (contains json needle))
+    [
+      "\"process_name\"";
+      "moira.mit.edu";
+      "suomi.mit.edu";
+      "\"client.query\"";
+      "\"update.exec\"";
+      (* the cross-lane parent link renders as a flow arrow pair *)
+      "\"ph\":\"s\"";
+      "\"ph\":\"f\"";
+    ];
+  let tid = (Obs.span_ctx root).Obs.trace_id in
+  let only = Obs.merge_trace_json ~trace:tid lanes in
+  Alcotest.(check bool) "filter keeps the trace" true
+    (contains only "\"client.query\"");
+  Alcotest.(check bool) "filter drops other traces" false
+    (contains only "\"noise\"")
+
+(* ---- cross-host traces under chaos ----
+   With a replica and lossy links, every parent reference across the
+   union of lanes must resolve (or have been clamped), parent chains
+   must be acyclic, and retried update ops must nest under their
+   originating dcm.push with the retries visible. *)
+
+let test_cross_host_chaos_trace () =
+  let tb = Workload.Testbed.create ~replicas:1 ~repl_poll_ms:30_000 () in
+  let net = tb.Workload.Testbed.net in
+  (* replica boot-syncs clean; then the weather starts *)
+  Workload.Testbed.run_minutes tb 2;
+  Netsim.Net.set_drop_rate net 0.3;
+  Netsim.Net.set_reply_drop_rate net 0.2;
+  let ws =
+    tb.Workload.Testbed.built.Workload.Population.workstation_machines.(0)
+  in
+  let c = Workload.Testbed.admin_client tb ~src:ws in
+  let logins = tb.Workload.Testbed.built.Workload.Population.logins in
+  for i = 0 to 5 do
+    ignore
+      (Moira.Mr_client.mr_query_list c ~name:"update_user_shell"
+         [ logins.(i); Printf.sprintf "/bin/chaos%d" i ]);
+    Workload.Testbed.run_minutes tb 10
+  done;
+  (* the HESIOD interval fires and the pushes fight the loss *)
+  Workload.Testbed.run_hours tb 7;
+  let lanes = Workload.Testbed.lanes tb in
+  let spans =
+    List.concat_map (fun (_, o) -> Obs.completed_spans o) lanes
+  in
+  Alcotest.(check bool) "spans recorded" true (List.length spans > 0);
+  let by_uid = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace by_uid s.Obs.sp_id s) spans;
+  (* every wire ctx resolves somewhere in the union of lanes *)
+  List.iter
+    (fun s ->
+      match s.Obs.sp_parent_id with
+      | None -> ()
+      | Some u ->
+          if not (Hashtbl.mem by_uid u) then
+            Alcotest.failf "span %s (%s) has unresolvable parent %s"
+              s.Obs.sp_id s.Obs.sp_name u)
+    spans;
+  (* parent chains terminate: no cycles even across lanes *)
+  List.iter
+    (fun s ->
+      let rec walk u steps =
+        if steps > List.length spans then
+          Alcotest.failf "parent chain from %s never terminates" s.Obs.sp_id
+        else
+          match Hashtbl.find_opt by_uid u with
+          | None -> ()
+          | Some p -> (
+              match p.Obs.sp_parent_id with
+              | None -> ()
+              | Some pu -> walk pu (steps + 1))
+      in
+      match s.Obs.sp_parent_id with None -> () | Some u -> walk u 0)
+    spans;
+  (* the commits crossed machines: replica applies joined the traces *)
+  let applies =
+    List.filter (fun s -> s.Obs.sp_name = "repl.apply") spans
+  in
+  Alcotest.(check bool) "replica applies present" true (applies <> []);
+  (* retries stay nested under the push that issued them *)
+  let pushes = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      if s.Obs.sp_name = "dcm.push" then Hashtbl.replace pushes s.Obs.sp_id ())
+    spans;
+  let retried = ref 0 in
+  List.iter
+    (fun s ->
+      if s.Obs.sp_name = "update.op" then begin
+        (match s.Obs.sp_parent_id with
+        | Some u when not (Hashtbl.mem pushes u) ->
+            Alcotest.failf "update.op parent %s is not a dcm.push" u
+        | _ -> ());
+        if List.assoc_opt "attempt" s.Obs.sp_attrs <> Some "1" then
+          incr retried
+      end)
+    spans;
+  Alcotest.(check bool) "loss forced visible retries" true (!retried > 0)
+
 let suite =
   [
     Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
@@ -196,4 +384,12 @@ let suite =
     Alcotest.test_case "log ring bounded" `Quick test_logs_bounded;
     Alcotest.test_case "registry deterministic across runs" `Quick
       test_registry_determinism;
+    Alcotest.test_case "wire ctx round trip and remote parents" `Quick
+      test_ctx_wire;
+    Alcotest.test_case "eviction counter and orphan clamping" `Quick
+      test_spans_dropped;
+    Alcotest.test_case "merged lanes, flow arrows, trace filter" `Quick
+      test_merge_lanes;
+    Alcotest.test_case "cross-host trace well-formed under chaos" `Quick
+      test_cross_host_chaos_trace;
   ]

@@ -1,0 +1,144 @@
+(* The declarative SLO engine and the freshness tracker: windowed
+   verdict edges (no data, exactly at threshold, breach), breach-alert
+   dedup through the open-incident set and its re-arm on recovery, and
+   the monotonic commit high-water mark behind the staleness gauges. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let mk () =
+  let o = Obs.create () in
+  let t = ref 0 in
+  Obs.set_clock o (fun () -> !t);
+  (o, t)
+
+let objective ?(window = 10_000) ?(threshold = 50) () =
+  {
+    Obs.Slo.o_name = "lat-p99";
+    o_metric = "x_ms";
+    o_stat = Obs.Slo.P99;
+    o_op = Obs.Slo.Le;
+    o_threshold = threshold;
+    o_window_ms = window;
+  }
+
+let eval1 s =
+  match Obs.Slo.evaluate s with
+  | [ r ] -> r
+  | l -> Alcotest.failf "expected 1 result, got %d" (List.length l)
+
+let verdict r = Obs.Slo.verdict_name r.Obs.Slo.r_verdict
+
+(* An objective over a histogram nobody has observed yet: the absence
+   of data is a warning (the pipeline may be broken), never a breach. *)
+let test_empty_window_yellow () =
+  let o, _ = mk () in
+  let s = Obs.Slo.create o in
+  Obs.Slo.add s (objective ());
+  let r = eval1 s in
+  Alcotest.(check int) "no samples" 0 r.Obs.Slo.r_samples;
+  Alcotest.(check string) "no data is yellow, not red" "yellow" (verdict r);
+  ignore (Obs.Histogram.make o "x_ms");
+  let r = eval1 s in
+  Alcotest.(check string) "an empty histogram is still yellow" "yellow"
+    (verdict r)
+
+let test_threshold_edges () =
+  let o, _ = mk () in
+  let s = Obs.Slo.create o in
+  Obs.Slo.add s (objective ~threshold:50 ());
+  let h = Obs.Histogram.make o "x_ms" in
+  Obs.Histogram.observe h 10;
+  Alcotest.(check string) "well under: green" "green" (verdict (eval1 s));
+  (* exactly at the threshold: the objective is met, but any jitter
+     breaches it -- warn.  50 sits in the histogram's exact bucket
+     range, so the p99 estimate is the value itself. *)
+  Obs.Histogram.observe h 50;
+  let r = eval1 s in
+  Alcotest.(check int) "value is the threshold" 50 r.Obs.Slo.r_value;
+  Alcotest.(check string) "exactly-at-threshold warns" "yellow" (verdict r);
+  Obs.Histogram.observe h 60;
+  Alcotest.(check string) "over: red" "red" (verdict (eval1 s))
+
+let test_breach_dedup_and_rearm () =
+  let o, t = mk () in
+  let s = Obs.Slo.create o in
+  Obs.Slo.add s (objective ~window:10_000 ~threshold:50 ());
+  let h = Obs.Histogram.make o "x_ms" in
+  let alerts = ref [] in
+  let notify m = alerts := m :: !alerts in
+  Obs.Slo.tick s;
+  Obs.Histogram.observe h 200;
+  t := 1_000;
+  ignore (Obs.Slo.check s ~notify);
+  Alcotest.(check int) "first breach notifies" 1 (List.length !alerts);
+  Alcotest.(check bool) "alert names the objective" true
+    (contains (List.hd !alerts) "lat-p99");
+  t := 2_000;
+  ignore (Obs.Slo.check s ~notify);
+  Alcotest.(check int) "open incident dedups" 1 (List.length !alerts);
+  (* the bad sample ages out of the window: the verdict recovers (to
+     yellow -- no data) and the incident closes *)
+  t := 5_000;
+  Obs.Slo.tick s;
+  t := 20_000;
+  Obs.Slo.tick s;
+  let r =
+    match Obs.Slo.check s ~notify with
+    | [ r ] -> r
+    | l -> Alcotest.failf "expected 1 result, got %d" (List.length l)
+  in
+  Alcotest.(check string) "breach aged out of the window" "yellow" (verdict r);
+  Alcotest.(check int) "recovery does not notify" 1 (List.length !alerts);
+  (* a fresh breach after recovery re-alerts *)
+  Obs.Histogram.observe h 300;
+  t := 21_000;
+  ignore (Obs.Slo.check s ~notify);
+  Alcotest.(check int) "re-armed after recovery" 2 (List.length !alerts)
+
+let test_freshness_monotonic () =
+  let o, t = mk () in
+  t := 1_000_000;
+  Obs.Freshness.note_commit o ~host:"SUOMI.MIT.EDU" ~commit_s:900;
+  Alcotest.(check (option int))
+    "staleness from commit" (Some 100)
+    (Obs.find_gauge o "prop.host.suomi.mit.edu.staleness_s");
+  (* a late replay of an older commit never regresses the high-water *)
+  Obs.Freshness.note_commit o ~host:"suomi.mit.edu" ~commit_s:500;
+  Alcotest.(check (option int))
+    "monotonic" (Some 100)
+    (Obs.find_gauge o "prop.host.suomi.mit.edu.staleness_s");
+  t := 1_200_000;
+  Obs.Freshness.refresh o;
+  Alcotest.(check (option int))
+    "refresh re-derives from sim time" (Some 300)
+    (Obs.find_gauge o "prop.host.suomi.mit.edu.staleness_s");
+  (* the staleness gauges feed a Value objective: max over hosts *)
+  let s = Obs.Slo.create o in
+  Obs.Slo.add s
+    {
+      Obs.Slo.o_name = "host-staleness";
+      o_metric = "prop.host.*.staleness_s";
+      o_stat = Obs.Slo.Value;
+      o_op = Obs.Slo.Le;
+      o_threshold = 200;
+      o_window_ms = 0;
+    };
+  match Obs.Slo.evaluate s with
+  | [ r ] ->
+      Alcotest.(check int) "one gauge matched" 1 r.Obs.Slo.r_samples;
+      Alcotest.(check int) "value is the worst host" 300 r.Obs.Slo.r_value;
+      Alcotest.(check string) "stale host is red" "red" (verdict r)
+  | l -> Alcotest.failf "expected 1 result, got %d" (List.length l)
+
+let suite =
+  [
+    Alcotest.test_case "empty window is yellow" `Quick test_empty_window_yellow;
+    Alcotest.test_case "threshold edges" `Quick test_threshold_edges;
+    Alcotest.test_case "breach-alert dedup and re-arm" `Quick
+      test_breach_dedup_and_rearm;
+    Alcotest.test_case "freshness high-water and staleness objective" `Quick
+      test_freshness_monotonic;
+  ]

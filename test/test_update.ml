@@ -168,6 +168,7 @@ let test_checksum_detects_corruption () =
         conn = 0;
         op = 32 (* op_xfer *);
         args = [ "krb"; "/tmp/out"; archive; "00000000" ];
+        ctx = "";
       }
   in
   match Netsim.Net.call net ~src:"MOIRA" ~dst:"SRV" ~service:"moira_update" payload with
